@@ -1,0 +1,169 @@
+"""Shared fixtures for the experiment benches.
+
+Every table/figure bench runs at laptop scale (fewer users, shorter
+horizons, fewer iterations than the paper's 2·10⁹-step budget); the
+*shape* of each result — who wins, what degrades, where the pathologies
+appear — is what EXPERIMENTS.md compares against the paper.
+
+The DPR pipeline (world → logged data → 15-simulator ensemble → trained
+policies) is expensive, so it is built once per session in
+:class:`DPRBenchSuite` and shared by the Fig. 8–11 / Table III–IV benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DeepFMRecommender,
+    SupervisedConfig,
+    WideDeepRecommender,
+    dpr_ensemble_sampler,
+    dpr_single_sampler,
+    make_direct_trainer,
+    make_dr_uni_trainer,
+)
+from repro.core import (
+    Sim2RecDPRTrainer,
+    build_sim2rec_policy,
+    dpr_small_config,
+)
+from repro.envs import (
+    BehaviorPolicy,
+    BehaviorPolicyConfig,
+    DPRConfig,
+    DPRWorld,
+    collect_dpr_dataset,
+)
+from repro.sim import SimulatorLearnerConfig, build_simulator_set
+
+# Laptop-scale workload shared by all DPR benches.
+DPR_WORLD_CONFIG = DPRConfig(
+    num_cities=5, drivers_per_city=20, horizon=20, seed=123
+)
+ENSEMBLE_MEMBERS = 15
+HOLDOUT_MEMBERS = (12, 13, 14)  # SimA, SimB, SimC
+SIM2REC_ITERATIONS = 60
+BASELINE_ITERATIONS = 60
+
+
+class DPRBenchSuite:
+    """Builds and caches the full DPR experimental apparatus."""
+
+    def __init__(self):
+        print("\n[bench setup] building DPR world and logged dataset ...")
+        self.world = DPRWorld(DPR_WORLD_CONFIG)
+        self.dataset = collect_dpr_dataset(self.world, episodes=2)
+        self.dataset_train, self.dataset_test = self.dataset.split_users(0.8, seed=0)
+        print("[bench setup] training the 15-member simulator ensemble ...")
+        self.ensemble = build_simulator_set(
+            self.dataset_train,
+            num_members=ENSEMBLE_MEMBERS,
+            base_config=SimulatorLearnerConfig(hidden_sizes=(48, 48), epochs=50),
+            seed=7,
+        )
+        self.train_ensemble, self.holdout_ensemble = self.ensemble.split(
+            list(HOLDOUT_MEMBERS)
+        )
+        self._policies: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def behavior_fn(self, seed: int = 0):
+        return BehaviorPolicy(BehaviorPolicyConfig(seed=seed))
+
+    def holdout_sim_env(self, index: int, group_index: int = 0, horizon: int = 20, seed: int = 0):
+        """A deployment environment backed by a held-out simulator."""
+        from repro.sim import SimulatedDPREnv
+
+        group = self.dataset_test.groups[group_index]
+        return SimulatedDPREnv(
+            self.holdout_ensemble[index],
+            group,
+            truncate_horizon=horizon,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    def get_policy(self, name: str):
+        """Train (once) and return a policy by method name."""
+        if name in self._policies:
+            return self._policies[name]
+        print(f"[bench setup] training policy {name!r} ...")
+        config = dpr_small_config(seed=11)
+        state_dim, action_dim = self.dataset.state_dim, self.dataset.action_dim
+        if name in ("sim2rec", "sim2rec_pe", "sim2rec_ee"):
+            if name == "sim2rec_pe":
+                config = config.ablate_prediction_error_handling()
+                # keep rollout length comparable for runtime parity
+                config.truncate_horizon = 10
+            elif name == "sim2rec_ee":
+                config = config.ablate_extrapolation_error_handling()
+            policy = build_sim2rec_policy(state_dim, action_dim, config)
+            trainer = Sim2RecDPRTrainer(
+                policy, self.train_ensemble, self.dataset_train, config
+            )
+            trainer.pretrain_sadae(epochs=10)
+            trainer.train(SIM2REC_ITERATIONS)
+            self._policies[name] = policy
+        elif name == "dr_uni":
+            sampler = dpr_ensemble_sampler(
+                self.train_ensemble,
+                self.dataset_train,
+                truncate_horizon=config.truncate_horizon,
+            )
+            trainer = make_dr_uni_trainer(state_dim, action_dim, sampler, config)
+            trainer.train(BASELINE_ITERATIONS)
+            self._policies[name] = trainer.policy
+        elif name == "direct":
+            sampler = dpr_single_sampler(
+                self.train_ensemble[0],
+                self.dataset_train,
+                truncate_horizon=config.truncate_horizon,
+            )
+            trainer = make_direct_trainer(state_dim, action_dim, sampler, config)
+            trainer.train(BASELINE_ITERATIONS)
+            self._policies[name] = trainer.policy
+        elif name == "widedeep":
+            model = WideDeepRecommender(
+                state_dim, action_dim, SupervisedConfig(epochs=40, seed=0)
+            )
+            model.fit(self.dataset_train)
+            self._policies[name] = model
+        elif name == "deepfm":
+            model = DeepFMRecommender(
+                state_dim, action_dim, SupervisedConfig(epochs=40, seed=0)
+            )
+            model.fit(self.dataset_train)
+            self._policies[name] = model
+        else:
+            raise KeyError(f"unknown policy {name!r}")
+        return self._policies[name]
+
+    def act_fn(self, name: str, deterministic: bool = True):
+        policy = self.get_policy(name)
+        if hasattr(policy, "as_act_fn"):
+            if name in ("widedeep", "deepfm"):
+                return policy.as_act_fn()
+            return policy.as_act_fn(np.random.default_rng(0), deterministic=deterministic)
+        raise KeyError(name)
+
+
+@pytest.fixture(scope="session")
+def dpr_suite():
+    return DPRBenchSuite()
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Render a compact aligned table to stdout (the bench 'figure')."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,72 @@
+"""Fig. 3 — cumulative PCA energy ratio of SADAE's latent code over training.
+
+Paper claim: as SADAE trains on the LTS3 group datasets, the latent υ
+collapses onto its first principal component (after 6000 epochs the code
+"can be almost represented by the first principal component"), and that
+component tracks the ground-truth group parameter ω_g linearly (Fig. 12).
+"""
+
+import numpy as np
+
+from repro.eval import PCA
+
+from .conftest import print_table
+from .lts_sadae_common import build_lts3_corpus, make_lts_sadae, train_with_checkpoints
+
+TOTAL_EPOCHS = 100
+CHECKPOINT_EVERY = 25
+
+
+def run_experiment():
+    task, sets, omega_tags = build_lts3_corpus(num_users=120, steps_per_env=5)
+    sadae = make_lts_sadae(seed=0)
+    sadae.fit_normalizer(sets)
+
+    def snapshot(epoch):
+        embeddings = np.stack([sadae.embed(states, None) for states, _ in sets])
+        pca = PCA(embeddings)
+        projected = pca.transform(embeddings, k=1)[:, 0]
+        correlation = abs(np.corrcoef(projected, np.array(omega_tags))[0, 1])
+        return pca.energy_ratio(), correlation
+
+    return train_with_checkpoints(
+        sadae, sets, TOTAL_EPOCHS, CHECKPOINT_EVERY, snapshot
+    )
+
+
+def test_fig03_pca_energy(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    epochs = sorted(results)
+    rows = []
+    for epoch in epochs:
+        ratio, correlation = results[epoch]
+        rows.append(
+            [
+                f"{epoch}-epoch",
+                *(f"{r:.3f}" for r in ratio),
+                f"{correlation:.3f}",
+            ]
+        )
+    num_components = len(results[epochs[0]][0])
+    headers = ["checkpoint"] + [f"PC{i+1} cum." for i in range(num_components)] + [
+        "|corr(PC1, omega_g)|"
+    ]
+    print_table("Fig. 3: cumulative energy ratio of upsilon's principal components", headers, rows)
+
+    first_pc_initial = results[0][0][0]
+    first_pc_final = results[epochs[-1]][0][0]
+    two_pc_final = results[epochs[-1]][0][1]
+    corr_initial = results[0][1]
+    corr_final = results[epochs[-1]][1]
+    print(
+        f"\nshape check: PC1 share {first_pc_initial:.3f} -> {first_pc_final:.3f}, "
+        f"PC1+PC2 -> {two_pc_final:.3f}, |corr(PC1, omega_g)| "
+        f"{corr_initial:.3f} -> {corr_final:.3f}"
+    )
+    # Paper shape: the trained 5-dim latent lives on a low-dimensional
+    # subspace (the paper reaches one PC after 6000 epochs; at our scale the
+    # SAT variation keeps a second component alive) ...
+    assert two_pc_final > 0.95, "latent should collapse onto <= 2 components"
+    # ... and the dominant component encodes the group parameter (Fig. 12).
+    assert corr_final > 0.85, "PC1 should track the ground-truth omega_g"

@@ -1,0 +1,105 @@
+"""The full DPR (ride-hailing) pipeline — the paper's Sec. V-C workflow.
+
+1. Generate a synthetic multi-city world and collect logged data under the
+   behaviour policy πₑ (the stand-in for DidiChuxing's historical logs).
+2. Learn the simulator set Ω' (an ensemble of neural user models).
+3. Diagnose extrapolation pathologies with the intervention test (Fig. 10)
+   and apply F_trend.
+4. Train Sim2Rec with the uncertainty penalty and F_exec (Algorithm 1).
+5. Offline-test in a held-out simulator (Table IV) and A/B-test in the
+   ground-truth world (Fig. 11).
+
+Run:  python examples/dpr_pipeline.py   (takes a couple of minutes)
+"""
+
+import numpy as np
+
+from repro.core import Sim2RecDPRTrainer, build_sim2rec_policy, dpr_small_config
+from repro.envs import (
+    BehaviorPolicy,
+    BehaviorPolicyConfig,
+    DPRConfig,
+    DPRWorld,
+    collect_dpr_dataset,
+)
+from repro.eval import cluster_driver_responses, expected_cumulative_reward, run_ab_test
+from repro.sim import SimulatedDPREnv, SimulatorLearnerConfig, build_simulator_set
+
+
+def main():
+    # ------------------------------------------------------------------
+    # 1. World + logged data
+    # ------------------------------------------------------------------
+    world = DPRWorld(DPRConfig(num_cities=4, drivers_per_city=15, horizon=15, seed=2))
+    dataset = collect_dpr_dataset(world, episodes=2)
+    train_data, test_data = dataset.split_users(0.8, seed=0)
+    print(f"logged dataset: {len(dataset)} cities, {dataset.num_transitions} transitions")
+
+    # ------------------------------------------------------------------
+    # 2. Simulator set Ω'
+    # ------------------------------------------------------------------
+    print("training the simulator ensemble (8 members) ...")
+    ensemble = build_simulator_set(
+        train_data,
+        num_members=8,
+        base_config=SimulatorLearnerConfig(hidden_sizes=(48, 48), epochs=40),
+        seed=0,
+    )
+    train_ensemble, holdout = ensemble.split([6, 7])
+
+    # ------------------------------------------------------------------
+    # 3. Intervention diagnosis (Fig. 10)
+    # ------------------------------------------------------------------
+    clusters = cluster_driver_responses(train_ensemble, train_data.groups[0], 0)
+    print(
+        f"intervention test: {clusters.violating_fraction:.0%} of drivers sit in "
+        f"clusters whose bonus response violates the positive-elasticity prior"
+    )
+
+    # ------------------------------------------------------------------
+    # 4. Sim2Rec training (Algorithm 1)
+    # ------------------------------------------------------------------
+    config = dpr_small_config(seed=0)
+    policy = build_sim2rec_policy(dataset.state_dim, dataset.action_dim, config)
+    trainer = Sim2RecDPRTrainer(policy, train_ensemble, train_data, config)
+    for gid, result in trainer.trend_results.items():
+        kept = int(result.keep_mask.sum())
+        print(f"  F_trend city {gid}: kept {kept}/{len(result.keep_mask)} drivers")
+    trainer.pretrain_sadae(epochs=10)
+    print("training Sim2Rec ...")
+    for iteration in range(40):
+        metrics = trainer.train_iteration()
+        if iteration % 10 == 0:
+            print(f"  iter {iteration:3d}  reward {metrics['reward']:6.2f}  "
+                  f"shaped {metrics['shaped_reward']:6.2f}")
+
+    # ------------------------------------------------------------------
+    # 5a. Offline test in a held-out simulator (Table IV style)
+    # ------------------------------------------------------------------
+    act_fn = policy.as_act_fn(np.random.default_rng(0), deterministic=True)
+    offline_env = SimulatedDPREnv(holdout[0], test_data.groups[0], truncate_horizon=10, seed=9)
+    offline_reward = expected_cumulative_reward(offline_env, act_fn, episodes=2, gamma=0.9)
+    print(f"\noffline test (held-out simulator): expected cumulative reward {offline_reward:.3f}")
+
+    # ------------------------------------------------------------------
+    # 5b. A/B test in the ground-truth world (Fig. 11 style)
+    # ------------------------------------------------------------------
+    def env_factory(seed):
+        config_ab = DPRConfig(num_cities=4, drivers_per_city=15, horizon=11, seed=2)
+        return DPRWorld(config_ab).make_city_env(1, seed=seed)
+
+    result = run_ab_test(
+        env_factory,
+        lambda: BehaviorPolicy(BehaviorPolicyConfig(seed=1)),
+        policy.as_act_fn(np.random.default_rng(1), deterministic=True),
+        start_day=18,
+        deploy_day=22,
+        end_day=28,
+        seed=3,
+    )
+    print(f"A/B test: {result.post_deploy_improvement():+.1f}% daily reward vs control "
+          f"after deployment (paper's production run: +6.9%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Setuptools entry point.
+
+A classic setup.py (rather than PEP 517 metadata alone) so that
+``pip install -e .`` works in offline environments without the ``wheel``
+package, via the legacy editable-install path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Sim2Rec: simulator-based decision-making for long-term user "
+        "engagement (ICDE 2023) - full reproduction"
+    ),
+    author="Sim2Rec reproduction authors",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.21", "scipy>=1.7"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

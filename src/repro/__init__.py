@@ -1,0 +1,21 @@
+"""repro — a full reproduction of Sim2Rec (ICDE 2023).
+
+Sim2Rec is a simulator-based decision-making approach that optimises
+real-world long-term user engagement in sequential recommender systems by
+handling the reality gap of learned user simulators through zero-shot
+policy transfer: an ensemble simulator set, a hierarchical
+environment-parameter extractor (SADAE + LSTM) and a context-aware PPO
+policy with error-guarding filters.
+
+Subpackages
+-----------
+``repro.nn``        numpy autodiff + neural-network substrate
+``repro.envs``      LTS (RecSim Choc/Kale) and DPR (ride-hailing) worlds
+``repro.sim``       data-driven user-simulator learning and ensembles
+``repro.rl``        PPO / GAE / rollout machinery
+``repro.core``      the Sim2Rec contribution (SADAE, extractor, trainer)
+``repro.baselines`` DR-OSI, DR-UNI, DIRECT, WideDeep, DeepFM
+``repro.eval``      KDE/KLD, PCA, clustering, intervention tests, probes
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,34 @@
+"""Baselines: DIRECT, DR-UNI, DR-OSI, WideDeep, DeepFM."""
+
+from .deepfm import DeepFMRecommender
+from .rl_baselines import (
+    make_direct_trainer,
+    make_dr_osi_policy,
+    make_dr_osi_trainer,
+    make_dr_uni_trainer,
+    make_mlp_policy,
+)
+from .samplers import (
+    dpr_ensemble_sampler,
+    dpr_single_sampler,
+    lts_single_sampler,
+    lts_task_sampler,
+)
+from .supervised import SupervisedConfig, SupervisedRecommender
+from .widedeep import WideDeepRecommender
+
+__all__ = [
+    "DeepFMRecommender",
+    "SupervisedConfig",
+    "SupervisedRecommender",
+    "WideDeepRecommender",
+    "dpr_ensemble_sampler",
+    "dpr_single_sampler",
+    "lts_single_sampler",
+    "lts_task_sampler",
+    "make_direct_trainer",
+    "make_dr_osi_policy",
+    "make_dr_osi_trainer",
+    "make_dr_uni_trainer",
+    "make_mlp_policy",
+]

@@ -1,0 +1,94 @@
+"""RL baselines: DIRECT [1], DR-UNI [29] and DR-OSI [15].
+
+All three reuse the :class:`repro.core.trainer.PolicyTrainer` loop — they
+differ only in architecture and in what the environment sampler exposes:
+
+- **DIRECT**: feed-forward policy trained against a *single* simulator,
+  ignoring the reality gap entirely.
+- **DR-UNI** (domain randomisation, unified policy): the same feed-forward
+  policy trained across the whole simulator set — equivalent to Eq. (4)
+  with a constant φ output.
+- **DR-OSI** (online system identification): the recurrent LSTM extractor
+  of Sec. IV-B *without* SADAE — the environment parameters must be
+  inferred from each user's own interaction history alone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.config import Sim2RecConfig
+from ..core.trainer import EnvSampler, PolicyTrainer
+from ..rl.policies import MLPActorCritic, RecurrentActorCritic
+from ..utils.seeding import make_rng
+
+
+def make_mlp_policy(
+    state_dim: int,
+    action_dim: int,
+    config: Sim2RecConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> MLPActorCritic:
+    """Feed-forward policy (DIRECT / DR-UNI) sized from the config."""
+    rng = rng or make_rng(config.seed)
+    return MLPActorCritic(
+        state_dim,
+        action_dim,
+        rng,
+        hidden_sizes=config.head_hidden,
+        init_log_std=config.init_log_std,
+    )
+
+
+def make_dr_osi_policy(
+    state_dim: int,
+    action_dim: int,
+    config: Sim2RecConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> RecurrentActorCritic:
+    """LSTM-extractor policy without SADAE (the DR-OSI architecture)."""
+    rng = rng or make_rng(config.seed)
+    return RecurrentActorCritic(
+        state_dim,
+        action_dim,
+        rng,
+        lstm_hidden=config.lstm_hidden,
+        head_hidden=config.head_hidden,
+        context_dim=0,
+        init_log_std=config.init_log_std,
+    )
+
+
+def make_direct_trainer(
+    state_dim: int,
+    action_dim: int,
+    env_sampler: EnvSampler,
+    config: Sim2RecConfig,
+) -> PolicyTrainer:
+    """DIRECT: standard simulator-based PPO, single simulator, no gap handling."""
+    policy = make_mlp_policy(state_dim, action_dim, config)
+    return PolicyTrainer(policy, env_sampler, config)
+
+
+def make_dr_uni_trainer(
+    state_dim: int,
+    action_dim: int,
+    env_sampler: EnvSampler,
+    config: Sim2RecConfig,
+) -> PolicyTrainer:
+    """DR-UNI: one conservative policy over the randomized simulator set."""
+    policy = make_mlp_policy(state_dim, action_dim, config)
+    return PolicyTrainer(policy, env_sampler, config)
+
+
+def make_dr_osi_trainer(
+    state_dim: int,
+    action_dim: int,
+    env_sampler: EnvSampler,
+    config: Sim2RecConfig,
+) -> PolicyTrainer:
+    """DR-OSI: recurrent extractor over the simulator set, no group context."""
+    policy = make_dr_osi_policy(state_dim, action_dim, config)
+    return PolicyTrainer(policy, env_sampler, config)

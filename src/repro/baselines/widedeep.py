@@ -1,0 +1,40 @@
+"""Wide & Deep recommender [47].
+
+The wide component memorises via a linear model over the raw features and
+their pairwise state×action cross-products; the deep component generalises
+via an MLP over the same inputs. Their outputs are summed into the score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..utils.seeding import make_rng
+from .supervised import SupervisedConfig, SupervisedRecommender
+
+
+class WideDeepRecommender(SupervisedRecommender):
+    """f(s, a) = wide(linear + crosses) + deep(MLP)."""
+
+    def __init__(self, state_dim: int, action_dim: int, config: SupervisedConfig):
+        super().__init__(state_dim, action_dim, config)
+        rng = make_rng(config.seed)
+        in_dim = state_dim + action_dim
+        cross_dim = state_dim * action_dim
+        self.wide = nn.Linear(in_dim + cross_dim, 1, rng, init="normal", gain=0.01)
+        self.deep = nn.MLP([in_dim, *config.hidden_sizes, 1], rng, activation="relu")
+
+    def _cross_features(self, inputs: nn.Tensor) -> nn.Tensor:
+        """Pairwise products s_i · a_j — the memorisation cross terms."""
+        states = inputs[:, : self.state_dim]
+        actions = inputs[:, self.state_dim :]
+        crosses = []
+        for j in range(self.action_dim):
+            action_j = actions[:, j : j + 1]
+            crosses.append(states * action_j)
+        return nn.concat(crosses, axis=1)
+
+    def forward_score(self, inputs: nn.Tensor) -> nn.Tensor:
+        wide_in = nn.concat([inputs, self._cross_features(inputs)], axis=1)
+        return self.wide(wide_in) + self.deep(inputs)

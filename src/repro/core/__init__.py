@@ -1,0 +1,49 @@
+"""The Sim2Rec core: SADAE, context-aware policy, filters, Algorithm 1."""
+
+from .config import (
+    Sim2RecConfig,
+    dpr_paper_config,
+    dpr_small_config,
+    lts_paper_config,
+    lts_small_config,
+)
+from .filters import (
+    TrendFilterResult,
+    apply_exec_filter,
+    apply_uncertainty_penalty,
+    compute_trend_filter,
+    filter_group_log,
+    intervention_response,
+)
+from .policy import Sim2RecPolicy
+from .sadae import SADAE, SADAEConfig, train_sadae
+from .trainer import (
+    PolicyTrainer,
+    Sim2RecDPRTrainer,
+    Sim2RecLTSTrainer,
+    build_sim2rec_policy,
+    collect_lts_state_sets,
+)
+
+__all__ = [
+    "PolicyTrainer",
+    "SADAE",
+    "SADAEConfig",
+    "Sim2RecConfig",
+    "Sim2RecDPRTrainer",
+    "Sim2RecLTSTrainer",
+    "Sim2RecPolicy",
+    "TrendFilterResult",
+    "apply_exec_filter",
+    "apply_uncertainty_penalty",
+    "build_sim2rec_policy",
+    "collect_lts_state_sets",
+    "compute_trend_filter",
+    "dpr_paper_config",
+    "dpr_small_config",
+    "filter_group_log",
+    "intervention_response",
+    "lts_paper_config",
+    "lts_small_config",
+    "train_sadae",
+]

@@ -1,0 +1,175 @@
+"""Configuration bundles encoding the paper's hyper-parameters (Table II).
+
+``lts_paper_config`` / ``dpr_paper_config`` reproduce Table II verbatim.
+They are sized for the paper's 2·10⁹-step budget; the ``*_small_config``
+variants keep the same structure at laptop scale and are what the tests,
+examples and benches use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from ..rl.ppo import PPOConfig
+from .sadae import SADAEConfig
+
+
+@dataclass
+class Sim2RecConfig:
+    """Everything needed to assemble and train a Sim2Rec agent."""
+
+    # --- context-aware policy and extractor φ -------------------------
+    fc_sizes: Tuple[int, ...] = (64, 32)        # layers f between q_κ and φ
+    lstm_hidden: int = 64                        # units of LSTM in φ
+    head_hidden: Tuple[int, ...] = (128, 64)     # context-aware layer π
+    init_log_std: float = -1.0
+
+    # --- SADAE ---------------------------------------------------------
+    sadae: SADAEConfig = field(default_factory=SADAEConfig)
+    sadae_pretrain_epochs: int = 30
+    sadae_updates_per_iteration: int = 1
+    sadae_sets_per_update: int = 8
+
+    # --- PPO (Eq. 4) -----------------------------------------------------
+    ppo: PPOConfig = field(default_factory=PPOConfig)
+    segments_per_iteration: int = 2
+
+    # --- simulator-error countermeasures (Sec. IV-C) --------------------
+    truncate_horizon: Optional[int] = None   # T_c; None = full episodes
+    uncertainty_alpha: float = 0.01          # α, coefficient of the U penalty
+    uncertainty_estimator: str = "mean_deviation"  # see repro.sim.uncertainty
+    use_uncertainty_penalty: bool = True     # off → the Sim2Rec-PE ablation
+    use_trend_filter: bool = True            # off (with exec) → Sim2Rec-EE
+    use_exec_filter: bool = True
+    exec_r_min: float = 0.0                  # R_min of the task
+    exec_tolerance: float = 0.02
+
+    seed: int = 0
+
+    def ablate_prediction_error_handling(self) -> "Sim2RecConfig":
+        """Sim2Rec-PE: drop the uncertainty penalty and the T_c truncation."""
+        return replace(
+            self,
+            use_uncertainty_penalty=False,
+            truncate_horizon=None,
+            ppo=replace(self.ppo, bootstrap_truncated=False),
+        )
+
+    def ablate_extrapolation_error_handling(self) -> "Sim2RecConfig":
+        """Sim2Rec-EE: drop both F_trend and F_exec."""
+        return replace(self, use_trend_filter=False, use_exec_filter=False)
+
+
+def lts_paper_config() -> Sim2RecConfig:
+    """Table II, LTS column (paper scale)."""
+    return Sim2RecConfig(
+        fc_sizes=(128, 128, 128, 32),
+        lstm_hidden=64,
+        head_hidden=(128, 64),
+        sadae=SADAEConfig(
+            latent_dim=5,
+            encoder_hidden=(512, 512),
+            decoder_hidden=(512, 512),
+            learning_rate=2e-5,
+            weight_decay=0.1,
+            state_only=True,
+        ),
+        ppo=PPOConfig(
+            learning_rate=1e-4,
+            final_learning_rate=1e-6,
+            gamma=0.99,
+            update_epochs=4,
+            minibatches_per_segment=4,
+        ),
+        # The LTS simulator set is exact (configurable parameters), so the
+        # data-driven error countermeasures are off, as in the paper.
+        use_uncertainty_penalty=False,
+        use_trend_filter=False,
+        use_exec_filter=False,
+    )
+
+
+def dpr_paper_config() -> Sim2RecConfig:
+    """Table II, DPR column (paper scale)."""
+    return Sim2RecConfig(
+        fc_sizes=(512, 512, 256),
+        lstm_hidden=256,
+        head_hidden=(512, 256),
+        sadae=SADAEConfig(
+            latent_dim=200,
+            encoder_hidden=(512, 512),
+            decoder_hidden=(512, 512),
+            learning_rate=1e-6,
+            weight_decay=0.001,
+            state_only=False,
+        ),
+        ppo=PPOConfig(
+            learning_rate=1e-4,
+            final_learning_rate=1e-6,
+            gamma=0.9,
+            update_epochs=4,
+            minibatches_per_segment=4,
+            bootstrap_truncated=True,
+        ),
+        truncate_horizon=5,
+        uncertainty_alpha=0.01,
+    )
+
+
+def lts_small_config(seed: int = 0) -> Sim2RecConfig:
+    """Laptop-scale LTS preset (same structure, smaller nets / faster LR)."""
+    return Sim2RecConfig(
+        fc_sizes=(32, 16),
+        lstm_hidden=32,
+        head_hidden=(64, 32),
+        sadae=SADAEConfig(
+            latent_dim=4,
+            encoder_hidden=(64, 64),
+            decoder_hidden=(64, 64),
+            learning_rate=1e-3,
+            weight_decay=1e-3,
+            state_only=True,
+            seed=seed,
+        ),
+        sadae_pretrain_epochs=40,
+        ppo=PPOConfig(
+            learning_rate=1e-3,
+            gamma=0.99,
+            update_epochs=3,
+            minibatches_per_segment=2,
+        ),
+        use_uncertainty_penalty=False,
+        use_trend_filter=False,
+        use_exec_filter=False,
+        seed=seed,
+    )
+
+
+def dpr_small_config(seed: int = 0) -> Sim2RecConfig:
+    """Laptop-scale DPR preset."""
+    return Sim2RecConfig(
+        fc_sizes=(32, 16),
+        lstm_hidden=32,
+        head_hidden=(64, 32),
+        sadae=SADAEConfig(
+            latent_dim=8,
+            encoder_hidden=(64, 64),
+            decoder_hidden=(64, 64),
+            learning_rate=1e-3,
+            weight_decay=1e-4,
+            state_only=False,
+            seed=seed,
+        ),
+        sadae_pretrain_epochs=20,
+        ppo=PPOConfig(
+            learning_rate=1e-3,
+            gamma=0.9,
+            update_epochs=3,
+            minibatches_per_segment=2,
+            bootstrap_truncated=True,
+        ),
+        truncate_horizon=5,
+        uncertainty_alpha=0.01,
+        seed=seed,
+    )

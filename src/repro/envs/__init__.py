@@ -1,0 +1,53 @@
+"""Environments: the LTS synthetic world and the DPR ride-hailing world."""
+
+from .base import MultiUserEnv, evaluate_policy
+from .dpr import (
+    COST_RATE,
+    CityProfile,
+    DPRCityEnv,
+    DPRConfig,
+    DPRFeaturizer,
+    DPRWorld,
+    DriverPersona,
+    FEEDBACK_DIM,
+    GroundTruthResponse,
+    HISTORY_DAYS,
+)
+from .dpr_logging import (
+    BehaviorPolicy,
+    BehaviorPolicyConfig,
+    collect_city_log,
+    collect_dpr_dataset,
+)
+from .lts import LTSConfig, LTSEnv, MU_C_REAL, MU_K_REAL, oracle_constant_policy_return
+from .lts_tasks import LTSTask, admissible_omega_g, make_lts_task
+from .spaces import Box, Discrete
+
+__all__ = [
+    "BehaviorPolicy",
+    "BehaviorPolicyConfig",
+    "Box",
+    "COST_RATE",
+    "CityProfile",
+    "DPRCityEnv",
+    "DPRConfig",
+    "DPRFeaturizer",
+    "DPRWorld",
+    "Discrete",
+    "DriverPersona",
+    "FEEDBACK_DIM",
+    "GroundTruthResponse",
+    "HISTORY_DAYS",
+    "LTSConfig",
+    "LTSEnv",
+    "LTSTask",
+    "MU_C_REAL",
+    "MU_K_REAL",
+    "MultiUserEnv",
+    "admissible_omega_g",
+    "collect_city_log",
+    "collect_dpr_dataset",
+    "evaluate_policy",
+    "make_lts_task",
+    "oracle_constant_policy_return",
+]

@@ -1,0 +1,121 @@
+"""Behaviour policy πₑ and logged-data collection for DPR.
+
+The behaviour policy is the stand-in for the historical human/heuristic
+recommendation strategy on the platform: a rule-based mapping from observed
+driver statistics to program parameters, with bounded exploration noise.
+Its *narrow action coverage* is deliberate — learned simulators fitted on
+this data exhibit exactly the extrapolation pathologies the paper's
+intervention test (Fig. 10) and F_trend/F_exec filters target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..sim.dataset import GroupTrajectories, TrajectoryDataset
+from ..utils.seeding import make_rng
+from .dpr import DPRCityEnv, DPRFeaturizer, DPRWorld
+
+
+@dataclass
+class BehaviorPolicyConfig:
+    """Parameters of the rule-based πₑ."""
+
+    difficulty_center: float = 0.45
+    difficulty_slope: float = 0.25   # respond to the driver's activity proxy
+    bonus_center: float = 0.35
+    bonus_slope: float = 0.15        # respond to recent order statistics
+    noise_std: float = 0.05
+    seed: Optional[int] = None
+
+
+class BehaviorPolicy:
+    """Rule-based πₑ: difficulty tracks activity, bonus tracks recent volume."""
+
+    def __init__(self, config: BehaviorPolicyConfig = BehaviorPolicyConfig()):
+        self.config = config
+        self._rng = make_rng(config.seed)
+        self._featurizer = DPRFeaturizer()
+
+    def __call__(self, states: np.ndarray, t: int = 0) -> np.ndarray:
+        cfg = self.config
+        user = states[:, self._featurizer.slices["user"]]
+        stat = states[:, self._featurizer.slices["stat"]]
+        activity_proxy = user[:, 0]
+        recent_orders = stat[:, 0]
+        # Normalise recent orders within the batch so the rule adapts per city.
+        scale = max(float(recent_orders.mean()), 1e-6)
+        relative_volume = recent_orders / scale - 1.0
+        difficulty = (
+            cfg.difficulty_center
+            + cfg.difficulty_slope * (activity_proxy - 1.0)
+            + self._rng.normal(0, cfg.noise_std, states.shape[0])
+        )
+        bonus = (
+            cfg.bonus_center
+            - cfg.bonus_slope * relative_volume
+            + self._rng.normal(0, cfg.noise_std, states.shape[0])
+        )
+        return np.stack([np.clip(difficulty, 0.0, 1.0), np.clip(bonus, 0.0, 1.0)], axis=1)
+
+
+def collect_city_log(
+    env: DPRCityEnv,
+    policy: BehaviorPolicy,
+    episodes: int = 1,
+) -> GroupTrajectories:
+    """Roll πₑ in one city and record the full trajectory tensor."""
+    all_states, all_actions, all_feedback, all_rewards = [], [], [], []
+    for _ in range(episodes):
+        states = [env.reset()]
+        actions, feedback, rewards = [], [], []
+        for t in range(env.horizon):
+            action = policy(states[-1], t)
+            next_states, reward, dones, info = env.step(action)
+            actions.append(action)
+            rewards.append(reward)
+            feedback.append(
+                np.stack([info["orders"], env._last_feedback[:, 1], info["completed"]], axis=1)
+            )
+            states.append(next_states)
+            if np.all(dones):
+                break
+        all_states.append(np.stack(states))
+        all_actions.append(np.stack(actions))
+        all_feedback.append(np.stack(feedback))
+        all_rewards.append(np.stack(rewards))
+    return GroupTrajectories(
+        group_id=env.group_id,
+        states=np.stack(all_states),
+        actions=np.stack(all_actions),
+        feedback=np.stack(all_feedback),
+        rewards=np.stack(all_rewards),
+    )
+
+
+def collect_dpr_dataset(
+    world: DPRWorld,
+    episodes: int = 1,
+    policy_config: Optional[BehaviorPolicyConfig] = None,
+    seed: Optional[int] = None,
+) -> TrajectoryDataset:
+    """Collect the full logged dataset D across every city of ``world``."""
+    base_seed = seed if seed is not None else (world.config.seed or 0)
+    groups: List[GroupTrajectories] = []
+    for city_index in range(world.num_cities):
+        config = policy_config or BehaviorPolicyConfig()
+        config = BehaviorPolicyConfig(
+            difficulty_center=config.difficulty_center,
+            difficulty_slope=config.difficulty_slope,
+            bonus_center=config.bonus_center,
+            bonus_slope=config.bonus_slope,
+            noise_std=config.noise_std,
+            seed=base_seed + 500 + city_index,
+        )
+        policy = BehaviorPolicy(config)
+        env = world.make_city_env(city_index, seed=base_seed + 900 + city_index)
+        groups.append(collect_city_log(env, policy, episodes=episodes))
+    return TrajectoryDataset(groups)

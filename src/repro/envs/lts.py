@@ -1,0 +1,188 @@
+"""The long-term satisfaction (Choc/Kale) environment from Google RecSim.
+
+Re-implementation of the synthetic dynamics described in Sec. V-B1 of the
+Sim2Rec paper. A recommender sends content with a clickbaitiness score
+``a ∈ [0, 1]`` to each user; engagement is drawn from
+
+    engagement_t ~ N(μ_t, σ_t²)
+    μ_t = (a μ_c + (1 - a) μ_k) · SAT_t
+    σ_t = a σ_c + (1 - a) σ_k
+
+where SAT is the long-term satisfaction driven by net positive exposure:
+
+    NPE_t = γ_n NPE_{t-1} - 2 (a_t - 0.5)
+    SAT_t = sigmoid(h_s · NPE_t)
+
+High clickbaitiness (``a → 1``, "Choc") yields large immediate engagement
+(μ_c > μ_k) but erodes satisfaction; low clickbaitiness ("Kale") builds
+satisfaction at the cost of immediate engagement. The observed state per user
+is ``[SAT_t, o]`` with ``o ~ N(μ_c, 4)`` a noisy group observation; the
+user feedback ``y`` is SAT_{t+1}.
+
+Environment parameters follow the paper's construction:
+
+    u = [σ_c, σ_k, h_s, γ_n, μ_k]  (user features)
+    g = [μ_c]                      (group feature)
+    F_ωu(u) = [σ_c, σ_k, h_s, γ_n, μ_k,r + ω_u]
+    F_ωg(g) = [μ_c,r + ω_g],   μ_c,r = 14,  μ_k,r = 4
+
+so a simulator variant is identified by ω = [ω_u, ω_g] and the "real"
+deployment environment is ω* = [0, 0].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..utils.seeding import make_rng
+from .base import MultiUserEnv
+from .spaces import Box
+
+MU_C_REAL = 14.0
+MU_K_REAL = 4.0
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+@dataclass
+class LTSConfig:
+    """Static configuration of an LTS environment instance."""
+
+    num_users: int = 100
+    horizon: int = 140
+    omega_g: float = 0.0
+    omega_u: float = 0.0  # scalar shift, or use omega_u_range for per-user draws
+    omega_u_range: Optional[float] = None  # β: draw ω_u ~ U(-β, β) per user
+    sigma_c: float = 1.0
+    sigma_k: float = 1.0
+    sensitivity_low: float = 0.05  # h_s ~ U(low, high)
+    sensitivity_high: float = 0.15
+    memory_discount_low: float = 0.85  # γ_n ~ U(low, high)
+    memory_discount_high: float = 0.95
+    observation_noise_std: float = 2.0  # std of o ~ N(μ_c, 4)
+    seed: Optional[int] = None
+
+    @property
+    def mu_c(self) -> float:
+        return MU_C_REAL + self.omega_g
+
+    @property
+    def mu_k(self) -> float:
+        return MU_K_REAL + self.omega_u
+
+
+class LTSEnv(MultiUserEnv):
+    """Multi-user long-term satisfaction environment.
+
+    All users in one instance share the group parameter μ_c (and hence
+    ``omega_g``); user-level heterogeneity comes from h_s, γ_n draws and the
+    optional per-user ω_u shift of μ_k.
+    """
+
+    STATE_DIM = 2  # [SAT_t, o]
+
+    def __init__(self, config: LTSConfig):
+        self.config = config
+        self.num_users = config.num_users
+        self.horizon = config.horizon
+        self.group_id = float(config.omega_g)
+        self.observation_space = Box(
+            low=np.array([0.0, -np.inf]), high=np.array([1.0, np.inf])
+        )
+        self.action_space = Box(low=np.array([0.0]), high=np.array([1.0]))
+        self._rng = make_rng(config.seed)
+        self._init_users()
+        self._t = 0
+        self._npe: np.ndarray = np.zeros(self.num_users)
+        self._sat: np.ndarray = np.full(self.num_users, 0.5)
+
+    def _init_users(self) -> None:
+        cfg = self.config
+        n = self.num_users
+        self.sensitivity = self._rng.uniform(cfg.sensitivity_low, cfg.sensitivity_high, n)
+        self.memory_discount = self._rng.uniform(
+            cfg.memory_discount_low, cfg.memory_discount_high, n
+        )
+        if cfg.omega_u_range is not None:
+            omega_u = self._rng.uniform(-cfg.omega_u_range, cfg.omega_u_range, n)
+        else:
+            omega_u = np.full(n, cfg.omega_u)
+        self.mu_k_users = MU_K_REAL + omega_u
+        self.mu_c = cfg.mu_c
+
+    def resample_user_gaps(self) -> None:
+        """Redraw per-user ω_u (the "unlimited-user simulators" setting of Fig. 7)."""
+        cfg = self.config
+        if cfg.omega_u_range is None:
+            return
+        omega_u = self._rng.uniform(-cfg.omega_u_range, cfg.omega_u_range, self.num_users)
+        self.mu_k_users = MU_K_REAL + omega_u
+
+    # ------------------------------------------------------------------
+    def _observe(self) -> np.ndarray:
+        noise = self._rng.normal(0.0, self.config.observation_noise_std, self.num_users)
+        return np.stack([self._sat, self.mu_c + noise], axis=1)
+
+    def reset(self) -> np.ndarray:
+        self._t = 0
+        self._npe = np.zeros(self.num_users)
+        self._sat = _sigmoid(self.sensitivity * self._npe)
+        return self._observe()
+
+    def step(self, actions: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Dict[str, Any]]:
+        actions = self._validate_actions(actions)
+        a = np.clip(actions[:, 0], 0.0, 1.0)
+        cfg = self.config
+
+        mu_t = (a * self.mu_c + (1.0 - a) * self.mu_k_users) * self._sat
+        sigma_t = a * cfg.sigma_c + (1.0 - a) * cfg.sigma_k
+        engagement = self._rng.normal(mu_t, np.maximum(sigma_t, 1e-8))
+
+        self._npe = self.memory_discount * self._npe - 2.0 * (a - 0.5)
+        self._sat = _sigmoid(self.sensitivity * self._npe)
+        self._t += 1
+
+        states = self._observe()
+        rewards = engagement
+        dones = np.full(self.num_users, self._t >= self.horizon)
+        info = {
+            "engagement_mean": mu_t,
+            "sat": self._sat.copy(),
+            "npe": self._npe.copy(),
+            "t": self._t,
+        }
+        return states, rewards, dones, info
+
+    # ------------------------------------------------------------------
+    def expected_engagement(self, a: np.ndarray, sat: np.ndarray) -> np.ndarray:
+        """E[engagement | a, SAT] — exposed for oracle computations in tests."""
+        a = np.clip(np.asarray(a, dtype=np.float64), 0.0, 1.0)
+        return (a * self.mu_c + (1.0 - a) * self.mu_k_users) * sat
+
+
+def oracle_constant_policy_return(
+    env: LTSEnv, a: float, gamma: float = 1.0
+) -> float:
+    """Expected (discounted) per-user return of the constant policy a_t = a.
+
+    Used by tests and the Upper Bound computation: with a constant action the
+    NPE recursion has the closed form
+    ``NPE_t = -2 (a - 0.5) (1 - γ_n^t) / (1 - γ_n)``.
+    """
+    n = env.num_users
+    npe = np.zeros(n)
+    sat = _sigmoid(env.sensitivity * npe)
+    total = np.zeros(n)
+    discount = 1.0
+    for _ in range(env.horizon):
+        mu_t = (a * env.mu_c + (1.0 - a) * env.mu_k_users) * sat
+        total += discount * mu_t
+        npe = env.memory_discount * npe - 2.0 * (a - 0.5)
+        sat = _sigmoid(env.sensitivity * npe)
+        discount *= gamma
+    return float(total.mean())

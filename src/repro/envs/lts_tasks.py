@@ -1,0 +1,121 @@
+"""Task constructors for the LTS transfer experiments (Sec. V-B1).
+
+Each task provides a *training simulator set* — LTS environments whose group
+parameter gap ω_g is at least α away from the deployment environment — plus
+the target environment ω* = [0, 0]. The constraint ``6 ≤ μ_c + ω_g < 22``
+keeps group means inside the paper's range; ω_g is integer-valued.
+
+    LTS1: |ω_g| ≥ 2      LTS2: |ω_g| ≥ 3      LTS3: |ω_g| ≥ 4
+    LTS3-β: as LTS3, with per-user gaps ω_u ~ U(-β, β)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .lts import LTSConfig, LTSEnv, MU_C_REAL
+
+TASK_MIN_GAP = {"LTS1": 2, "LTS2": 3, "LTS3": 4}
+MU_C_LOW, MU_C_HIGH = 6.0, 22.0
+
+
+def admissible_omega_g(min_gap: int) -> List[int]:
+    """Integer ω_g values allowed in the training set for a gap level."""
+    values = []
+    low = int(MU_C_LOW - MU_C_REAL)       # -8
+    high = int(MU_C_HIGH - MU_C_REAL) - 1  # 7 (strict upper bound 22)
+    for omega_g in range(low, high + 1):
+        if abs(omega_g) >= min_gap:
+            values.append(omega_g)
+    return values
+
+
+@dataclass
+class LTSTask:
+    """A transfer task: a set of training simulators and a target env factory."""
+
+    name: str
+    train_omega_gs: List[int]
+    beta: Optional[float]
+    num_users: int
+    horizon: int
+    seed: int
+    observation_noise_std: float = 2.0
+    sensitivity_range: tuple = (0.05, 0.15)
+    memory_discount_range: tuple = (0.85, 0.95)
+
+    def make_train_env(self, index: int, seed_offset: int = 0) -> LTSEnv:
+        """Instantiate the ``index``-th training simulator."""
+        omega_g = self.train_omega_gs[index % len(self.train_omega_gs)]
+        config = LTSConfig(
+            num_users=self.num_users,
+            horizon=self.horizon,
+            omega_g=float(omega_g),
+            omega_u_range=self.beta,
+            observation_noise_std=self.observation_noise_std,
+            sensitivity_low=self.sensitivity_range[0],
+            sensitivity_high=self.sensitivity_range[1],
+            memory_discount_low=self.memory_discount_range[0],
+            memory_discount_high=self.memory_discount_range[1],
+            seed=self.seed + 1000 * index + seed_offset,
+        )
+        return LTSEnv(config)
+
+    def make_train_envs(self) -> List[LTSEnv]:
+        return [self.make_train_env(i) for i in range(len(self.train_omega_gs))]
+
+    def make_target_env(self, seed_offset: int = 0, num_users: Optional[int] = None) -> LTSEnv:
+        """The deployment environment ω* = [0, 0]."""
+        config = LTSConfig(
+            num_users=num_users or self.num_users,
+            horizon=self.horizon,
+            omega_g=0.0,
+            omega_u=0.0,
+            observation_noise_std=self.observation_noise_std,
+            sensitivity_low=self.sensitivity_range[0],
+            sensitivity_high=self.sensitivity_range[1],
+            memory_discount_low=self.memory_discount_range[0],
+            memory_discount_high=self.memory_discount_range[1],
+            seed=self.seed + 777 + seed_offset,
+        )
+        return LTSEnv(config)
+
+    @property
+    def num_simulators(self) -> int:
+        return len(self.train_omega_gs)
+
+
+def make_lts_task(
+    name: str,
+    beta: Optional[float] = None,
+    num_users: int = 100,
+    horizon: int = 140,
+    seed: int = 0,
+    observation_noise_std: float = 2.0,
+    sensitivity_range: tuple = (0.05, 0.15),
+    memory_discount_range: tuple = (0.85, 0.95),
+) -> LTSTask:
+    """Build LTS1 / LTS2 / LTS3 / LTS3-β.
+
+    ``beta`` activates the LTS3-β variant (ω_u ~ U(-β, β) per user); the
+    paper evaluates β ∈ {0, 1, 2, 4, 6, 8} on top of the LTS3 gap level.
+    """
+    base = name.split("-")[0].upper()
+    if base not in TASK_MIN_GAP:
+        raise ValueError(f"unknown LTS task {name!r}; expected LTS1/LTS2/LTS3")
+    if beta is not None and base != "LTS3":
+        raise ValueError("per-user gaps (beta) are defined for LTS3 only")
+    omega_gs = admissible_omega_g(TASK_MIN_GAP[base])
+    task_name = name if beta is None else f"{base}-beta{beta:g}"
+    return LTSTask(
+        name=task_name,
+        train_omega_gs=omega_gs,
+        beta=beta,
+        num_users=num_users,
+        horizon=horizon,
+        seed=seed,
+        observation_noise_std=observation_noise_std,
+        sensitivity_range=sensitivity_range,
+        memory_discount_range=memory_discount_range,
+    )

@@ -1,0 +1,44 @@
+"""Evaluation toolkit: KDE/KLD, PCA, clustering, probes, offline metrics."""
+
+from .clustering import cluster_inertia, kmeans
+from .intervention import (
+    InterventionClusterResult,
+    cluster_driver_responses,
+    consistent_violators,
+)
+from .kde import GaussianKDE
+from .kld import dataset_kld, gaussian_kld
+from .metrics import (
+    ABTestResult,
+    expected_cumulative_reward,
+    order_cost_increment,
+    rollout_totals,
+    run_ab_test,
+)
+from .pca import PCA
+from .stats import ComparisonResult, bootstrap_mean_ci, paired_comparison
+from .probe import KLDProbe, ProbeConfig, build_probe_dataset, probe_embedding_quality
+
+__all__ = [
+    "ABTestResult",
+    "ComparisonResult",
+    "bootstrap_mean_ci",
+    "paired_comparison",
+    "GaussianKDE",
+    "InterventionClusterResult",
+    "KLDProbe",
+    "PCA",
+    "ProbeConfig",
+    "build_probe_dataset",
+    "cluster_driver_responses",
+    "cluster_inertia",
+    "consistent_violators",
+    "dataset_kld",
+    "expected_cumulative_reward",
+    "gaussian_kld",
+    "kmeans",
+    "order_cost_increment",
+    "probe_embedding_quality",
+    "rollout_totals",
+    "run_ab_test",
+]

@@ -1,0 +1,63 @@
+"""k-means clustering for the Fig. 10 response-pattern analysis."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..utils.seeding import make_rng
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    rng: Optional[np.random.Generator] = None,
+    max_iterations: int = 100,
+    tolerance: float = 1e-8,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lloyd's algorithm with k-means++ initialisation.
+
+    Returns ``(centers [k, D], labels [N])``.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError("data must be [N, D]")
+    n = data.shape[0]
+    if k <= 0 or k > n:
+        raise ValueError("need 0 < k <= number of points")
+    rng = rng or make_rng(0)
+
+    # k-means++ seeding
+    centers = np.empty((k, data.shape[1]))
+    centers[0] = data[rng.integers(0, n)]
+    closest_sq = np.sum((data - centers[0]) ** 2, axis=1)
+    for index in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            centers[index:] = data[rng.integers(0, n, size=k - index)]
+            break
+        probs = closest_sq / total
+        centers[index] = data[rng.choice(n, p=probs)]
+        dist = np.sum((data - centers[index]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, dist)
+
+    labels = np.zeros(n, dtype=np.int64)
+    for _ in range(max_iterations):
+        distances = np.linalg.norm(data[:, None, :] - centers[None, :, :], axis=2)
+        labels = np.argmin(distances, axis=1)
+        new_centers = centers.copy()
+        for cluster in range(k):
+            members = data[labels == cluster]
+            if len(members) > 0:
+                new_centers[cluster] = members.mean(axis=0)
+        shift = np.linalg.norm(new_centers - centers)
+        centers = new_centers
+        if shift < tolerance:
+            break
+    return centers, labels
+
+
+def cluster_inertia(data: np.ndarray, centers: np.ndarray, labels: np.ndarray) -> float:
+    """Sum of squared distances to assigned centers (quality metric)."""
+    return float(np.sum((data - centers[labels]) ** 2))

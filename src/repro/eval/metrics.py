@@ -1,0 +1,162 @@
+"""Policy evaluation metrics for the offline tests and the A/B test.
+
+- :func:`expected_cumulative_reward` — the Table IV metric (expected
+  cumulative rewards among drivers in a deployment simulator);
+- :func:`order_cost_increment` — the Table III metric (% increment of
+  orders and costs relative to the behaviour policy πₑ);
+- :func:`run_ab_test` — the Fig. 11 protocol: control and treatment driver
+  groups, a deployment day, daily scaled rewards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..envs.base import MultiUserEnv, evaluate_policy
+
+
+def expected_cumulative_reward(
+    env: MultiUserEnv,
+    act_fn,
+    episodes: int = 1,
+    gamma: float = 1.0,
+) -> float:
+    """Mean per-user cumulative reward of a policy in an environment."""
+    return evaluate_policy(env, act_fn, episodes=episodes, gamma=gamma)
+
+
+def rollout_totals(env: MultiUserEnv, act_fn, episodes: int = 1) -> Dict[str, float]:
+    """Total orders / cost / reward per user-episode for a policy.
+
+    Requires the env's info dict to expose ``orders`` and ``cost`` (both
+    the ground-truth DPR env and the simulated wrapper do).
+    """
+    orders_total, cost_total, reward_total = 0.0, 0.0, 0.0
+    for _ in range(episodes):
+        if hasattr(act_fn, "reset"):
+            act_fn.reset(env.num_users)
+        states = env.reset()
+        for t in range(env.horizon):
+            actions = act_fn(states, t)
+            states, rewards, dones, info = env.step(actions)
+            orders_total += float(info["orders"].mean())
+            cost_total += float(info["cost"].mean())
+            reward_total += float(rewards.mean())
+            if np.all(dones):
+                break
+    return {
+        "orders": orders_total / episodes,
+        "cost": cost_total / episodes,
+        "reward": reward_total / episodes,
+    }
+
+
+def order_cost_increment(
+    env_factory: Callable[[], MultiUserEnv],
+    policy_act_fn,
+    behavior_act_fn,
+    episodes: int = 1,
+) -> Dict[str, float]:
+    """Percentage increments of orders and cost vs. the behaviour policy.
+
+    ``env_factory`` must build identically-seeded environments so both
+    policies face the same users and randomness (paired comparison).
+    """
+    policy_stats = rollout_totals(env_factory(), policy_act_fn, episodes)
+    behavior_stats = rollout_totals(env_factory(), behavior_act_fn, episodes)
+
+    def pct(new: float, old: float) -> float:
+        if abs(old) < 1e-12:
+            return 0.0
+        return 100.0 * (new - old) / abs(old)
+
+    return {
+        "orders_pct": pct(policy_stats["orders"], behavior_stats["orders"]),
+        "cost_pct": pct(policy_stats["cost"], behavior_stats["cost"]),
+        "reward_pct": pct(policy_stats["reward"], behavior_stats["reward"]),
+        "policy": policy_stats,
+        "behavior": behavior_stats,
+    }
+
+
+@dataclass
+class ABTestResult:
+    """Daily series of an A/B comparison (Fig. 11)."""
+
+    days: np.ndarray               # calendar day indices
+    control_rewards: np.ndarray    # daily mean reward, control group
+    treatment_rewards: np.ndarray  # daily mean reward, treatment group
+    deploy_day: int
+
+    def scaled(self) -> Dict[str, np.ndarray]:
+        """Series scaled by the pre-deployment control mean (the y-axis of
+        Fig. 11 is 'scaled rewards')."""
+        pre = self.control_rewards[self.days < self.deploy_day]
+        scale = float(pre.mean()) if len(pre) else 1.0
+        return {
+            "control": self.control_rewards / scale,
+            "treatment": self.treatment_rewards / scale,
+        }
+
+    def post_deploy_improvement(self) -> float:
+        """% improvement of treatment over control after deployment."""
+        post = self.days >= self.deploy_day
+        control = float(self.control_rewards[post].mean())
+        treatment = float(self.treatment_rewards[post].mean())
+        if abs(control) < 1e-12:
+            return 0.0
+        return 100.0 * (treatment - control) / abs(control)
+
+
+def run_ab_test(
+    env_factory: Callable[[int], MultiUserEnv],
+    human_act_fn_factory: Callable[[], object],
+    treatment_act_fn,
+    start_day: int = 18,
+    deploy_day: int = 22,
+    end_day: int = 28,
+    seed: int = 0,
+) -> ABTestResult:
+    """Simulate the production A/B protocol of Sec. V-D.
+
+    Two identically-initialised driver groups run under the human policy;
+    from ``deploy_day`` the treatment group switches to the candidate
+    policy. ``env_factory(seed)`` must return a fresh environment whose
+    horizon covers ``end_day - start_day + 1`` days.
+    """
+    days = np.arange(start_day, end_day + 1)
+    control_env = env_factory(seed)
+    treatment_env = env_factory(seed)
+    control_fn = human_act_fn_factory()
+    treatment_human_fn = human_act_fn_factory()
+    control_states = control_env.reset()
+    treatment_states = treatment_env.reset()
+    if hasattr(control_fn, "reset"):
+        control_fn.reset(control_env.num_users)
+    if hasattr(treatment_human_fn, "reset"):
+        treatment_human_fn.reset(treatment_env.num_users)
+    if hasattr(treatment_act_fn, "reset"):
+        treatment_act_fn.reset(treatment_env.num_users)
+
+    control_rewards, treatment_rewards = [], []
+    for index, day in enumerate(days):
+        control_actions = control_fn(control_states, index)
+        control_states, c_rewards, _, _ = control_env.step(control_actions)
+        control_rewards.append(float(c_rewards.mean()))
+
+        if day < deploy_day:
+            treatment_actions = treatment_human_fn(treatment_states, index)
+        else:
+            treatment_actions = treatment_act_fn(treatment_states, index)
+        treatment_states, t_rewards, _, _ = treatment_env.step(treatment_actions)
+        treatment_rewards.append(float(t_rewards.mean()))
+
+    return ABTestResult(
+        days=days,
+        control_rewards=np.array(control_rewards),
+        treatment_rewards=np.array(treatment_rewards),
+        deploy_day=deploy_day,
+    )

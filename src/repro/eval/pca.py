@@ -1,0 +1,38 @@
+"""Principal component analysis for the latent-code studies (Fig. 3 / 12).
+
+The paper inspects SADAE's latent υ by PCA: after training, the cumulative
+energy (eigenvalue) ratio shows the code collapsing onto one principal
+component that tracks the ground-truth group parameter ω_g.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PCA:
+    """Eigendecomposition of the sample covariance."""
+
+    def __init__(self, data: np.ndarray):
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] < 2:
+            raise ValueError("PCA needs a [N, D] array with N >= 2")
+        self.mean = data.mean(axis=0)
+        centered = data - self.mean
+        covariance = centered.T @ centered / (data.shape[0] - 1)
+        eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+        order = np.argsort(eigenvalues)[::-1]
+        self.eigenvalues = np.maximum(eigenvalues[order], 0.0)
+        self.components = eigenvectors[:, order]  # columns are components
+
+    def energy_ratio(self) -> np.ndarray:
+        """Cumulative fraction of variance explained by the first k components."""
+        total = self.eigenvalues.sum()
+        if total <= 0:
+            return np.ones_like(self.eigenvalues)
+        return np.cumsum(self.eigenvalues) / total
+
+    def transform(self, data: np.ndarray, k: int = 2) -> np.ndarray:
+        """Project onto the first ``k`` principal components."""
+        data = np.asarray(data, dtype=np.float64)
+        return (data - self.mean) @ self.components[:, :k]

@@ -1,0 +1,99 @@
+"""The hidden-state prediction probe (Fig. 9b, following [15]).
+
+If SADAE's embedding υ stores useful information about the underlying
+distribution, a small network given ``(υ_i, υ_j)`` should be able to
+predict ``KLD(X_i, X_j)`` between the corresponding datasets — and its
+prediction error should fall as SADAE trains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..utils.seeding import make_rng
+from .kld import dataset_kld
+
+
+@dataclass
+class ProbeConfig:
+    hidden_units: int = 32
+    learning_rate: float = 1e-2
+    epochs: int = 60
+    seed: Optional[int] = None
+
+
+class KLDProbe:
+    """One-hidden-layer (tanh) regressor from (υ_i, υ_j) to KLD."""
+
+    def __init__(self, latent_dim: int, config: ProbeConfig = ProbeConfig()):
+        self.latent_dim = latent_dim
+        self.config = config
+        self._build()
+
+    def _build(self) -> None:
+        rng = make_rng(self.config.seed)
+        self.net = nn.MLP(
+            [2 * self.latent_dim, self.config.hidden_units, 1], rng, activation="tanh"
+        )
+
+    def reinitialize(self) -> None:
+        """Fresh weights — the paper retrains the probe at every checkpoint."""
+        self._build()
+
+    def fit(self, pairs: np.ndarray, targets: np.ndarray) -> List[float]:
+        optimizer = nn.Adam(self.net.parameters(), lr=self.config.learning_rate)
+        targets = np.asarray(targets, dtype=np.float64)[:, None]
+        losses = []
+        for _ in range(self.config.epochs):
+            optimizer.zero_grad()
+            loss = nn.mse_loss(self.net(nn.Tensor(pairs)), nn.Tensor(targets))
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        return losses
+
+    def predict(self, pairs: np.ndarray) -> np.ndarray:
+        with nn.no_grad():
+            return self.net(nn.Tensor(pairs)).data[:, 0]
+
+    def mean_absolute_error(self, pairs: np.ndarray, targets: np.ndarray) -> float:
+        return float(np.mean(np.abs(self.predict(pairs) - np.asarray(targets))))
+
+
+def build_probe_dataset(
+    embeddings: Sequence[np.ndarray],
+    datasets: Sequence[np.ndarray],
+    num_pairs: int,
+    rng: Optional[np.random.Generator] = None,
+    max_kde_points: int = 200,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample (υ_i ‖ υ_j) input pairs with Eq. (9) KLD targets."""
+    if len(embeddings) != len(datasets) or len(embeddings) < 2:
+        raise ValueError("need matching lists of at least two embeddings/datasets")
+    rng = rng or make_rng(0)
+    pairs, targets = [], []
+    count = len(embeddings)
+    for _ in range(num_pairs):
+        i, j = rng.choice(count, size=2, replace=False)
+        pairs.append(np.concatenate([embeddings[i], embeddings[j]]))
+        targets.append(dataset_kld(datasets[i], datasets[j], max_points=max_kde_points))
+    return np.stack(pairs), np.array(targets)
+
+
+def probe_embedding_quality(
+    embeddings: Sequence[np.ndarray],
+    datasets: Sequence[np.ndarray],
+    num_pairs: int = 40,
+    config: ProbeConfig = ProbeConfig(),
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Train a fresh probe and return its held-in MAE (lower = better υ)."""
+    rng = rng or make_rng(config.seed)
+    pairs, targets = build_probe_dataset(embeddings, datasets, num_pairs, rng)
+    probe = KLDProbe(len(embeddings[0]), config)
+    probe.fit(pairs, targets)
+    return probe.mean_absolute_error(pairs, targets)

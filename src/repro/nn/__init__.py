@@ -1,0 +1,64 @@
+"""A minimal, fully-tested neural-network library on numpy.
+
+The Sim2Rec stack (PPO policy, LSTM extractor, SADAE) and every baseline
+are built on this package. Gradients come from the reverse-mode autodiff
+engine in :mod:`repro.nn.tensor`, verified against finite differences.
+"""
+
+from .distributions import Bernoulli, Categorical, DiagGaussian, product_of_gaussians
+from .functional import (
+    LOG_2PI,
+    binary_cross_entropy_with_logits,
+    gaussian_log_prob,
+    huber_loss,
+    log_softmax,
+    logsumexp,
+    mse_loss,
+    softmax,
+)
+from .layers import ACTIVATIONS, Embedding, LayerNorm, Linear, MLP, get_activation
+from .module import Module, Parameter
+from .optim import Adam, LinearLRSchedule, Optimizer, SGD, clip_grad_norm
+from .recurrent import GRUCell, LSTM, LSTMCell
+from .serialization import load_module, save_module
+from .tensor import Tensor, as_tensor, concat, is_grad_enabled, no_grad, stack, where
+
+__all__ = [
+    "ACTIVATIONS",
+    "Adam",
+    "Bernoulli",
+    "Categorical",
+    "DiagGaussian",
+    "Embedding",
+    "GRUCell",
+    "LOG_2PI",
+    "LSTM",
+    "LSTMCell",
+    "LayerNorm",
+    "Linear",
+    "LinearLRSchedule",
+    "MLP",
+    "Module",
+    "Optimizer",
+    "Parameter",
+    "SGD",
+    "Tensor",
+    "as_tensor",
+    "binary_cross_entropy_with_logits",
+    "clip_grad_norm",
+    "concat",
+    "gaussian_log_prob",
+    "get_activation",
+    "huber_loss",
+    "is_grad_enabled",
+    "load_module",
+    "log_softmax",
+    "logsumexp",
+    "mse_loss",
+    "no_grad",
+    "product_of_gaussians",
+    "save_module",
+    "softmax",
+    "stack",
+    "where",
+]

@@ -1,0 +1,25 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a (fan_in, fan_out) matrix."""
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def orthogonal(rng: np.random.Generator, fan_in: int, fan_out: int, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialisation (the PPO-friendly default for policy nets)."""
+    raw = rng.standard_normal((max(fan_in, fan_out), min(fan_in, fan_out)))
+    q, r = np.linalg.qr(raw)
+    q = q * np.sign(np.diag(r))
+    if fan_in < fan_out:
+        q = q.T
+    return gain * q[:fan_in, :fan_out]
+
+
+def normal(rng: np.random.Generator, fan_in: int, fan_out: int, std: float = 0.01) -> np.ndarray:
+    return rng.standard_normal((fan_in, fan_out)) * std

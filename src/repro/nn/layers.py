@@ -1,0 +1,128 @@
+"""Feed-forward layers: Linear, MLP, LayerNorm, Embedding."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from . import init as initializers
+from .module import Module, Parameter
+from .tensor import Tensor, as_tensor
+
+Activation = Callable[[Tensor], Tensor]
+
+ACTIVATIONS: dict[str, Activation] = {
+    "tanh": lambda x: x.tanh(),
+    "relu": lambda x: x.relu(),
+    "sigmoid": lambda x: x.sigmoid(),
+    "identity": lambda x: x,
+}
+
+
+def get_activation(name: str) -> Activation:
+    """Look up an activation function by name (raises KeyError on typos)."""
+    return ACTIVATIONS[name]
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        init: str = "xavier",
+        gain: float = 1.0,
+        bias: bool = True,
+    ):
+        self.in_features = in_features
+        self.out_features = out_features
+        if init == "xavier":
+            weight = initializers.xavier_uniform(rng, in_features, out_features, gain)
+        elif init == "orthogonal":
+            weight = initializers.orthogonal(rng, in_features, out_features, gain)
+        elif init == "normal":
+            weight = initializers.normal(rng, in_features, out_features, std=gain)
+        else:
+            raise ValueError(f"unknown init scheme: {init}")
+        self.weight = Parameter(weight, name="weight")
+        self.bias = Parameter(np.zeros(out_features), name="bias") if bias else None
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = as_tensor(x) @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class MLP(Module):
+    """Multi-layer perceptron with configurable hidden activation.
+
+    ``sizes`` is the full list of layer widths, e.g. ``[in, 64, 64, out]``.
+    The output layer has no activation unless ``out_activation`` is given.
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        rng: np.random.Generator,
+        activation: str = "tanh",
+        out_activation: Optional[str] = None,
+        init: str = "orthogonal",
+        out_gain: float = 1.0,
+    ):
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least input and output sizes")
+        self.sizes = list(sizes)
+        self.activation = get_activation(activation)
+        self.out_activation = get_activation(out_activation) if out_activation else None
+        gain = np.sqrt(2.0) if activation == "relu" else 1.0
+        self.layers = []
+        for index, (fan_in, fan_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+            is_last = index == len(sizes) - 2
+            layer_gain = out_gain if is_last else gain
+            self.layers.append(Linear(fan_in, fan_out, rng, init=init, gain=layer_gain))
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = as_tensor(x)
+        for index, layer in enumerate(self.layers):
+            out = layer(out)
+            if index < len(self.layers) - 1:
+                out = self.activation(out)
+        if self.out_activation is not None:
+            out = self.out_activation(out)
+        return out
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis."""
+
+    def __init__(self, features: int, eps: float = 1e-5):
+        self.eps = eps
+        self.gamma = Parameter(np.ones(features), name="gamma")
+        self.beta = Parameter(np.zeros(features), name="beta")
+
+    def __call__(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalised = centered / (variance + self.eps).sqrt()
+        return normalised * self.gamma + self.beta
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors (used by DeepFM)."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator, std: float = 0.01):
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(rng.standard_normal((num_embeddings, dim)) * std, name="weight")
+
+    def __call__(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids, dtype=np.int64)
+        if np.any(ids < 0) or np.any(ids >= self.num_embeddings):
+            raise IndexError("embedding index out of range")
+        return self.weight[ids]

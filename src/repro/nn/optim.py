@@ -1,0 +1,132 @@
+"""Optimisers (Adam, SGD) and gradient utilities."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .module import Parameter
+
+
+def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so the global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for logging).
+    """
+    total = 0.0
+    grads = [p.grad for p in parameters if p.grad is not None]
+    for grad in grads:
+        total += float(np.sum(grad * grad))
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for param in parameters:
+            if param.grad is not None:
+                param.grad = param.grad * scale
+    return norm
+
+
+class Optimizer:
+    """Base optimiser: holds the parameter list and supports zero_grad."""
+
+    def __init__(self, parameters: Iterable[Parameter]):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float, momentum: float = 0.0):
+        super().__init__(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum > 0.0:
+                velocity *= self.momentum
+                velocity += param.grad
+                update = velocity
+            else:
+                update = param.grad
+            param.data = param.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba) with optional decoupled weight decay.
+
+    The paper trains both phases with Adam (Table II); ``weight_decay``
+    implements the L2 regularisation used for SADAE learning.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay > 0.0:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class LinearLRSchedule:
+    """Linear learning-rate decay from ``start`` to ``end`` over ``total`` steps.
+
+    Table II decays the policy/extractor learning rate from 1e-4 to 1e-6.
+    """
+
+    def __init__(self, optimizer: Optimizer, start: float, end: float, total: int):
+        if total <= 0:
+            raise ValueError("total steps must be positive")
+        self.optimizer = optimizer
+        self.start = start
+        self.end = end
+        self.total = total
+        self._step_count = 0
+        optimizer.lr = start
+
+    def step(self) -> float:
+        self._step_count = min(self._step_count + 1, self.total)
+        fraction = self._step_count / self.total
+        lr = self.start + (self.end - self.start) * fraction
+        self.optimizer.lr = lr
+        return lr

@@ -1,0 +1,120 @@
+"""Recurrent layers: LSTM and GRU cells plus a sequence-level LSTM.
+
+The environment-parameter extractor φ in Sim2Rec is a single-layer LSTM
+(Table II); the DR-OSI baseline uses the same cell. Sequences are unrolled
+step by step to build the autodiff graph (full backpropagation through
+time).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from . import init as initializers
+from .module import Module, Parameter
+from .tensor import Tensor, as_tensor, concat, stack
+
+
+class LSTMCell(Module):
+    """A standard LSTM cell.
+
+    Gates follow the usual ordering [input, forget, cell, output]; the forget
+    gate bias is initialised to 1 to ease gradient flow early in training.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(
+            initializers.xavier_uniform(rng, input_size, 4 * hidden_size), name="weight_ih"
+        )
+        self.weight_hh = Parameter(
+            initializers.orthogonal(rng, hidden_size, 4 * hidden_size), name="weight_hh"
+        )
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget gate
+        self.bias = Parameter(bias, name="bias")
+
+    def initial_state(self, batch: int) -> Tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch, self.hidden_size))
+        return Tensor(zeros), Tensor(zeros.copy())
+
+    def __call__(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tuple[Tensor, Tensor]]:
+        h_prev, c_prev = state
+        x = as_tensor(x)
+        gates = x @ self.weight_ih + h_prev @ self.weight_hh + self.bias
+        hs = self.hidden_size
+        i_gate = gates[:, 0 * hs : 1 * hs].sigmoid()
+        f_gate = gates[:, 1 * hs : 2 * hs].sigmoid()
+        g_gate = gates[:, 2 * hs : 3 * hs].tanh()
+        o_gate = gates[:, 3 * hs : 4 * hs].sigmoid()
+        c_new = f_gate * c_prev + i_gate * g_gate
+        h_new = o_gate * c_new.tanh()
+        return h_new, (h_new, c_new)
+
+
+class GRUCell(Module):
+    """A GRU cell (provided for the RNN [19] variant used in related work)."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(
+            initializers.xavier_uniform(rng, input_size, 3 * hidden_size), name="weight_ih"
+        )
+        self.weight_hh = Parameter(
+            initializers.orthogonal(rng, hidden_size, 3 * hidden_size), name="weight_hh"
+        )
+        self.bias = Parameter(np.zeros(3 * hidden_size), name="bias")
+
+    def initial_state(self, batch: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.hidden_size)))
+
+    def __call__(self, x: Tensor, h_prev: Tensor) -> Tensor:
+        x = as_tensor(x)
+        hs = self.hidden_size
+        gates_x = x @ self.weight_ih + self.bias
+        gates_h = h_prev @ self.weight_hh
+        r_gate = (gates_x[:, :hs] + gates_h[:, :hs]).sigmoid()
+        z_gate = (gates_x[:, hs : 2 * hs] + gates_h[:, hs : 2 * hs]).sigmoid()
+        n_gate = (gates_x[:, 2 * hs :] + r_gate * gates_h[:, 2 * hs :]).tanh()
+        return (1.0 - z_gate) * n_gate + z_gate * h_prev
+
+
+class LSTM(Module):
+    """Run an :class:`LSTMCell` over a time-major sequence.
+
+    Input shape ``[T, batch, input_size]``; returns the stacked hidden states
+    ``[T, batch, hidden_size]`` and the final (h, c) state.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        self.cell = LSTMCell(input_size, hidden_size, rng)
+
+    @property
+    def hidden_size(self) -> int:
+        return self.cell.hidden_size
+
+    def initial_state(self, batch: int) -> Tuple[Tensor, Tensor]:
+        return self.cell.initial_state(batch)
+
+    def __call__(
+        self,
+        sequence: Tensor,
+        state: Optional[Tuple[Tensor, Tensor]] = None,
+        reset_mask: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, Tuple[Tensor, Tensor]]:
+        sequence = as_tensor(sequence)
+        steps, batch = sequence.shape[0], sequence.shape[1]
+        if state is None:
+            state = self.initial_state(batch)
+        outputs: List[Tensor] = []
+        for t in range(steps):
+            if reset_mask is not None:
+                keep = Tensor(1.0 - reset_mask[t][:, None])
+                state = (state[0] * keep, state[1] * keep)
+            h, state = self.cell(sequence[t], state)
+            outputs.append(h)
+        return stack(outputs, axis=0), state

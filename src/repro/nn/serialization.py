@@ -1,0 +1,26 @@
+"""Save / load module parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from .module import Module
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_module(module: Module, path: PathLike) -> None:
+    """Write all named parameters of ``module`` to ``path`` (npz)."""
+    state = module.state_dict()
+    # npz keys cannot contain '/', module paths use '.', which is fine.
+    np.savez(path, **state)
+
+
+def load_module(module: Module, path: PathLike) -> None:
+    """Load parameters saved by :func:`save_module` into ``module``."""
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)

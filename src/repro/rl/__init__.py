@@ -1,0 +1,20 @@
+"""Reinforcement-learning substrate: GAE, rollout buffers, policies, PPO."""
+
+from .buffer import RolloutBuffer, RolloutSegment
+from .gae import compute_gae, valid_step_mask
+from .policies import ActorCriticBase, MLPActorCritic, RecurrentActorCritic
+from .ppo import PPO, PPOConfig
+from .runner import collect_segment
+
+__all__ = [
+    "ActorCriticBase",
+    "MLPActorCritic",
+    "PPO",
+    "PPOConfig",
+    "RecurrentActorCritic",
+    "RolloutBuffer",
+    "RolloutSegment",
+    "collect_segment",
+    "compute_gae",
+    "valid_step_mask",
+]

@@ -1,0 +1,67 @@
+"""Generalised Advantage Estimation."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def compute_gae(
+    rewards: np.ndarray,
+    values: np.ndarray,
+    dones: np.ndarray,
+    last_values: np.ndarray,
+    gamma: float,
+    lam: float,
+    bootstrap_last: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """GAE(γ, λ) over time-major arrays ``[T, N]``.
+
+    ``dones[t]`` marks that user n's episode terminated *at* step t (the
+    reward at t is still valid; no bootstrapping across it).
+
+    ``bootstrap_last=True`` treats a done at the final step as a *truncation*
+    rather than termination — the value of the successor state
+    (``last_values``) is still bootstrapped. This matches the paper's
+    T_c-truncated rollouts (Sec. IV-C), where cutting at T_c does not mean
+    the task ended. Mid-sequence dones (e.g. injected by F_exec) always
+    terminate.
+
+    Returns ``(advantages, returns)`` with ``returns = advantages + values``.
+    """
+    rewards = np.asarray(rewards, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    dones = np.asarray(dones, dtype=np.float64)
+    last_values = np.asarray(last_values, dtype=np.float64)
+    if rewards.shape != values.shape or rewards.shape != dones.shape:
+        raise ValueError("rewards, values and dones must share shape [T, N]")
+    steps = rewards.shape[0]
+    advantages = np.zeros_like(rewards)
+    next_advantage = np.zeros_like(last_values)
+    next_values = last_values
+    for t in reversed(range(steps)):
+        non_terminal = 1.0 - dones[t]
+        if t == steps - 1 and bootstrap_last:
+            non_terminal = np.ones_like(non_terminal)
+        delta = rewards[t] + gamma * next_values * non_terminal - values[t]
+        next_advantage = delta + gamma * lam * non_terminal * next_advantage
+        advantages[t] = next_advantage
+        next_values = values[t]
+    returns = advantages + values
+    return advantages, returns
+
+
+def valid_step_mask(dones: np.ndarray) -> np.ndarray:
+    """Mask of steps belonging to a live episode, shape ``[T, N]``.
+
+    A step is valid up to and *including* the first done of its column;
+    everything after a termination is garbage produced by an environment
+    that kept simulating (e.g. after an F_exec cut) and must not contribute
+    to losses.
+    """
+    dones = np.asarray(dones, dtype=np.float64)
+    terminated_before = np.zeros_like(dones)
+    if dones.shape[0] > 1:
+        terminated_before[1:] = np.maximum.accumulate(dones[:-1], axis=0)
+    return 1.0 - terminated_before

@@ -1,0 +1,248 @@
+"""Actor-critic policies for multi-user PPO.
+
+Two families:
+
+- :class:`MLPActorCritic` — feed-forward Gaussian policy π(a | s). Used by
+  the DIRECT baseline and (trained across the simulator set) by DR-UNI,
+  which is exactly "Sim2Rec with a constant φ output".
+- :class:`RecurrentActorCritic` — an LSTM environment-parameter extractor
+  z_t = φ(x_t, z_{t-1}) with x_t = [context_t, a_{t-1}, s_t], feeding a
+  context-aware head π(a | s_t, z_t). With an empty context this is the
+  DR-OSI architecture [15]; Sim2Rec subclasses it and injects the SADAE
+  group embedding υ_t as context (Fig. 2).
+
+Both expose the same rollout/update interface consumed by
+:mod:`repro.rl.runner` and :mod:`repro.rl.ppo`:
+
+- ``start_rollout(num_users)`` — reset per-episode recurrent state;
+- ``act(states, prev_actions, rng)`` — sample actions without gradients;
+- ``evaluate_segment(segment, user_idx)`` — recompute log-probs / values /
+  entropy with gradients (full BPTT for recurrent policies).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from .buffer import RolloutSegment
+
+
+class ActorCriticBase(nn.Module):
+    """Shared interface; see module docstring."""
+
+    recurrent: bool = False
+
+    def start_rollout(self, num_users: int) -> None:
+        """Reset any per-episode internal state (no-op for feed-forward)."""
+
+    def act(
+        self,
+        states: np.ndarray,
+        prev_actions: np.ndarray,
+        rng: np.random.Generator,
+        deterministic: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def evaluate_segment(
+        self, segment: RolloutSegment, user_idx: np.ndarray
+    ) -> Tuple[nn.Tensor, nn.Tensor, nn.Tensor]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def as_act_fn(self, rng: np.random.Generator, deterministic: bool = True):
+        """Adapt to the ``evaluate_policy`` callable protocol."""
+        policy = self
+
+        class _ActFn:
+            def reset(self, num_users: int) -> None:
+                policy.start_rollout(num_users)
+                self._prev_actions: Optional[np.ndarray] = None
+
+            def __call__(self, states: np.ndarray, t: int) -> np.ndarray:
+                if self._prev_actions is None:
+                    self._prev_actions = np.zeros((states.shape[0], policy.action_dim))
+                actions, _, _ = policy.act(
+                    states, self._prev_actions, rng, deterministic=deterministic
+                )
+                self._prev_actions = actions
+                return actions
+
+        fn = _ActFn()
+        fn.reset(0)
+        return fn
+
+
+class MLPActorCritic(ActorCriticBase):
+    """Feed-forward Gaussian policy with a state-independent log-std."""
+
+    recurrent = False
+
+    def __init__(
+        self,
+        state_dim: int,
+        action_dim: int,
+        rng: np.random.Generator,
+        hidden_sizes: Tuple[int, ...] = (64, 64),
+        init_log_std: float = -0.5,
+    ):
+        self.state_dim = state_dim
+        self.action_dim = action_dim
+        self.actor = nn.MLP(
+            [state_dim, *hidden_sizes, action_dim], rng, activation="tanh", out_gain=0.01
+        )
+        self.critic = nn.MLP([state_dim, *hidden_sizes, 1], rng, activation="tanh")
+        self.log_std = nn.Parameter(np.full(action_dim, init_log_std), name="log_std")
+
+    def _distribution(self, states: nn.Tensor) -> nn.DiagGaussian:
+        mean = self.actor(states).sigmoid()  # actions live in [0, 1]
+        return nn.DiagGaussian(mean, self.log_std)
+
+    def act(self, states, prev_actions, rng, deterministic=False):
+        with nn.no_grad():
+            states_t = nn.Tensor(np.asarray(states, dtype=np.float64))
+            dist = self._distribution(states_t)
+            actions = dist.mode() if deterministic else dist.sample(rng)
+            log_probs = dist.log_prob(actions).data
+            values = self.critic(states_t).data[:, 0]
+        return actions, log_probs, values
+
+    def evaluate_segment(self, segment, user_idx):
+        t, b = segment.horizon, len(user_idx)
+        states = segment.states[:, user_idx].reshape(t * b, self.state_dim)
+        actions = segment.actions[:, user_idx].reshape(t * b, self.action_dim)
+        states_t = nn.Tensor(states)
+        dist = self._distribution(states_t)
+        log_probs = dist.log_prob(actions).reshape(t, b)
+        values = self.critic(states_t).reshape(t, b)
+        entropy = dist.entropy().reshape(t, b)
+        return log_probs, values, entropy
+
+
+class RecurrentActorCritic(ActorCriticBase):
+    """LSTM extractor + context-aware Gaussian head (DR-OSI / Sim2Rec core).
+
+    Subclasses provide a per-step group context by overriding
+    :meth:`_rollout_context` (numpy, no grad) and
+    :meth:`_segment_context` (Tensor sequence, with grad); the base class
+    uses an empty context, which recovers the DR-OSI architecture.
+    """
+
+    recurrent = True
+
+    def __init__(
+        self,
+        state_dim: int,
+        action_dim: int,
+        rng: np.random.Generator,
+        lstm_hidden: int = 64,
+        head_hidden: Tuple[int, ...] = (128, 64),
+        context_dim: int = 0,
+        init_log_std: float = -0.5,
+        cell: str = "lstm",
+    ):
+        self.state_dim = state_dim
+        self.action_dim = action_dim
+        self.context_dim = context_dim
+        input_dim = state_dim + action_dim + context_dim
+        if cell == "lstm":
+            self.extractor = nn.LSTMCell(input_dim, lstm_hidden, rng)
+        elif cell == "gru":
+            self.extractor = nn.GRUCell(input_dim, lstm_hidden, rng)
+        else:
+            raise ValueError(f"unknown recurrent cell {cell!r}; expected 'lstm' or 'gru'")
+        self.cell_type = cell
+        head_in = state_dim + lstm_hidden
+        self.actor = nn.MLP(
+            [head_in, *head_hidden, action_dim], rng, activation="tanh", out_gain=0.01
+        )
+        self.critic = nn.MLP([head_in, *head_hidden, 1], rng, activation="tanh")
+        self.log_std = nn.Parameter(np.full(action_dim, init_log_std), name="log_std")
+        self._state: Optional[Tuple[nn.Tensor, nn.Tensor]] = None
+
+    # ------------------------------------------------------------------
+    # context hooks (overridden by the Sim2Rec policy)
+    # ------------------------------------------------------------------
+    def _rollout_context(self, states: np.ndarray, prev_actions: np.ndarray) -> Optional[np.ndarray]:
+        """Per-step context for rollouts, shape ``[N, context_dim]`` or None."""
+        return None
+
+    def _segment_context(self, segment: RolloutSegment) -> Optional[nn.Tensor]:
+        """Full-sequence context with gradients, shape ``[T, context_dim]``.
+
+        The context is *group-level*: one vector per timestep shared by all
+        users (it is computed from the whole group's state-action set), so
+        it broadcasts over the user axis during evaluation.
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    def start_rollout(self, num_users: int) -> None:
+        self._state = self.extractor.initial_state(num_users)
+
+    def _advance(self, x: nn.Tensor, state):
+        """One extractor step; returns (z, new_state) for either cell type."""
+        if self.cell_type == "lstm":
+            z, state = self.extractor(x, state)
+            return z, state
+        h = self.extractor(x, state)
+        return h, h
+
+    def _state_batch_size(self) -> int:
+        if self._state is None:
+            return -1
+        h = self._state[0] if isinstance(self._state, tuple) else self._state
+        return h.shape[0]
+
+    def _heads(self, states_t: nn.Tensor, z: nn.Tensor) -> Tuple[nn.DiagGaussian, nn.Tensor]:
+        features = nn.concat([states_t, z], axis=-1)
+        mean = self.actor(features).sigmoid()
+        values = self.critic(features)
+        return nn.DiagGaussian(mean, self.log_std), values
+
+    def act(self, states, prev_actions, rng, deterministic=False):
+        if self._state_batch_size() != states.shape[0]:
+            self.start_rollout(states.shape[0])
+        with nn.no_grad():
+            states = np.asarray(states, dtype=np.float64)
+            prev_actions = np.asarray(prev_actions, dtype=np.float64)
+            parts = [states, prev_actions]
+            context = self._rollout_context(states, prev_actions)
+            if context is not None:
+                parts.append(context)
+            x = nn.Tensor(np.concatenate(parts, axis=-1))
+            z, self._state = self._advance(x, self._state)
+            states_t = nn.Tensor(states)
+            dist, values = self._heads(states_t, z)
+            actions = dist.mode() if deterministic else dist.sample(rng)
+            log_probs = dist.log_prob(actions).data
+        return actions, log_probs, values.data[:, 0]
+
+    def evaluate_segment(self, segment, user_idx):
+        t = segment.horizon
+        b = len(user_idx)
+        context_seq = self._segment_context(segment)
+        state = self.extractor.initial_state(b)
+        log_probs, values, entropies = [], [], []
+        for step in range(t):
+            states_np = segment.states[step, user_idx]
+            prev_np = segment.prev_actions[step, user_idx]
+            states_t = nn.Tensor(states_np)
+            parts = [states_t, nn.Tensor(prev_np)]
+            if context_seq is not None:
+                step_context = context_seq[step].reshape(1, self.context_dim)
+                tiled = nn.concat([step_context] * b, axis=0)
+                parts.append(tiled)
+            x = nn.concat(parts, axis=-1)
+            z, state = self._advance(x, state)
+            dist, value = self._heads(states_t, z)
+            log_probs.append(dist.log_prob(segment.actions[step, user_idx]))
+            values.append(value[:, 0])
+            entropies.append(dist.entropy())
+        return (
+            nn.stack(log_probs, axis=0),
+            nn.stack(values, axis=0),
+            nn.stack(entropies, axis=0),
+        )

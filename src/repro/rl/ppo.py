@@ -1,0 +1,149 @@
+"""Proximal Policy Optimization (clip variant) over user-sequence rollouts.
+
+The paper optimises Eq. (4) with PPO [46]; gradients flow through the
+context-aware heads, the LSTM extractor φ and — for Sim2Rec — the SADAE
+encoder q_κ, because ``evaluate_segment`` recomputes the whole pipeline
+with the autodiff graph attached (full backpropagation through time).
+
+Minibatches are drawn over *users* (whole sequences), never over time
+steps, so recurrent state is always consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .. import nn
+from .buffer import RolloutBuffer, RolloutSegment
+from .policies import ActorCriticBase
+
+
+@dataclass
+class PPOConfig:
+    """Clipped-PPO hyper-parameters (paper defaults in Table II)."""
+
+    learning_rate: float = 3e-4
+    final_learning_rate: Optional[float] = None  # linear decay target (1e-6 in Table II)
+    total_iterations: int = 100                  # decay horizon when final_learning_rate set
+    gamma: float = 0.99
+    gae_lambda: float = 0.95
+    clip_ratio: float = 0.2
+    value_coef: float = 0.5
+    entropy_coef: float = 1e-3
+    update_epochs: int = 4
+    minibatches_per_segment: int = 2
+    max_grad_norm: float = 0.5
+    bootstrap_truncated: bool = False  # bootstrap V at segment end (T_c truncation)
+    normalize_advantages: bool = True
+
+
+class PPO:
+    """One PPO learner bound to a policy (and optionally extra modules).
+
+    ``extra_parameters`` lets the Sim2Rec trainer register the SADAE
+    encoder's parameters so the Eq. (4) gradient also updates κ.
+    """
+
+    def __init__(
+        self,
+        policy: ActorCriticBase,
+        config: PPOConfig,
+        extra_parameters: Optional[List[nn.Parameter]] = None,
+    ):
+        self.policy = policy
+        self.config = config
+        params = policy.parameters()
+        if extra_parameters:
+            params = params + list(extra_parameters)
+        self._all_params = params
+        self.optimizer = nn.Adam(params, lr=config.learning_rate)
+        self._schedule = None
+        if config.final_learning_rate is not None:
+            self._schedule = nn.LinearLRSchedule(
+                self.optimizer,
+                start=config.learning_rate,
+                end=config.final_learning_rate,
+                total=config.total_iterations,
+            )
+
+    # ------------------------------------------------------------------
+    def update(self, buffer: RolloutBuffer) -> Dict[str, float]:
+        """Run the clipped-PPO update over all segments in the buffer.
+
+        The buffer must already be finalized (advantages computed); the
+        trainer does so after applying its reward/done post-processing.
+        """
+        config = self.config
+        stats = {"policy_loss": 0.0, "value_loss": 0.0, "entropy": 0.0, "clip_frac": 0.0}
+        updates = 0
+        for epoch in range(config.update_epochs):
+            for segment in buffer:
+                if segment.advantages is None:
+                    raise RuntimeError("buffer not finalized before PPO.update")
+                for user_idx in self._user_minibatches(segment, epoch):
+                    metrics = self._update_minibatch(segment, user_idx)
+                    for key in stats:
+                        stats[key] += metrics[key]
+                    updates += 1
+        if self._schedule is not None:
+            self._schedule.step()
+        if updates:
+            for key in stats:
+                stats[key] /= updates
+        stats["learning_rate"] = self.optimizer.lr
+        return stats
+
+    def _user_minibatches(self, segment: RolloutSegment, epoch: int) -> Iterable[np.ndarray]:
+        n = segment.num_users
+        count = min(self.config.minibatches_per_segment, n)
+        order = np.random.default_rng(hash((epoch, id(segment))) % (2**32)).permutation(n)
+        return np.array_split(order, count)
+
+    def _update_minibatch(self, segment: RolloutSegment, user_idx: np.ndarray) -> Dict[str, float]:
+        config = self.config
+        advantages = (
+            segment.normalized_advantages()
+            if config.normalize_advantages
+            else segment.advantages
+        )
+        adv = advantages[:, user_idx]
+        returns = segment.returns[:, user_idx]
+        old_log_probs = segment.log_probs[:, user_idx]
+        mask = segment.valid_mask[:, user_idx]
+        mask_total = max(mask.sum(), 1.0)
+
+        log_probs, values, entropy = self.policy.evaluate_segment(segment, user_idx)
+
+        mask_t = nn.Tensor(mask)
+        ratio = (log_probs - old_log_probs).exp()
+        surrogate = ratio * adv
+        clipped = ratio.clip(1.0 - config.clip_ratio, 1.0 + config.clip_ratio) * adv
+        policy_loss = -(surrogate.minimum(clipped) * mask_t).sum() / mask_total
+
+        value_error = values - returns
+        value_loss = ((value_error * value_error) * mask_t).sum() / mask_total
+
+        entropy_mean = (entropy * mask_t).sum() / mask_total
+
+        loss = (
+            policy_loss
+            + config.value_coef * value_loss
+            - config.entropy_coef * entropy_mean
+        )
+        self.optimizer.zero_grad()
+        loss.backward()
+        nn.clip_grad_norm(self._all_params, config.max_grad_norm)
+        self.optimizer.step()
+
+        clip_frac = float(
+            ((np.abs(ratio.data - 1.0) > config.clip_ratio) * mask).sum() / mask_total
+        )
+        return {
+            "policy_loss": policy_loss.item(),
+            "value_loss": value_loss.item(),
+            "entropy": entropy_mean.item(),
+            "clip_frac": clip_frac,
+        }

@@ -1,0 +1,140 @@
+"""The simulated transition process P_{M,τʳ} (Sec. III-B).
+
+A :class:`SimulatedDPREnv` turns a learned user simulator M_ω plus logged
+real trajectories τʳ into a trainable environment:
+
+1. the simulator predicts only the user feedback ŷ_{t+1} for (s_t, a_t);
+2. the history block s^hist and statistics s^stat of the next state are
+   updated from ŷ;
+3. the exogenous blocks — s^user, s^group, s^time — are loaded from the
+   real trajectory, exactly as the paper prescribes ("instead of directly
+   predicting the whole next state, the simulator just predicts y and
+   constructs the other states from historical data τʳ").
+
+Following the compounding-error countermeasures of Sec. IV-C, ``reset``
+draws a random initial state from the logged dataset and rollouts are
+truncated at T_c steps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..envs.base import MultiUserEnv
+from ..envs.dpr import COST_RATE, DPRFeaturizer, FEEDBACK_DIM, HISTORY_DAYS
+from ..envs.spaces import Box
+from ..utils.seeding import make_rng
+from .dataset import GroupTrajectories
+from .ensemble import SimulatorEnsemble
+from .learner import UserSimulator
+
+
+class SimulatedDPREnv(MultiUserEnv):
+    """Rollout environment backed by a learned simulator and logged data."""
+
+    def __init__(
+        self,
+        simulator: UserSimulator,
+        group_log: GroupTrajectories,
+        truncate_horizon: int = 5,
+        alpha1: float = 1.0,
+        ensemble: Optional[SimulatorEnsemble] = None,
+        seed: Optional[int] = None,
+    ):
+        if simulator.state_dim != group_log.state_dim:
+            raise ValueError("simulator/state dims disagree with the logged data")
+        self.simulator = simulator
+        self.group_log = group_log
+        self.featurizer = DPRFeaturizer()
+        self.truncate_horizon = truncate_horizon
+        self.alpha1 = alpha1
+        self.ensemble = ensemble
+        self.num_users = group_log.num_users
+        self.horizon = truncate_horizon
+        self.group_id = group_log.group_id
+        self.observation_space = Box(
+            low=np.full(self.featurizer.state_dim, -np.inf),
+            high=np.full(self.featurizer.state_dim, np.inf),
+        )
+        self.action_space = Box(low=np.zeros(2), high=np.ones(2))
+        self._rng = make_rng(seed)
+        # F_exec support: each user's historical action extremes in this group.
+        flat_actions = group_log.actions.reshape(-1, self.num_users, group_log.action_dim)
+        self.exec_low = flat_actions.min(axis=0)
+        self.exec_high = flat_actions.max(axis=0)
+        self._steps = 0
+        self._time_index = 0
+        self._states: np.ndarray = np.zeros((self.num_users, self.featurizer.state_dim))
+        self._order_history: np.ndarray = np.zeros((self.num_users, HISTORY_DAYS))
+        self._user_static: np.ndarray = np.zeros((self.num_users, DPRFeaturizer.USER_DIM))
+        self._group_static: np.ndarray = np.zeros(DPRFeaturizer.GROUP_DIM)
+        self._last_feedback: np.ndarray = np.zeros((self.num_users, FEEDBACK_DIM))
+
+    # ------------------------------------------------------------------
+    def _history_from_state(self, states: np.ndarray) -> np.ndarray:
+        """Reconstruct a 14-day order history consistent with s^stat.
+
+        The logged state stores only 7- and 14-day means; we rebuild a
+        piecewise-constant history with the same statistics so that rolling
+        it forward with predicted orders reproduces the real update rule.
+        """
+        stat = states[:, self.featurizer.slices["stat"]]
+        stat7, stat14 = stat[:, 0], stat[:, 1]
+        early = np.maximum(0.0, 2.0 * stat14 - stat7)  # mean of days 8..14 back
+        history = np.empty((states.shape[0], HISTORY_DAYS))
+        history[:, : HISTORY_DAYS - 7] = early[:, None]
+        history[:, HISTORY_DAYS - 7 :] = stat7[:, None]
+        return history
+
+    def reset(self) -> np.ndarray:
+        log = self.group_log
+        episode = int(self._rng.integers(0, log.num_episodes))
+        max_start = max(log.horizon - self.truncate_horizon, 0)
+        start = int(self._rng.integers(0, max_start + 1))
+        states = log.states[episode, start].copy()
+        self._states = states
+        self._user_static = states[:, self.featurizer.slices["user"]]
+        self._group_static = states[0, self.featurizer.slices["group"]]
+        self._last_feedback = states[:, self.featurizer.slices["hist"]]
+        self._order_history = self._history_from_state(states)
+        self._time_index = start
+        self._steps = 0
+        return states.copy()
+
+    def step(self, actions: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Dict[str, Any]]:
+        actions = self._validate_actions(actions)
+        actions = np.clip(actions, 0.0, 1.0)
+        bonus = actions[:, 1]
+
+        feedback = self.simulator.sample(self._states, actions, self._rng)
+        feedback[:, 0] = np.maximum(feedback[:, 0], 0.0)  # orders
+        feedback[:, 1] = np.maximum(feedback[:, 1], 0.0)  # hours
+        orders = feedback[:, 0]
+        cost = COST_RATE * bonus * orders
+        rewards = orders - self.alpha1 * cost
+
+        self._order_history = np.roll(self._order_history, -1, axis=1)
+        self._order_history[:, -1] = orders
+        self._last_feedback = feedback
+        self._time_index += 1
+        self._steps += 1
+
+        self._states = self.featurizer.build_states(
+            self._user_static,
+            self._group_static,
+            self._time_index,
+            self._order_history,
+            self._last_feedback,
+        )
+        dones = np.full(self.num_users, self._steps >= self.truncate_horizon)
+        info: Dict[str, Any] = {
+            "orders": orders,
+            "cost": cost,
+            "completed": feedback[:, 2],
+            "t": self._steps,
+        }
+        if self.ensemble is not None:
+            info["uncertainty"] = self.ensemble.uncertainty(self._states, actions)
+        return self._states.copy(), rewards, dones, info

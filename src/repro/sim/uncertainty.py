@@ -1,0 +1,87 @@
+"""Alternative ensemble-uncertainty estimators.
+
+The paper's Sec. VI names "more theoretical solutions ... e.g. uncertainty
+evaluation" as future work; its implementation uses mean deviation from
+the ensemble consensus. This module provides that estimator plus two
+standard alternatives from the offline model-based RL literature, behind a
+common interface, so the penalty choice becomes a configurable design
+axis:
+
+- ``mean_deviation`` — E_j ‖μ_j − μ̄‖₂ (the paper's U, Sec. V-C2);
+- ``max_deviation``  — max_j ‖μ_j − μ̄‖₂ (MOPO-style worst-case [37]);
+- ``pairwise``       — mean pairwise distance between member predictions
+  (an unbiased disagreement measure that does not privilege the mean).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from .ensemble import SimulatorEnsemble
+
+UncertaintyFn = Callable[[SimulatorEnsemble, np.ndarray, np.ndarray], np.ndarray]
+
+
+def _continuous_predictions(
+    ensemble: SimulatorEnsemble, states: np.ndarray, actions: np.ndarray
+) -> np.ndarray:
+    """Member predictions over continuous feedback dims, ``[K, N, C]``."""
+    predictions = ensemble.predict_means(states, actions)
+    cont = ensemble.members[0].continuous_idx
+    if len(cont) > 0:
+        predictions = predictions[:, :, cont]
+    return predictions
+
+
+def mean_deviation(
+    ensemble: SimulatorEnsemble, states: np.ndarray, actions: np.ndarray
+) -> np.ndarray:
+    """The paper's U(s, a) = E_j ‖μ_j(s, a) − μ̄(s, a)‖₂."""
+    predictions = _continuous_predictions(ensemble, states, actions)
+    consensus = predictions.mean(axis=0, keepdims=True)
+    return np.linalg.norm(predictions - consensus, axis=-1).mean(axis=0)
+
+
+def max_deviation(
+    ensemble: SimulatorEnsemble, states: np.ndarray, actions: np.ndarray
+) -> np.ndarray:
+    """Worst-case member deviation, max_j ‖μ_j − μ̄‖₂ (MOPO-flavoured)."""
+    predictions = _continuous_predictions(ensemble, states, actions)
+    consensus = predictions.mean(axis=0, keepdims=True)
+    return np.linalg.norm(predictions - consensus, axis=-1).max(axis=0)
+
+
+def pairwise_disagreement(
+    ensemble: SimulatorEnsemble, states: np.ndarray, actions: np.ndarray
+) -> np.ndarray:
+    """Mean pairwise L2 distance between member predictions."""
+    predictions = _continuous_predictions(ensemble, states, actions)
+    k = predictions.shape[0]
+    if k < 2:
+        return np.zeros(predictions.shape[1])
+    total = np.zeros(predictions.shape[1])
+    pairs = 0
+    for i in range(k):
+        for j in range(i + 1, k):
+            total += np.linalg.norm(predictions[i] - predictions[j], axis=-1)
+            pairs += 1
+    return total / pairs
+
+
+UNCERTAINTY_ESTIMATORS: Dict[str, UncertaintyFn] = {
+    "mean_deviation": mean_deviation,
+    "max_deviation": max_deviation,
+    "pairwise": pairwise_disagreement,
+}
+
+
+def get_uncertainty_estimator(name: str) -> UncertaintyFn:
+    """Look up an estimator by name (raises KeyError with options listed)."""
+    if name not in UNCERTAINTY_ESTIMATORS:
+        raise KeyError(
+            f"unknown uncertainty estimator {name!r}; "
+            f"available: {sorted(UNCERTAINTY_ESTIMATORS)}"
+        )
+    return UNCERTAINTY_ESTIMATORS[name]

@@ -1,0 +1,47 @@
+"""Lightweight metric logging for training loops.
+
+Keeps scalar series in memory (for tests / benches to assert on) and can
+render compact progress tables to stdout.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+
+class MetricLogger:
+    """Accumulates named scalar series indexed by step."""
+
+    def __init__(self, verbose: bool = False, print_every: int = 1):
+        self.verbose = verbose
+        self.print_every = print_every
+        self.history: Dict[str, List[tuple[int, float]]] = defaultdict(list)
+
+    def log(self, step: int, **metrics: float) -> None:
+        for key, value in metrics.items():
+            self.history[key].append((step, float(value)))
+        if self.verbose and step % self.print_every == 0:
+            rendered = "  ".join(f"{k}={v:.4g}" for k, v in sorted(metrics.items()))
+            print(f"[step {step:>6}] {rendered}")
+
+    def series(self, key: str) -> List[float]:
+        """The values of a metric in logging order."""
+        return [value for _, value in self.history[key]]
+
+    def steps(self, key: str) -> List[int]:
+        return [step for step, _ in self.history[key]]
+
+    def last(self, key: str, default: Optional[float] = None) -> Optional[float]:
+        values = self.history.get(key)
+        if not values:
+            return default
+        return values[-1][1]
+
+    def mean(self, key: str, last_n: Optional[int] = None) -> float:
+        values = self.series(key)
+        if last_n is not None:
+            values = values[-last_n:]
+        if not values:
+            raise KeyError(f"no values logged for {key!r}")
+        return sum(values) / len(values)

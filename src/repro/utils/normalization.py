@@ -1,0 +1,63 @@
+"""Online feature normalisation (Welford) used by PPO observation scaling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RunningMeanStd:
+    """Tracks running mean/variance of batches via the parallel Welford update."""
+
+    def __init__(self, shape: tuple[int, ...] = (), epsilon: float = 1e-4):
+        self.mean = np.zeros(shape, dtype=np.float64)
+        self.var = np.ones(shape, dtype=np.float64)
+        self.count = epsilon
+
+    def update(self, batch: np.ndarray) -> None:
+        batch = np.asarray(batch, dtype=np.float64)
+        batch = batch.reshape(-1, *self.mean.shape) if self.mean.shape else batch.reshape(-1)
+        batch_mean = batch.mean(axis=0)
+        batch_var = batch.var(axis=0)
+        batch_count = batch.shape[0]
+        delta = batch_mean - self.mean
+        total = self.count + batch_count
+        self.mean = self.mean + delta * batch_count / total
+        m_a = self.var * self.count
+        m_b = batch_var * batch_count
+        m2 = m_a + m_b + delta**2 * self.count * batch_count / total
+        self.var = m2 / total
+        self.count = total
+
+    def normalize(self, value: np.ndarray, clip: float = 10.0) -> np.ndarray:
+        out = (np.asarray(value, dtype=np.float64) - self.mean) / np.sqrt(self.var + 1e-8)
+        return np.clip(out, -clip, clip)
+
+    def denormalize(self, value: np.ndarray) -> np.ndarray:
+        return np.asarray(value) * np.sqrt(self.var + 1e-8) + self.mean
+
+
+class RewardScaler:
+    """Scales rewards by a running estimate of the return's std-dev.
+
+    Keeps PPO value targets in a numerically friendly range without
+    changing the optimal policy (a positive rescaling of rewards).
+    """
+
+    def __init__(self, gamma: float, epsilon: float = 1e-4):
+        self.gamma = gamma
+        self.rms = RunningMeanStd(shape=())
+        self._returns: np.ndarray | None = None
+        self.epsilon = epsilon
+
+    def reset(self, batch: int) -> None:
+        self._returns = np.zeros(batch, dtype=np.float64)
+
+    def scale(self, rewards: np.ndarray, dones: np.ndarray) -> np.ndarray:
+        rewards = np.asarray(rewards, dtype=np.float64)
+        if self._returns is None or self._returns.shape != rewards.shape:
+            self._returns = np.zeros_like(rewards)
+        self._returns = self._returns * self.gamma + rewards
+        self.rms.update(self._returns)
+        # A done at this step ends the episode *after* its reward counts.
+        self._returns = self._returns * (1.0 - np.asarray(dones, dtype=np.float64))
+        return rewards / np.sqrt(self.rms.var + self.epsilon)

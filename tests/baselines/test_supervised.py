@@ -1,0 +1,138 @@
+"""Tests for WideDeep and DeepFM supervised recommenders."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import DeepFMRecommender, SupervisedConfig, WideDeepRecommender
+from repro.envs import DPRConfig, DPRWorld, collect_dpr_dataset
+
+
+@pytest.fixture(scope="module")
+def dpr_data():
+    world = DPRWorld(DPRConfig(num_cities=2, drivers_per_city=12, horizon=10, seed=51))
+    return world, collect_dpr_dataset(world, episodes=2)
+
+
+MODEL_CLASSES = [WideDeepRecommender, DeepFMRecommender]
+
+
+@pytest.mark.parametrize("model_class", MODEL_CLASSES)
+class TestSharedBehaviour:
+    def test_fit_reduces_loss(self, model_class, dpr_data):
+        _, dataset = dpr_data
+        model = model_class(dataset.state_dim, dataset.action_dim, SupervisedConfig(epochs=15, seed=0))
+        losses = model.fit(dataset)
+        assert losses[-1] < losses[0]
+
+    def test_predict_shape(self, model_class, dpr_data):
+        _, dataset = dpr_data
+        model = model_class(dataset.state_dim, dataset.action_dim, SupervisedConfig(epochs=3, seed=0))
+        model.fit(dataset)
+        s, a, _ = dataset.transition_pairs()
+        assert model.predict(s[:9], a[:9]).shape == (9,)
+
+    def test_recommend_within_logged_range(self, model_class, dpr_data):
+        _, dataset = dpr_data
+        model = model_class(dataset.state_dim, dataset.action_dim, SupervisedConfig(epochs=3, seed=0))
+        model.fit(dataset)
+        s, a, _ = dataset.transition_pairs()
+        recommendations = model.recommend(s[:20])
+        low, high = a.min(axis=0), a.max(axis=0)
+        assert np.all(recommendations >= low - 1e-9)
+        assert np.all(recommendations <= high + 1e-9)
+
+    def test_recommend_maximises_model_score(self, model_class, dpr_data):
+        _, dataset = dpr_data
+        model = model_class(dataset.state_dim, dataset.action_dim, SupervisedConfig(epochs=5, seed=0))
+        model.fit(dataset)
+        s, _, _ = dataset.transition_pairs()
+        state = s[:1]
+        chosen = model.recommend(state)
+        chosen_score = model.predict(state, chosen)
+        for candidate in model._action_grid[:: max(len(model._action_grid) // 10, 1)]:
+            other = model.predict(state, candidate[None])
+            assert chosen_score >= other - 1e-9
+
+    def test_act_fn_protocol(self, model_class, dpr_data):
+        _, dataset = dpr_data
+        model = model_class(dataset.state_dim, dataset.action_dim, SupervisedConfig(epochs=2, seed=0))
+        model.fit(dataset)
+        act_fn = model.as_act_fn()
+        act_fn.reset(4)
+        s, _, _ = dataset.transition_pairs()
+        actions = act_fn(s[:4], 0)
+        assert actions.shape == (4, dataset.action_dim)
+
+    def test_learns_synthetic_immediate_reward(self, model_class):
+        """Both models must fit a simple known r(s, a) function."""
+        from repro.sim.dataset import GroupTrajectories, TrajectoryDataset
+
+        rng = np.random.default_rng(0)
+        e, t, n, ds, da = 1, 20, 30, 3, 2
+        states = rng.standard_normal((e, t + 1, n, ds))
+        actions = rng.uniform(0, 1, (e, t, n, da))
+        rewards = 2.0 * actions[..., 0] - 1.0 * actions[..., 1] + 0.5 * states[:, :-1, :, 0]
+        dataset = TrajectoryDataset(
+            [
+                GroupTrajectories(
+                    group_id=0,
+                    states=states,
+                    actions=actions,
+                    feedback=np.zeros((e, t, n, 1)),
+                    rewards=rewards,
+                )
+            ]
+        )
+        model = model_class(ds, da, SupervisedConfig(epochs=60, seed=0, learning_rate=3e-3))
+        model.fit(dataset)
+        # Best action under the true r: a0 at max, a1 at min of the logged range.
+        recommendations = model.recommend(rng.standard_normal((10, ds)))
+        flat_actions = actions.reshape(-1, da)
+        assert recommendations[:, 0].mean() > 0.7 * flat_actions[:, 0].max()
+        assert recommendations[:, 1].mean() < flat_actions[:, 1].min() + 0.3
+
+
+class TestWideDeepSpecifics:
+    def test_cross_features_shape(self, dpr_data):
+        _, dataset = dpr_data
+        model = WideDeepRecommender(dataset.state_dim, dataset.action_dim, SupervisedConfig(seed=0))
+        inputs = nn.Tensor(np.random.default_rng(0).standard_normal((5, dataset.state_dim + 2)))
+        crosses = model._cross_features(inputs)
+        assert crosses.shape == (5, dataset.state_dim * 2)
+
+    def test_wide_and_deep_both_trained(self, dpr_data):
+        _, dataset = dpr_data
+        model = WideDeepRecommender(dataset.state_dim, dataset.action_dim, SupervisedConfig(epochs=3, seed=0))
+        wide_before = model.wide.weight.data.copy()
+        deep_before = model.deep.layers[0].weight.data.copy()
+        model.fit(dataset)
+        assert not np.allclose(wide_before, model.wide.weight.data)
+        assert not np.allclose(deep_before, model.deep.layers[0].weight.data)
+
+
+class TestDeepFMSpecifics:
+    def test_fm_term_matches_manual(self):
+        """The O(F·k) identity must equal the explicit pairwise sum."""
+        config = SupervisedConfig(embedding_dim=3, seed=0)
+        model = DeepFMRecommender(2, 1, config)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(3)
+        v = model.field_embeddings.data
+        scaled = x[:, None] * v
+        manual = sum(
+            float(scaled[i] @ scaled[j]) for i in range(3) for j in range(i + 1, 3)
+        )
+        sum_embed = scaled.sum(axis=0)
+        identity = 0.5 * float(sum_embed @ sum_embed - (scaled * scaled).sum())
+        np.testing.assert_allclose(identity, manual, atol=1e-10)
+
+    def test_embeddings_receive_gradients(self, dpr_data):
+        _, dataset = dpr_data
+        model = DeepFMRecommender(dataset.state_dim, dataset.action_dim, SupervisedConfig(seed=0))
+        inputs = nn.Tensor(
+            np.random.default_rng(0).standard_normal((4, dataset.state_dim + 2))
+        )
+        model.forward_score(inputs).sum().backward()
+        assert model.field_embeddings.grad is not None
+        assert np.any(model.field_embeddings.grad != 0)

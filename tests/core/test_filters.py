@@ -1,0 +1,188 @@
+"""Tests for the Sec. IV-C error countermeasures."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    apply_exec_filter,
+    apply_uncertainty_penalty,
+    compute_trend_filter,
+    filter_group_log,
+    intervention_response,
+)
+from repro.envs import DPRConfig, DPRWorld, collect_dpr_dataset
+from repro.rl import RolloutSegment
+from repro.sim import SimulatorEnsemble, SimulatorLearnerConfig, train_user_simulator
+
+
+def make_segment(steps=4, n=3, ds=13, da=2, seed=0):
+    rng = np.random.default_rng(seed)
+    dones = np.zeros((steps, n))
+    dones[-1] = 1.0
+    return RolloutSegment(
+        states=rng.standard_normal((steps, n, ds)),
+        prev_actions=rng.uniform(0, 1, (steps, n, da)),
+        actions=rng.uniform(0.2, 0.8, (steps, n, da)),
+        rewards=np.ones((steps, n)),
+        dones=dones,
+        values=np.zeros((steps, n)),
+        log_probs=np.zeros((steps, n)),
+        last_values=np.zeros(n),
+    )
+
+
+@pytest.fixture(scope="module")
+def dpr_setup():
+    world = DPRWorld(DPRConfig(num_cities=2, drivers_per_city=12, horizon=10, seed=31))
+    dataset = collect_dpr_dataset(world, episodes=2)
+    config = SimulatorLearnerConfig(hidden_sizes=(32, 32), epochs=30)
+    members = [
+        train_user_simulator(
+            dataset.subsample_users(0.8, seed=i),
+            SimulatorLearnerConfig(hidden_sizes=(32, 32), epochs=30, seed=i),
+        )
+        for i in range(3)
+    ]
+    return world, dataset, SimulatorEnsemble(members)
+
+
+class TestExecFilter:
+    def test_no_violation_no_change(self):
+        segment = make_segment()
+        low = np.zeros((3, 2))
+        high = np.ones((3, 2))
+        affected = apply_exec_filter(segment, low, high, r_min=0.0, gamma=0.9)
+        assert affected == 0
+        np.testing.assert_array_equal(segment.rewards, np.ones((4, 3)))
+
+    def test_violation_sets_done_and_reward(self):
+        segment = make_segment()
+        segment.actions[2, 1] = [0.95, 0.5]  # outside user 1's bounds below
+        low = np.full((3, 2), 0.2)
+        high = np.full((3, 2), 0.8)
+        affected = apply_exec_filter(segment, low, high, r_min=-1.0, gamma=0.9)
+        assert affected == 1
+        assert segment.dones[2, 1] == 1.0
+        np.testing.assert_allclose(segment.rewards[2, 1], -1.0 / 0.1)
+
+    def test_first_violation_wins(self):
+        segment = make_segment()
+        segment.actions[1, 0] = [0.9, 0.5]
+        segment.actions[3, 0] = [0.9, 0.5]
+        low = np.full((3, 2), 0.2)
+        high = np.full((3, 2), 0.8)
+        apply_exec_filter(segment, low, high, r_min=0.0, gamma=0.9)
+        assert segment.dones[1, 0] == 1.0
+        # later violation untouched (the episode already ended)
+        assert segment.rewards[3, 0] == 1.0
+
+    def test_tolerance_expands_bounds(self):
+        segment = make_segment()
+        segment.actions[0, 0] = [0.85, 0.5]
+        low = np.full((3, 2), 0.2)
+        high = np.full((3, 2), 0.8)
+        affected = apply_exec_filter(
+            segment, low, high, r_min=0.0, gamma=0.9, tolerance=0.1
+        )
+        assert affected == 0
+
+    def test_action_clip_applies_before_check(self):
+        segment = make_segment()
+        segment.actions[0, 0] = [5.0, 0.5]  # raw sample far out; clips to 1.0
+        low = np.full((3, 2), 0.0)
+        high = np.full((3, 2), 1.0)
+        affected = apply_exec_filter(
+            segment, low, high, r_min=0.0, gamma=0.9, action_clip=(0.0, 1.0)
+        )
+        assert affected == 0
+
+    def test_mask_invalidates_after_cut(self):
+        segment = make_segment()
+        segment.actions[1, 2] = [0.9, 0.5]
+        low = np.full((3, 2), 0.2)
+        high = np.full((3, 2), 0.8)
+        apply_exec_filter(segment, low, high, r_min=0.0, gamma=0.9)
+        segment.finalize(gamma=0.9, lam=0.9)
+        np.testing.assert_array_equal(segment.valid_mask[:, 2], [1.0, 1.0, 0.0, 0.0])
+
+
+class TestUncertaintyPenalty:
+    def test_penalty_reduces_rewards(self, dpr_setup):
+        _, dataset, ensemble = dpr_setup
+        group = dataset.groups[0]
+        segment = make_segment(n=group.num_users, ds=group.state_dim)
+        segment.states = group.states[0, :4]
+        segment.actions = group.actions[0, :4]
+        before = segment.rewards.copy()
+        penalties = apply_uncertainty_penalty(segment, ensemble, alpha=0.5)
+        assert np.all(penalties >= 0)
+        assert np.all(segment.rewards <= before)
+
+    def test_alpha_scales_penalty(self, dpr_setup):
+        _, dataset, ensemble = dpr_setup
+        group = dataset.groups[0]
+
+        def penalised(alpha):
+            segment = make_segment(n=group.num_users, ds=group.state_dim)
+            segment.states = group.states[0, :4]
+            segment.actions = group.actions[0, :4]
+            apply_uncertainty_penalty(segment, ensemble, alpha=alpha)
+            return segment.rewards
+
+        r_small = penalised(0.01)
+        r_large = penalised(1.0)
+        assert r_large.mean() < r_small.mean()
+
+
+class TestTrendFilter:
+    def test_intervention_response_shape(self, dpr_setup):
+        _, dataset, ensemble = dpr_setup
+        deltas = np.linspace(-0.4, 0.4, 5)
+        responses = intervention_response(ensemble, dataset.groups[0], deltas)
+        assert responses.shape == (3, 12, 5)
+
+    def test_keeps_most_users_with_decent_simulators(self, dpr_setup):
+        _, dataset, ensemble = dpr_setup
+        result = compute_trend_filter(ensemble, dataset.groups[0])
+        assert result.keep_mask.sum() >= 6  # consensus mode is forgiving
+
+    def test_modes_ordered_by_strictness(self, dpr_setup):
+        _, dataset, ensemble = dpr_setup
+        group = dataset.groups[0]
+        consensus = compute_trend_filter(ensemble, group, mode="consensus").keep_mask
+        mean_mode = compute_trend_filter(ensemble, group, mode="mean").keep_mask
+        strict = compute_trend_filter(ensemble, group, mode="strict").keep_mask
+        assert strict.sum() <= mean_mode.sum() <= consensus.sum()
+        # strict ⊆ mean ⊆ consensus
+        assert np.all(consensus[strict])
+        assert np.all(consensus[mean_mode])
+
+    def test_unknown_mode_raises(self, dpr_setup):
+        _, dataset, ensemble = dpr_setup
+        with pytest.raises(ValueError):
+            compute_trend_filter(ensemble, dataset.groups[0], mode="bogus")
+
+    def test_slopes_recorded(self, dpr_setup):
+        _, dataset, ensemble = dpr_setup
+        result = compute_trend_filter(ensemble, dataset.groups[0])
+        assert result.slopes.shape == (3, 12)
+        assert result.response_curves.shape[0] == 3
+
+    def test_filter_group_log_restricts_users(self, dpr_setup):
+        _, dataset, _ = dpr_setup
+        group = dataset.groups[0]
+        mask = np.zeros(group.num_users, dtype=bool)
+        mask[[0, 3, 5]] = True
+        filtered = filter_group_log(group, mask)
+        assert filtered.num_users == 3
+
+    def test_filter_group_log_never_empties(self, dpr_setup):
+        _, dataset, _ = dpr_setup
+        group = dataset.groups[0]
+        filtered = filter_group_log(group, np.zeros(group.num_users, dtype=bool))
+        assert filtered.num_users == group.num_users
+
+    def test_filter_group_log_shape_validation(self, dpr_setup):
+        _, dataset, _ = dpr_setup
+        with pytest.raises(ValueError):
+            filter_group_log(dataset.groups[0], np.ones(3, dtype=bool))

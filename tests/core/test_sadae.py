@@ -1,0 +1,169 @@
+"""Tests for SADAE: posterior form, ELBO training, embedding quality."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import SADAE, SADAEConfig, train_sadae
+
+
+def gaussian_sets(num_sets=24, n=60, dim=2, seed=0, mean_range=(-3, 3)):
+    """Synthetic corpus: each X is drawn from N(m, 1) with a set-specific m."""
+    rng = np.random.default_rng(seed)
+    sets, means = [], []
+    for _ in range(num_sets):
+        mean = rng.uniform(*mean_range, size=dim)
+        states = rng.normal(mean, 1.0, size=(n, dim))
+        actions = rng.normal(0.0, 1.0, size=(n, 1))
+        sets.append((states, actions))
+        means.append(mean)
+    return sets, np.array(means)
+
+
+def make_sadae(state_dim=2, action_dim=1, state_only=False, seed=0, latent=4):
+    config = SADAEConfig(
+        latent_dim=latent,
+        encoder_hidden=(32, 32),
+        decoder_hidden=(32, 32),
+        learning_rate=3e-3,
+        weight_decay=1e-5,
+        state_only=state_only,
+        seed=seed,
+    )
+    return SADAE(state_dim, action_dim, config)
+
+
+class TestPosterior:
+    def test_posterior_is_diag_gaussian(self):
+        sadae = make_sadae()
+        sets, _ = gaussian_sets(num_sets=1)
+        posterior = sadae.posterior(*sets[0])
+        assert isinstance(posterior, nn.DiagGaussian)
+        assert posterior.mean.shape == (4,)
+
+    def test_more_samples_tighter_posterior(self):
+        """The Eq. (6) product sharpens with set size."""
+        sadae = make_sadae()
+        rng = np.random.default_rng(0)
+        big = (rng.normal(1.0, 1.0, (200, 2)), rng.normal(0, 1, (200, 1)))
+        small = (big[0][:10], big[1][:10])
+        sadae.fit_normalizer([big])
+        var_small = np.exp(2 * sadae.posterior(*small).log_std.data).mean()
+        var_big = np.exp(2 * sadae.posterior(*big).log_std.data).mean()
+        assert var_big < var_small
+
+    def test_embed_is_posterior_mean(self):
+        sadae = make_sadae()
+        sets, _ = gaussian_sets(num_sets=1)
+        embedding = sadae.embed(*sets[0])
+        np.testing.assert_allclose(embedding, sadae.posterior(*sets[0]).mean.data)
+
+    def test_embed_tensor_gradient_flows_to_encoder(self):
+        sadae = make_sadae()
+        sets, _ = gaussian_sets(num_sets=1)
+        upsilon = sadae.embed_tensor(sets[0][0], sets[0][1], np.random.default_rng(0))
+        upsilon.sum().backward()
+        assert sadae.encoder.layers[0].weight.grad is not None
+
+    def test_state_only_mode_ignores_actions(self):
+        sadae = make_sadae(state_only=True)
+        sets, _ = gaussian_sets(num_sets=1)
+        e1 = sadae.embed(sets[0][0], None)
+        e2 = sadae.embed(sets[0][0], sets[0][1])
+        np.testing.assert_array_equal(e1, e2)
+
+
+class TestELBO:
+    def test_elbo_is_scalar(self):
+        sadae = make_sadae()
+        sets, _ = gaussian_sets(num_sets=1)
+        sadae.fit_normalizer(sets)
+        value = sadae.elbo(sets[0][0], sets[0][1], np.random.default_rng(0))
+        assert value.data.shape == () or value.data.size == 1
+
+    def test_elbo_requires_actions_unless_state_only(self):
+        sadae = make_sadae()
+        sets, _ = gaussian_sets(num_sets=1)
+        sadae.fit_normalizer(sets)
+        with pytest.raises(ValueError):
+            sadae.elbo(sets[0][0], None, np.random.default_rng(0))
+
+    def test_training_decreases_loss(self):
+        sadae = make_sadae()
+        sets, _ = gaussian_sets()
+        losses = train_sadae(sadae, sets, epochs=25, rng=np.random.default_rng(0))
+        assert np.mean(losses[-3:]) < np.mean(losses[:3])
+
+    def test_training_state_only(self):
+        sadae = make_sadae(state_only=True)
+        sets, _ = gaussian_sets()
+        state_sets = [(s, None) for s, _ in sets]
+        losses = train_sadae(sadae, state_sets, epochs=20, rng=np.random.default_rng(0))
+        assert losses[-1] < losses[0]
+
+    def test_gradients_reach_decoders(self):
+        sadae = make_sadae()
+        sets, _ = gaussian_sets(num_sets=1)
+        sadae.fit_normalizer(sets)
+        (-sadae.elbo(sets[0][0], sets[0][1], np.random.default_rng(0))).backward()
+        assert sadae.state_decoder.layers[0].weight.grad is not None
+        assert sadae.action_decoder.layers[0].weight.grad is not None
+
+    def test_callback_invoked(self):
+        sadae = make_sadae()
+        sets, _ = gaussian_sets(num_sets=4)
+        calls = []
+        train_sadae(sadae, sets, epochs=3, rng=np.random.default_rng(0), callback=calls.append)
+        assert calls == [0, 1, 2]
+
+
+class TestEmbeddingQuality:
+    def test_embedding_separates_distributions(self):
+        """Sets from distant distributions must embed further apart than
+        fresh draws from the same distribution (RQ1 at unit scale)."""
+        sadae = make_sadae(latent=4)
+        sets, means = gaussian_sets(num_sets=30, n=80)
+        train_sadae(sadae, sets, epochs=40, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(123)
+        mean_a, mean_b = np.array([-2.0, -2.0]), np.array([2.0, 2.0])
+
+        def embed_from(mean):
+            states = rng.normal(mean, 1.0, (80, 2))
+            actions = rng.normal(0, 1.0, (80, 1))
+            return sadae.embed(states, actions)
+
+        same = np.linalg.norm(embed_from(mean_a) - embed_from(mean_a))
+        different = np.linalg.norm(embed_from(mean_a) - embed_from(mean_b))
+        assert different > 2.0 * same
+
+    def test_embedding_correlates_with_generating_mean(self):
+        sadae = make_sadae(latent=4)
+        sets, means = gaussian_sets(num_sets=40, n=60, dim=2)
+        train_sadae(sadae, sets, epochs=40, rng=np.random.default_rng(0))
+        embeddings = np.stack([sadae.embed(s, a) for s, a in sets])
+        # Some latent dimension must track the generating mean's first coord.
+        correlations = [
+            abs(np.corrcoef(embeddings[:, d], means[:, 0])[0, 1])
+            for d in range(embeddings.shape[1])
+        ]
+        assert max(correlations) > 0.7
+
+    def test_reconstruction_matches_distribution(self):
+        """Decoded samples should approximate the source distribution."""
+        sadae = make_sadae(latent=4)
+        sets, means = gaussian_sets(num_sets=30, n=100)
+        train_sadae(sadae, sets, epochs=60, rng=np.random.default_rng(0))
+        states, actions = sets[0]
+        recon_states, recon_actions = sadae.sample_reconstruction(
+            states, actions, np.random.default_rng(0), num_samples=2000
+        )
+        assert recon_actions is not None
+        np.testing.assert_allclose(recon_states.mean(axis=0), states.mean(axis=0), atol=0.7)
+
+    def test_decode_state_distribution_raw_scale(self):
+        sadae = make_sadae()
+        sets, _ = gaussian_sets(num_sets=2)
+        sadae.fit_normalizer(sets)
+        mean, std = sadae.decode_state_distribution(np.zeros(4))
+        assert mean.shape == (2,)
+        assert np.all(std > 0)

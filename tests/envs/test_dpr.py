@@ -1,0 +1,241 @@
+"""Tests for the DPR world: featurizer, ground-truth dynamics, logging."""
+
+import numpy as np
+import pytest
+
+from repro.envs import (
+    BehaviorPolicy,
+    BehaviorPolicyConfig,
+    COST_RATE,
+    DPRConfig,
+    DPRFeaturizer,
+    DPRWorld,
+    HISTORY_DAYS,
+    collect_dpr_dataset,
+)
+
+
+def make_world(**kwargs) -> DPRWorld:
+    defaults = dict(num_cities=3, drivers_per_city=12, horizon=8, seed=7)
+    defaults.update(kwargs)
+    return DPRWorld(DPRConfig(**defaults))
+
+
+class TestFeaturizer:
+    def test_state_dim(self):
+        featurizer = DPRFeaturizer()
+        assert featurizer.state_dim == 13
+
+    def test_slices_partition_state(self):
+        featurizer = DPRFeaturizer()
+        covered = []
+        for sl in featurizer.slices.values():
+            covered.extend(range(sl.start, sl.stop))
+        assert sorted(covered) == list(range(featurizer.state_dim))
+
+    def test_time_features_weekly_period(self):
+        featurizer = DPRFeaturizer()
+        np.testing.assert_allclose(featurizer.time_features(0), featurizer.time_features(7))
+        assert not np.allclose(featurizer.time_features(1), featurizer.time_features(2))
+
+    def test_build_states_shapes_and_stats(self):
+        featurizer = DPRFeaturizer()
+        n = 4
+        history = np.tile(np.arange(1.0, HISTORY_DAYS + 1.0), (n, 1))
+        states = featurizer.build_states(
+            user_static=np.zeros((n, 4)),
+            group_static=np.array([1.0, 2.0]),
+            t=0,
+            order_history=history,
+            last_feedback=np.zeros((n, 3)),
+        )
+        assert states.shape == (n, 13)
+        stat = states[:, featurizer.slices["stat"]]
+        np.testing.assert_allclose(stat[:, 0], history[:, -7:].mean(axis=1))
+        np.testing.assert_allclose(stat[:, 1], history.mean(axis=1))
+
+
+class TestWorldGeneration:
+    def test_city_count(self):
+        world = make_world()
+        assert len(world.cities) == 3
+        assert all(len(p) == 12 for p in world.personas)
+
+    def test_demand_scales_spread(self):
+        world = make_world(num_cities=5)
+        scales = [c.demand_scale for c in world.cities]
+        assert scales == sorted(scales)
+        assert scales[-1] / scales[0] > 4.0
+
+    def test_personas_heterogeneous(self):
+        world = make_world(drivers_per_city=50)
+        tolerances = [p.tolerance for p in world.personas[0]]
+        assert np.std(tolerances) > 0.05
+
+    def test_world_reproducible(self):
+        w1, w2 = make_world(seed=3), make_world(seed=3)
+        assert w1.cities[0].demand_scale == w2.cities[0].demand_scale
+        assert w1.personas[1][0].tolerance == w2.personas[1][0].tolerance
+
+
+class TestCityEnvDynamics:
+    def test_reset_shapes(self):
+        env = make_world().make_city_env(0)
+        states = env.reset()
+        assert states.shape == (12, 13)
+
+    def test_step_shapes(self):
+        env = make_world().make_city_env(0)
+        env.reset()
+        states, rewards, dones, info = env.step(np.full((12, 2), 0.4))
+        assert states.shape == (12, 13)
+        assert rewards.shape == (12,)
+        assert "orders" in info and "cost" in info
+
+    def test_reward_is_orders_minus_cost(self):
+        env = make_world().make_city_env(1)
+        env.reset()
+        actions = np.full((12, 2), 0.5)
+        _, rewards, _, info = env.step(actions)
+        np.testing.assert_allclose(rewards, info["orders"] - env.config.alpha1 * info["cost"])
+
+    def test_cost_formula(self):
+        env = make_world().make_city_env(1)
+        env.reset()
+        actions = np.column_stack([np.full(12, 0.5), np.full(12, 0.8)])
+        _, _, _, info = env.step(actions)
+        np.testing.assert_allclose(info["cost"], COST_RATE * 0.8 * info["orders"])
+
+    def test_orders_nonnegative(self):
+        env = make_world().make_city_env(0)
+        env.reset()
+        rng = np.random.default_rng(0)
+        for _ in range(8):
+            _, _, _, info = env.step(rng.random((12, 2)))
+            assert np.all(info["orders"] >= 0)
+
+    def test_engagement_bounded(self):
+        env = make_world().make_city_env(0)
+        env.reset()
+        for _ in range(8):
+            _, _, _, info = env.step(np.ones((12, 2)))
+            assert np.all(info["engagement"] >= env.config.engagement_min)
+            assert np.all(info["engagement"] <= env.config.engagement_max)
+
+    def test_history_rolls(self):
+        env = make_world().make_city_env(0)
+        env.reset()
+        _, _, _, info = env.step(np.full((12, 2), 0.4))
+        np.testing.assert_array_equal(env._order_history[:, -1], info["orders"])
+
+    def test_done_at_horizon(self):
+        env = make_world(horizon=3).make_city_env(0)
+        env.reset()
+        for _ in range(3):
+            _, _, dones, _ = env.step(np.full((12, 2), 0.4))
+        assert np.all(dones)
+
+    def test_demand_scale_drives_group_differences(self):
+        """Drivers with identical personas complete more orders in bigger
+        cities — the paper's group-behaviour difference."""
+        world = make_world(num_cities=5, drivers_per_city=40)
+        low_env = world.make_city_env(0)
+        high_env = world.make_city_env(4)
+        low_env.reset()
+        high_env.reset()
+        actions_low = np.full((40, 2), 0.4)
+        orders_low = low_env.step(actions_low)[3]["orders"].mean()
+        orders_high = high_env.step(actions_low)[3]["orders"].mean()
+        assert orders_high > 2.0 * orders_low
+
+    def test_impossible_tasks_erode_engagement(self):
+        """Repeatedly recommending tasks far above tolerance with no bonus
+        must reduce engagement — the long-term structure of the task."""
+        env = make_world(horizon=20).make_city_env(2)
+        env.reset()
+        start = env._engagement.mean()
+        hard = np.column_stack([np.ones(12), np.zeros(12)])
+        for _ in range(20):
+            _, _, _, info = env.step(hard)
+        assert info["engagement"].mean() < start
+
+    def test_reasonable_tasks_sustain_engagement(self):
+        env = make_world(horizon=20).make_city_env(2)
+        env.reset()
+        easy = np.column_stack([np.full(12, 0.2), np.full(12, 0.5)])
+        for _ in range(20):
+            _, _, _, info = env.step(easy)
+        assert info["engagement"].mean() > 0.8
+
+
+class TestGroundTruthResponse:
+    def test_completion_decreases_with_difficulty(self):
+        env = make_world().make_city_env(0)
+        response = env.response
+        easy = response.completion_probability(np.full(12, 0.1), np.zeros(12))
+        hard = response.completion_probability(np.full(12, 0.9), np.zeros(12))
+        assert np.all(easy > hard)
+
+    def test_bonus_increases_completion(self):
+        env = make_world().make_city_env(0)
+        response = env.response
+        no_bonus = response.completion_probability(np.full(12, 0.5), np.zeros(12))
+        bonus = response.completion_probability(np.full(12, 0.5), np.ones(12))
+        assert np.all(bonus > no_bonus)
+
+    def test_bonus_increases_expected_orders(self):
+        """Ground-truth bonus elasticity is positive for every driver — the
+        prior knowledge that F_trend checks simulators against."""
+        env = make_world().make_city_env(0)
+        response = env.response
+        e = np.ones(12)
+        low = response.expected_orders(e, np.full(12, 0.5), np.zeros(12), np.ones(12))
+        high = response.expected_orders(e, np.full(12, 0.5), np.ones(12), np.ones(12))
+        assert np.all(high > low)
+
+
+class TestBehaviorPolicyAndLogging:
+    def test_actions_in_bounds(self):
+        world = make_world()
+        env = world.make_city_env(0)
+        states = env.reset()
+        policy = BehaviorPolicy(BehaviorPolicyConfig(seed=0))
+        actions = policy(states)
+        assert actions.shape == (12, 2)
+        assert np.all((actions >= 0) & (actions <= 1))
+
+    def test_narrow_action_coverage(self):
+        """πₑ must not cover the full action space — the premise of the
+        extrapolation-error analysis."""
+        world = make_world(drivers_per_city=100)
+        dataset = collect_dpr_dataset(world, episodes=1)
+        _, actions, _ = dataset.transition_pairs()
+        assert actions[:, 0].std() < 0.25
+        assert actions[:, 1].std() < 0.25
+        span = actions.max(axis=0) - actions.min(axis=0)
+        assert np.all(span < 0.95)
+
+    def test_collect_dataset_structure(self):
+        world = make_world()
+        dataset = collect_dpr_dataset(world, episodes=2)
+        assert len(dataset) == 3
+        group = dataset.groups[0]
+        assert group.num_episodes == 2
+        assert group.horizon == 8
+        assert group.num_users == 12
+        assert group.state_dim == 13
+        assert group.feedback_dim == 3
+
+    def test_collect_reproducible(self):
+        d1 = collect_dpr_dataset(make_world(), episodes=1, seed=5)
+        d2 = collect_dpr_dataset(make_world(), episodes=1, seed=5)
+        np.testing.assert_array_equal(d1.groups[0].actions, d2.groups[0].actions)
+        np.testing.assert_array_equal(d1.groups[0].feedback, d2.groups[0].feedback)
+
+    def test_feedback_matches_orders(self):
+        dataset = collect_dpr_dataset(make_world(), episodes=1)
+        group = dataset.groups[0]
+        # feedback[..., 0] is orders; must be consistent with reward + cost
+        orders = group.feedback[..., 0]
+        assert np.all(orders >= 0)
+        assert orders.mean() > 0

@@ -1,0 +1,238 @@
+"""Tests for the LTS (Choc/Kale) environment dynamics and task sets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.envs import (
+    LTSConfig,
+    LTSEnv,
+    MU_C_REAL,
+    MU_K_REAL,
+    admissible_omega_g,
+    evaluate_policy,
+    make_lts_task,
+    oracle_constant_policy_return,
+)
+
+
+def make_env(**kwargs) -> LTSEnv:
+    defaults = dict(num_users=20, horizon=30, seed=0)
+    defaults.update(kwargs)
+    return LTSEnv(LTSConfig(**defaults))
+
+
+class TestDynamics:
+    def test_reset_state_shape(self):
+        env = make_env()
+        states = env.reset()
+        assert states.shape == (20, 2)
+
+    def test_initial_sat_is_half(self):
+        # NPE starts at 0 so SAT = sigmoid(0) = 0.5 for every user.
+        env = make_env()
+        states = env.reset()
+        np.testing.assert_allclose(states[:, 0], 0.5)
+
+    def test_sat_bounded(self):
+        env = make_env()
+        env.reset()
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            states, _, _, _ = env.step(rng.random((20, 1)))
+            assert np.all((states[:, 0] > 0) & (states[:, 0] < 1))
+
+    def test_npe_recursion(self):
+        env = make_env(num_users=3)
+        env.reset()
+        actions = np.array([[1.0], [0.0], [0.5]])
+        _, _, _, info = env.step(actions)
+        # NPE_1 = γ_n * 0 - 2 (a - 0.5)
+        expected = -2.0 * (actions[:, 0] - 0.5)
+        np.testing.assert_allclose(info["npe"], expected)
+
+    def test_sat_matches_sigmoid_of_npe(self):
+        env = make_env(num_users=5)
+        env.reset()
+        _, _, _, info = env.step(np.full((5, 1), 0.8))
+        expected_sat = 1.0 / (1.0 + np.exp(-env.sensitivity * info["npe"]))
+        np.testing.assert_allclose(info["sat"], expected_sat)
+
+    def test_clickbait_erodes_satisfaction(self):
+        env = make_env(num_users=10, horizon=50)
+        env.reset()
+        for _ in range(50):
+            _, _, _, info = env.step(np.ones((10, 1)))
+        assert np.all(info["sat"] < 0.5)
+
+    def test_kale_builds_satisfaction(self):
+        env = make_env(num_users=10, horizon=50)
+        env.reset()
+        for _ in range(50):
+            _, _, _, info = env.step(np.zeros((10, 1)))
+        assert np.all(info["sat"] > 0.5)
+
+    def test_engagement_mean_formula(self):
+        env = make_env(num_users=4)
+        env.reset()
+        a = np.array([[0.3], [0.7], [0.0], [1.0]])
+        _, _, _, info = env.step(a)
+        expected = (a[:, 0] * env.mu_c + (1 - a[:, 0]) * env.mu_k_users) * 0.5
+        np.testing.assert_allclose(info["engagement_mean"], expected)
+
+    def test_rewards_scatter_around_mean(self):
+        env = make_env(num_users=5000, horizon=5)
+        env.reset()
+        _, rewards, _, info = env.step(np.full((5000, 1), 0.5))
+        np.testing.assert_allclose(rewards.mean(), info["engagement_mean"].mean(), atol=0.1)
+
+    def test_done_at_horizon(self):
+        env = make_env(horizon=3)
+        env.reset()
+        for t in range(3):
+            _, _, dones, _ = env.step(np.full((20, 1), 0.5))
+        assert np.all(dones)
+
+    def test_not_done_before_horizon(self):
+        env = make_env(horizon=5)
+        env.reset()
+        _, _, dones, _ = env.step(np.full((20, 1), 0.5))
+        assert not np.any(dones)
+
+    def test_actions_clipped(self):
+        env = make_env(num_users=2)
+        env.reset()
+        _, _, _, info = env.step(np.array([[5.0], [-5.0]]))
+        np.testing.assert_allclose(info["npe"], [-1.0, 1.0])
+
+    def test_wrong_action_shape_raises(self):
+        env = make_env()
+        env.reset()
+        with pytest.raises(ValueError):
+            env.step(np.zeros((3, 1)))
+
+    def test_observation_noise_centered_on_mu_c(self):
+        env = make_env(num_users=5000, omega_g=3.0)
+        states = env.reset()
+        np.testing.assert_allclose(states[:, 1].mean(), MU_C_REAL + 3.0, atol=0.1)
+        np.testing.assert_allclose(states[:, 1].std(), 2.0, atol=0.1)
+
+    def test_seed_reproducibility(self):
+        env1, env2 = make_env(seed=42), make_env(seed=42)
+        s1, s2 = env1.reset(), env2.reset()
+        np.testing.assert_array_equal(s1, s2)
+        a = np.full((20, 1), 0.3)
+        r1 = env1.step(a)[1]
+        r2 = env2.step(a)[1]
+        np.testing.assert_array_equal(r1, r2)
+
+
+class TestOmegaParameterisation:
+    def test_omega_g_shifts_group_mean(self):
+        env = make_env(omega_g=5.0)
+        assert env.mu_c == MU_C_REAL + 5.0
+
+    def test_omega_u_shifts_user_mean(self):
+        env = make_env(omega_u=2.0)
+        np.testing.assert_allclose(env.mu_k_users, MU_K_REAL + 2.0)
+
+    def test_omega_u_range_draws_per_user(self):
+        env = make_env(num_users=500, omega_u_range=3.0)
+        gaps = env.mu_k_users - MU_K_REAL
+        assert np.all(np.abs(gaps) <= 3.0)
+        assert gaps.std() > 0.5  # actually spread out
+
+    def test_resample_user_gaps_changes_draws(self):
+        env = make_env(num_users=100, omega_u_range=3.0)
+        before = env.mu_k_users.copy()
+        env.resample_user_gaps()
+        assert not np.allclose(before, env.mu_k_users)
+
+    def test_resample_noop_without_range(self):
+        env = make_env(num_users=10)
+        before = env.mu_k_users.copy()
+        env.resample_user_gaps()
+        np.testing.assert_array_equal(before, env.mu_k_users)
+
+
+class TestOracle:
+    def test_oracle_matches_rollout(self):
+        env = make_env(num_users=2000, horizon=20)
+        oracle = oracle_constant_policy_return(env, 0.5)
+        measured = evaluate_policy(env, lambda s, t: np.full((2000, 1), 0.5), episodes=2)
+        np.testing.assert_allclose(measured, oracle, rtol=0.02)
+
+    def test_optimal_action_increases_with_mu_c(self):
+        """Richer groups (higher μ_c) reward more clickbait — the structure
+        the context-aware policy must discover."""
+        grid = np.linspace(0, 1, 21)
+        best_actions = []
+        for omega_g in [-8.0, 0.0, 7.0]:
+            env = make_env(num_users=100, horizon=140, omega_g=omega_g)
+            returns = [oracle_constant_policy_return(env, a) for a in grid]
+            best_actions.append(grid[int(np.argmax(returns))])
+        assert best_actions[0] < best_actions[1] <= best_actions[2] + 1e-9
+        assert best_actions[0] < best_actions[2]
+
+    def test_wrong_group_policy_is_costly(self):
+        env = make_env(num_users=100, horizon=140, omega_g=0.0)
+        grid = np.linspace(0, 1, 21)
+        returns = [oracle_constant_policy_return(env, a) for a in grid]
+        best = max(returns)
+        poor_group_action = 0.0  # optimal for μ_c = 6, wrong here
+        assert oracle_constant_policy_return(env, poor_group_action) < 0.75 * best
+
+
+class TestTasks:
+    def test_admissible_omega_g_lts1(self):
+        values = admissible_omega_g(2)
+        assert all(abs(v) >= 2 for v in values)
+        assert all(6 <= MU_C_REAL + v < 22 for v in values)
+        assert -8 in values and 7 in values and 0 not in values and 1 not in values
+
+    def test_gap_levels_nested(self):
+        lts1 = set(admissible_omega_g(2))
+        lts2 = set(admissible_omega_g(3))
+        lts3 = set(admissible_omega_g(4))
+        assert lts3 < lts2 < lts1
+
+    def test_make_task_names(self):
+        assert make_lts_task("LTS1").name == "LTS1"
+        assert make_lts_task("LTS3", beta=2.0).name == "LTS3-beta2"
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(ValueError):
+            make_lts_task("LTS9")
+
+    def test_beta_only_for_lts3(self):
+        with pytest.raises(ValueError):
+            make_lts_task("LTS1", beta=1.0)
+
+    def test_target_env_is_real_world(self):
+        task = make_lts_task("LTS2", num_users=10, horizon=5)
+        target = task.make_target_env()
+        assert target.mu_c == MU_C_REAL
+        np.testing.assert_allclose(target.mu_k_users, MU_K_REAL)
+
+    def test_train_envs_respect_gap(self):
+        task = make_lts_task("LTS3", num_users=5, horizon=5)
+        for env in task.make_train_envs():
+            assert abs(env.mu_c - MU_C_REAL) >= 4
+
+    def test_train_envs_deterministic_per_index(self):
+        task = make_lts_task("LTS1", num_users=5, horizon=5)
+        env_a = task.make_train_env(3)
+        env_b = task.make_train_env(3)
+        np.testing.assert_array_equal(env_a.reset(), env_b.reset())
+
+    def test_beta_task_has_user_gaps(self):
+        task = make_lts_task("LTS3", beta=4.0, num_users=200, horizon=5)
+        env = task.make_train_env(0)
+        assert np.abs(env.mu_k_users - MU_K_REAL).max() > 1.0
+
+    @given(st.sampled_from(["LTS1", "LTS2", "LTS3"]))
+    @settings(max_examples=9, deadline=None)
+    def test_simulator_count_positive(self, name):
+        task = make_lts_task(name, num_users=2, horizon=2)
+        assert task.num_simulators > 0

@@ -1,0 +1,90 @@
+"""Tests for the Fig. 10 intervention clustering."""
+
+import numpy as np
+import pytest
+
+from repro.envs import DPRConfig, DPRWorld, collect_dpr_dataset
+from repro.eval import cluster_driver_responses, consistent_violators
+from repro.sim import SimulatorLearnerConfig, build_simulator_set
+
+
+@pytest.fixture(scope="module")
+def setup():
+    world = DPRWorld(DPRConfig(num_cities=2, drivers_per_city=15, horizon=10, seed=91))
+    dataset = collect_dpr_dataset(world, episodes=2)
+    ensemble = build_simulator_set(
+        dataset,
+        num_members=3,
+        base_config=SimulatorLearnerConfig(hidden_sizes=(32, 32), epochs=30),
+        seed=0,
+    )
+    return dataset, ensemble
+
+
+class TestClusterDriverResponses:
+    def test_result_shapes(self, setup):
+        dataset, ensemble = setup
+        result = cluster_driver_responses(ensemble, dataset.groups[0], 0, num_clusters=4)
+        assert result.centers.shape == (4, len(result.deltas))
+        assert result.labels.shape == (15,)
+        assert result.cluster_slopes.shape == (4,)
+
+    def test_baseline_subtraction(self, setup):
+        """Response vectors are relative to the smallest ΔB: centers start ~0."""
+        dataset, ensemble = setup
+        result = cluster_driver_responses(ensemble, dataset.groups[0], 0)
+        np.testing.assert_allclose(result.centers[:, 0], 0.0, atol=1e-6)
+
+    def test_violating_fraction_in_unit_interval(self, setup):
+        dataset, ensemble = setup
+        result = cluster_driver_responses(ensemble, dataset.groups[0], 0)
+        assert 0.0 <= result.violating_fraction <= 1.0
+
+    def test_violating_clusters_have_nonpositive_slope(self, setup):
+        dataset, ensemble = setup
+        result = cluster_driver_responses(ensemble, dataset.groups[0], 0)
+        for cluster in result.violating_clusters():
+            assert result.cluster_slopes[cluster] <= 0.0
+
+    def test_custom_deltas(self, setup):
+        dataset, ensemble = setup
+        deltas = np.linspace(-0.2, 0.2, 5)
+        result = cluster_driver_responses(
+            ensemble, dataset.groups[0], 0, deltas=deltas
+        )
+        np.testing.assert_array_equal(result.deltas, deltas)
+
+    def test_deterministic_given_seed(self, setup):
+        dataset, ensemble = setup
+        r1 = cluster_driver_responses(ensemble, dataset.groups[0], 0, seed=3)
+        r2 = cluster_driver_responses(ensemble, dataset.groups[0], 0, seed=3)
+        np.testing.assert_array_equal(r1.labels, r2.labels)
+
+
+class TestConsistentViolators:
+    def test_intersection_semantics(self, setup):
+        dataset, ensemble = setup
+        results = [
+            cluster_driver_responses(ensemble, dataset.groups[0], k)
+            for k in range(len(ensemble))
+        ]
+        always_bad = consistent_violators(results)
+        assert always_bad.shape == (15,)
+        # Consistency: anyone flagged must be flagged in every member.
+        for result in results:
+            member_bad = np.isin(result.labels, result.violating_clusters())
+            assert np.all(member_bad[always_bad])
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            consistent_violators([])
+
+    def test_fewer_consistent_than_single(self, setup):
+        dataset, ensemble = setup
+        results = [
+            cluster_driver_responses(ensemble, dataset.groups[0], k)
+            for k in range(len(ensemble))
+        ]
+        single = np.isin(results[0].labels, results[0].violating_clusters())
+        consistent = consistent_violators(results)
+        assert consistent.sum() <= single.sum()

@@ -1,0 +1,108 @@
+"""Tests for KDE and the Eq. (9) KLD metric."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.eval import GaussianKDE, dataset_kld, gaussian_kld
+
+RNG = np.random.default_rng(8)
+
+
+class TestGaussianKDE:
+    def test_matches_scipy_1d(self):
+        data = RNG.standard_normal(200)
+        ours = GaussianKDE(data)
+        scipy_kde = stats.gaussian_kde(data)
+        points = np.linspace(-2, 2, 9)
+        np.testing.assert_allclose(ours.pdf(points), scipy_kde(points), rtol=1e-6)
+
+    def test_matches_scipy_2d(self):
+        data = RNG.standard_normal((300, 2)) @ np.array([[1.0, 0.3], [0.0, 0.7]])
+        ours = GaussianKDE(data)
+        scipy_kde = stats.gaussian_kde(data.T)
+        points = RNG.standard_normal((20, 2))
+        np.testing.assert_allclose(ours.pdf(points), scipy_kde(points.T), rtol=1e-5)
+
+    def test_density_integrates_to_one_1d(self):
+        data = RNG.standard_normal(100)
+        kde = GaussianKDE(data)
+        grid = np.linspace(-6, 6, 2000)
+        integral = np.trapezoid(kde.pdf(grid), grid)
+        np.testing.assert_allclose(integral, 1.0, atol=1e-3)
+
+    def test_logpdf_finite_far_from_data(self):
+        kde = GaussianKDE(RNG.standard_normal(50))
+        assert np.isfinite(kde.logpdf(np.array([100.0]))[0])
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            GaussianKDE(np.array([1.0]))
+
+    def test_degenerate_dimension_regularised(self):
+        data = np.column_stack([RNG.standard_normal(50), np.zeros(50)])
+        kde = GaussianKDE(data)  # must not raise
+        assert np.isfinite(kde.logpdf(data[:5])).all()
+
+
+class TestDatasetKLD:
+    def test_identical_datasets_near_zero(self):
+        data = RNG.standard_normal((300, 1))
+        assert abs(dataset_kld(data, data.copy())) < 1e-9
+
+    def test_same_distribution_small(self):
+        a = RNG.standard_normal((400, 1))
+        b = RNG.standard_normal((400, 1))
+        assert abs(dataset_kld(a, b)) < 0.15
+
+    def test_different_distributions_large(self):
+        a = RNG.standard_normal((300, 1))
+        b = RNG.standard_normal((300, 1)) + 5.0
+        assert dataset_kld(a, b) > 1.0
+
+    def test_orders_with_distance(self):
+        a = RNG.standard_normal((300, 1))
+        near = RNG.standard_normal((300, 1)) + 1.0
+        far = RNG.standard_normal((300, 1)) + 4.0
+        assert dataset_kld(a, far) > dataset_kld(a, near)
+
+    def test_max_points_subsampling(self):
+        a = RNG.standard_normal((2000, 2))
+        b = RNG.standard_normal((2000, 2)) + 1.0
+        full = dataset_kld(a, b, max_points=300)
+        assert np.isfinite(full) and full > 0
+
+    def test_multidimensional(self):
+        a = RNG.standard_normal((300, 3))
+        b = RNG.standard_normal((300, 3)) + np.array([2.0, 0.0, 0.0])
+        assert dataset_kld(a, b) > 0.5
+
+
+class TestGaussianKLD:
+    def test_identical_is_zero(self):
+        assert gaussian_kld(1.0, 2.0, 1.0, 2.0) == 0.0
+
+    def test_matches_closed_form_1d(self):
+        # KL(N(0,1) || N(1,2)) = log 2 + (1 + 1)/8 - 1/2
+        expected = np.log(2.0) + 2.0 / 8.0 - 0.5
+        np.testing.assert_allclose(gaussian_kld(0.0, 1.0, 1.0, 2.0), expected, atol=1e-12)
+
+    def test_asymmetry(self):
+        assert gaussian_kld(0.0, 1.0, 3.0, 2.0) != gaussian_kld(3.0, 2.0, 0.0, 1.0)
+
+    def test_multivariate_sums_dims(self):
+        single = gaussian_kld(0.0, 1.0, 1.0, 1.0)
+        double = gaussian_kld(np.zeros(2), np.ones(2), np.ones(2), np.ones(2))
+        np.testing.assert_allclose(double, 2 * single, atol=1e-12)
+
+    def test_nonpositive_std_raises(self):
+        with pytest.raises(ValueError):
+            gaussian_kld(0.0, 0.0, 0.0, 1.0)
+
+    def test_against_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(0.5, 1.5, 200_000)
+        log_p = stats.norm.logpdf(samples, 0.5, 1.5)
+        log_q = stats.norm.logpdf(samples, -0.5, 0.8)
+        mc = float(np.mean(log_p - log_q))
+        np.testing.assert_allclose(gaussian_kld(0.5, 1.5, -0.5, 0.8), mc, atol=0.02)

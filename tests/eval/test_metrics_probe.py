@@ -1,0 +1,189 @@
+"""Tests for offline metrics, the A/B protocol and the KLD probe."""
+
+import numpy as np
+import pytest
+
+from repro.envs import (
+    BehaviorPolicy,
+    BehaviorPolicyConfig,
+    DPRConfig,
+    DPRWorld,
+)
+from repro.eval import (
+    ABTestResult,
+    KLDProbe,
+    ProbeConfig,
+    build_probe_dataset,
+    expected_cumulative_reward,
+    order_cost_increment,
+    probe_embedding_quality,
+    rollout_totals,
+    run_ab_test,
+)
+
+WORLD = DPRWorld(DPRConfig(num_cities=2, drivers_per_city=15, horizon=10, seed=71))
+
+
+def behavior_fn():
+    return BehaviorPolicy(BehaviorPolicyConfig(seed=0))
+
+
+def constant_fn(difficulty, bonus):
+    def act(states, t):
+        return np.column_stack(
+            [np.full(states.shape[0], difficulty), np.full(states.shape[0], bonus)]
+        )
+
+    return act
+
+
+class TestRolloutTotals:
+    def test_keys_and_positivity(self):
+        totals = rollout_totals(WORLD.make_city_env(0, seed=1), behavior_fn())
+        assert set(totals) == {"orders", "cost", "reward"}
+        assert totals["orders"] > 0
+
+    def test_reward_consistency(self):
+        totals = rollout_totals(WORLD.make_city_env(0, seed=1), behavior_fn())
+        np.testing.assert_allclose(
+            totals["reward"], totals["orders"] - totals["cost"], rtol=1e-9
+        )
+
+    def test_zero_bonus_zero_cost(self):
+        totals = rollout_totals(WORLD.make_city_env(0, seed=1), constant_fn(0.4, 0.0))
+        np.testing.assert_allclose(totals["cost"], 0.0, atol=1e-12)
+
+
+class TestOrderCostIncrement:
+    def test_same_policy_zero_increment(self):
+        result = order_cost_increment(
+            lambda: WORLD.make_city_env(0, seed=3),
+            constant_fn(0.4, 0.3),
+            constant_fn(0.4, 0.3),
+        )
+        np.testing.assert_allclose(result["orders_pct"], 0.0, atol=1e-9)
+
+    def test_higher_bonus_raises_cost_pct(self):
+        result = order_cost_increment(
+            lambda: WORLD.make_city_env(0, seed=3),
+            constant_fn(0.4, 0.8),
+            constant_fn(0.4, 0.2),
+        )
+        assert result["cost_pct"] > 50.0
+
+    def test_returns_raw_stats(self):
+        result = order_cost_increment(
+            lambda: WORLD.make_city_env(0, seed=3),
+            behavior_fn(),
+            behavior_fn(),
+        )
+        assert "policy" in result and "behavior" in result
+
+
+class TestExpectedCumulativeReward:
+    def test_positive_for_behavior(self):
+        value = expected_cumulative_reward(WORLD.make_city_env(1, seed=5), behavior_fn())
+        assert value > 0
+
+    def test_discounting_reduces_value(self):
+        env = WORLD.make_city_env(1, seed=5)
+        undiscounted = expected_cumulative_reward(env, behavior_fn(), gamma=1.0)
+        discounted = expected_cumulative_reward(
+            WORLD.make_city_env(1, seed=5), behavior_fn(), gamma=0.5
+        )
+        assert discounted < undiscounted
+
+
+class TestABTest:
+    def env_factory(self, seed):
+        config = DPRConfig(num_cities=1, drivers_per_city=20, horizon=15, seed=81)
+        return DPRWorld(config).make_city_env(0, seed=seed)
+
+    def test_day_range(self):
+        result = run_ab_test(
+            self.env_factory, behavior_fn, constant_fn(0.4, 0.3), 18, 22, 28
+        )
+        np.testing.assert_array_equal(result.days, np.arange(18, 29))
+
+    def test_identical_policies_no_gap(self):
+        result = run_ab_test(
+            self.env_factory,
+            lambda: constant_fn(0.4, 0.3),
+            constant_fn(0.4, 0.3),
+            18,
+            22,
+            28,
+        )
+        assert abs(result.post_deploy_improvement()) < 10.0
+
+    def test_scaled_series_normalised_by_pretreatment(self):
+        result = run_ab_test(
+            self.env_factory, behavior_fn, constant_fn(0.4, 0.3), 18, 22, 28
+        )
+        scaled = result.scaled()
+        pre = scaled["control"][result.days < 22]
+        np.testing.assert_allclose(pre.mean(), 1.0, atol=1e-9)
+
+    def test_better_policy_shows_improvement(self):
+        # Zero-bonus extreme hurts completion; a sensible constant beats it.
+        result = run_ab_test(
+            self.env_factory,
+            lambda: constant_fn(0.9, 0.0),  # human policy: too-hard free tasks
+            constant_fn(0.4, 0.5),
+            18,
+            22,
+            28,
+        )
+        assert result.post_deploy_improvement() > 0.0
+
+
+class TestKLDProbe:
+    def embeddings_and_datasets(self, informative=True, count=10, seed=0):
+        """υ_i = distribution mean (informative) or noise (uninformative)."""
+        rng = np.random.default_rng(seed)
+        embeddings, datasets = [], []
+        for _ in range(count):
+            mean = rng.uniform(-3, 3)
+            data = rng.normal(mean, 1.0, (150, 1))
+            emb = np.array([mean, mean**2]) if informative else rng.standard_normal(2)
+            embeddings.append(emb)
+            datasets.append(data)
+        return embeddings, datasets
+
+    def test_build_probe_dataset_shapes(self):
+        embeddings, datasets = self.embeddings_and_datasets()
+        pairs, targets = build_probe_dataset(embeddings, datasets, num_pairs=12)
+        assert pairs.shape == (12, 4)
+        assert targets.shape == (12,)
+
+    def test_mismatched_lists_raise(self):
+        embeddings, datasets = self.embeddings_and_datasets()
+        with pytest.raises(ValueError):
+            build_probe_dataset(embeddings[:3], datasets[:2], num_pairs=4)
+
+    def test_probe_fits_informative_embeddings(self):
+        embeddings, datasets = self.embeddings_and_datasets(informative=True)
+        pairs, targets = build_probe_dataset(embeddings, datasets, num_pairs=30)
+        probe = KLDProbe(2, ProbeConfig(epochs=200, seed=0))
+        losses = probe.fit(pairs, targets)
+        assert losses[-1] < losses[0]
+
+    def test_informative_beats_noise_embeddings(self):
+        """The probe MAE must be lower when υ actually encodes the
+        distribution — the premise of the Fig. 9(b) experiment."""
+        good_emb, datasets = self.embeddings_and_datasets(informative=True)
+        noise_emb, _ = self.embeddings_and_datasets(informative=False)
+        config = ProbeConfig(epochs=200, seed=0)
+        rng = np.random.default_rng(0)
+        mae_good = probe_embedding_quality(good_emb, datasets, num_pairs=30, config=config, rng=rng)
+        rng = np.random.default_rng(0)
+        mae_noise = probe_embedding_quality(noise_emb, datasets, num_pairs=30, config=config, rng=rng)
+        assert mae_good < mae_noise
+
+    def test_reinitialize_resets_weights(self):
+        probe = KLDProbe(2, ProbeConfig(seed=0))
+        before = probe.net.layers[0].weight.data.copy()
+        pairs = np.random.default_rng(0).standard_normal((10, 4))
+        probe.fit(pairs, np.ones(10))
+        probe.reinitialize()
+        np.testing.assert_array_equal(probe.net.layers[0].weight.data, before)

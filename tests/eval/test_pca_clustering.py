@@ -1,0 +1,110 @@
+"""Tests for PCA and k-means."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import PCA, cluster_inertia, kmeans
+
+RNG = np.random.default_rng(9)
+
+
+class TestPCA:
+    def test_energy_ratio_monotone_to_one(self):
+        data = RNG.standard_normal((100, 5))
+        ratio = PCA(data).energy_ratio()
+        assert np.all(np.diff(ratio) >= -1e-12)
+        np.testing.assert_allclose(ratio[-1], 1.0, atol=1e-12)
+
+    def test_dominant_direction_found(self):
+        # Data varies almost entirely along [1, 1]/√2.
+        t = RNG.standard_normal(300)
+        data = np.outer(t, [1.0, 1.0]) + RNG.standard_normal((300, 2)) * 0.01
+        pca = PCA(data)
+        ratio = pca.energy_ratio()
+        assert ratio[0] > 0.99
+        direction = pca.components[:, 0]
+        np.testing.assert_allclose(np.abs(direction), np.full(2, 1 / np.sqrt(2)), atol=0.01)
+
+    def test_transform_decorrelates(self):
+        data = RNG.standard_normal((500, 3)) @ RNG.standard_normal((3, 3))
+        projected = PCA(data).transform(data, k=3)
+        covariance = np.cov(projected, rowvar=False)
+        off_diagonal = covariance - np.diag(np.diag(covariance))
+        assert np.abs(off_diagonal).max() < 1e-8
+
+    def test_projection_matches_first_pc_variance(self):
+        data = RNG.standard_normal((200, 4))
+        pca = PCA(data)
+        projected = pca.transform(data, k=1)
+        np.testing.assert_allclose(projected.var(ddof=1), pca.eigenvalues[0], rtol=1e-10)
+
+    def test_too_few_rows_raises(self):
+        with pytest.raises(ValueError):
+            PCA(np.zeros((1, 3)))
+
+    @given(st.integers(min_value=2, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_eigenvalues_nonnegative_sorted(self, dim):
+        data = np.random.default_rng(dim).standard_normal((50, dim))
+        eigenvalues = PCA(data).eigenvalues
+        assert np.all(eigenvalues >= 0)
+        assert np.all(np.diff(eigenvalues) <= 1e-12)
+
+
+class TestKMeans:
+    def well_separated(self, k=3, per=40, spread=0.2, seed=0):
+        rng = np.random.default_rng(seed)
+        centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])[:k]
+        data = np.concatenate(
+            [c + rng.normal(0, spread, (per, 2)) for c in centers]
+        )
+        return data, centers
+
+    def test_recovers_separated_clusters(self):
+        data, true_centers = self.well_separated()
+        centers, labels = kmeans(data, 3, rng=np.random.default_rng(0))
+        # match found centers to true ones greedily
+        for true in true_centers:
+            distances = np.linalg.norm(centers - true, axis=1)
+            assert distances.min() < 0.5
+
+    def test_labels_consistent_with_centers(self):
+        data, _ = self.well_separated()
+        centers, labels = kmeans(data, 3, rng=np.random.default_rng(0))
+        for index, point in enumerate(data):
+            distances = np.linalg.norm(centers - point, axis=1)
+            assert labels[index] == np.argmin(distances)
+
+    def test_k_equals_n(self):
+        data = RNG.standard_normal((5, 2))
+        centers, labels = kmeans(data, 5, rng=np.random.default_rng(0))
+        assert len(set(labels.tolist())) == 5
+
+    def test_invalid_k_raises(self):
+        data = RNG.standard_normal((5, 2))
+        with pytest.raises(ValueError):
+            kmeans(data, 0)
+        with pytest.raises(ValueError):
+            kmeans(data, 6)
+
+    def test_more_clusters_lower_inertia(self):
+        data, _ = self.well_separated(spread=1.0)
+        inertias = []
+        for k in (1, 2, 3):
+            centers, labels = kmeans(data, k, rng=np.random.default_rng(0))
+            inertias.append(cluster_inertia(data, centers, labels))
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_deterministic_given_rng(self):
+        data, _ = self.well_separated()
+        c1, l1 = kmeans(data, 3, rng=np.random.default_rng(7))
+        c2, l2 = kmeans(data, 3, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(c1, c2)
+        np.testing.assert_array_equal(l1, l2)
+
+    def test_identical_points(self):
+        data = np.ones((10, 2))
+        centers, labels = kmeans(data, 2, rng=np.random.default_rng(0))
+        np.testing.assert_allclose(centers[labels], data)

@@ -1,0 +1,97 @@
+"""Tests for bootstrap / permutation comparison utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import ComparisonResult, bootstrap_mean_ci, paired_comparison
+
+RNG = np.random.default_rng(12)
+
+
+class TestBootstrapMeanCI:
+    def test_mean_inside_ci(self):
+        values = RNG.normal(5.0, 1.0, 200)
+        mean, low, high = bootstrap_mean_ci(values, seed=0)
+        assert low <= mean <= high
+
+    def test_ci_covers_true_mean_typically(self):
+        covered = 0
+        for trial in range(20):
+            values = np.random.default_rng(trial).normal(3.0, 2.0, 100)
+            _, low, high = bootstrap_mean_ci(values, seed=trial)
+            covered += int(low <= 3.0 <= high)
+        assert covered >= 16  # ~95% nominal coverage, loose check
+
+    def test_ci_shrinks_with_sample_size(self):
+        small = RNG.normal(0, 1, 30)
+        large = RNG.normal(0, 1, 3000)
+        _, lo_s, hi_s = bootstrap_mean_ci(small, seed=0)
+        _, lo_l, hi_l = bootstrap_mean_ci(large, seed=0)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_too_few_observations_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci(np.array([1.0]))
+
+    def test_deterministic_given_seed(self):
+        values = RNG.normal(0, 1, 50)
+        assert bootstrap_mean_ci(values, seed=3) == bootstrap_mean_ci(values, seed=3)
+
+
+class TestPairedComparison:
+    def test_clear_difference_significant(self):
+        a = RNG.normal(10.0, 1.0, 100)
+        b = a - 2.0 + RNG.normal(0, 0.1, 100)
+        result = paired_comparison(a, b, seed=0)
+        assert result.significant
+        assert result.mean_difference > 1.5
+        assert result.p_value < 0.05
+
+    def test_no_difference_not_significant(self):
+        a = RNG.normal(5.0, 1.0, 100)
+        b = a + RNG.normal(0, 0.01, 100) * np.where(RNG.random(100) < 0.5, 1, -1)
+        result = paired_comparison(a, b, seed=0)
+        assert not result.significant or abs(result.mean_difference) < 0.01
+
+    def test_sign_convention(self):
+        a = np.full(50, 3.0) + RNG.normal(0, 0.1, 50)
+        b = np.full(50, 1.0) + RNG.normal(0, 0.1, 50)
+        result = paired_comparison(a, b, seed=0)
+        assert result.mean_difference > 0
+        reversed_result = paired_comparison(b, a, seed=0)
+        assert reversed_result.mean_difference < 0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            paired_comparison(np.ones(5), np.ones(6))
+
+    def test_too_few_pairs_raises(self):
+        with pytest.raises(ValueError):
+            paired_comparison(np.ones(1), np.ones(1))
+
+    def test_p_value_in_unit_interval(self):
+        a = RNG.normal(0, 1, 40)
+        b = RNG.normal(0, 1, 40)
+        result = paired_comparison(a, b, seed=1)
+        assert 0.0 <= result.p_value <= 1.0
+
+    @given(st.floats(min_value=0.5, max_value=5.0))
+    @settings(max_examples=10, deadline=None)
+    def test_larger_gaps_more_significant(self, gap):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 1, 60)
+        small = paired_comparison(a + 0.01, a, seed=0)
+        large = paired_comparison(a + gap, a, seed=0)
+        assert large.p_value <= small.p_value + 1e-9
+
+
+class TestComparisonResult:
+    def test_significance_from_ci(self):
+        positive = ComparisonResult(1.0, 0.5, 1.5, 0.01)
+        spanning = ComparisonResult(0.1, -0.5, 0.7, 0.4)
+        negative = ComparisonResult(-1.0, -1.5, -0.5, 0.01)
+        assert positive.significant
+        assert not spanning.significant
+        assert negative.significant

@@ -1,0 +1,117 @@
+"""End-to-end integration: the DPR pipeline at miniature scale.
+
+Exercises the whole Sec. V-C stack in one flow: world → logged data →
+simulator ensemble → filters → Algorithm 1 training → deployment to the
+ground-truth world (which training never touched).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Sim2RecDPRTrainer, build_sim2rec_policy, dpr_small_config
+from repro.envs import (
+    BehaviorPolicy,
+    BehaviorPolicyConfig,
+    DPRConfig,
+    DPRWorld,
+    collect_dpr_dataset,
+)
+from repro.eval import expected_cumulative_reward, run_ab_test
+from repro.sim import SimulatorLearnerConfig, build_simulator_set
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    world = DPRWorld(DPRConfig(num_cities=3, drivers_per_city=12, horizon=12, seed=101))
+    dataset = collect_dpr_dataset(world, episodes=2)
+    ensemble = build_simulator_set(
+        dataset,
+        num_members=4,
+        base_config=SimulatorLearnerConfig(hidden_sizes=(32, 32), epochs=35),
+        seed=0,
+    )
+    config = dpr_small_config(seed=0)
+    policy = build_sim2rec_policy(dataset.state_dim, dataset.action_dim, config)
+    trainer = Sim2RecDPRTrainer(policy, ensemble, dataset, config)
+    trainer.pretrain_sadae(epochs=5)
+    trainer.train(25)
+    return world, dataset, ensemble, policy, trainer
+
+
+class TestDPRPipeline:
+    def test_training_completes_with_finite_metrics(self, pipeline):
+        _, _, _, _, trainer = pipeline
+        rewards = trainer.logger.series("reward")
+        assert len(rewards) == 25
+        assert all(np.isfinite(r) for r in rewards)
+
+    def test_policy_actions_in_bounds(self, pipeline):
+        world, _, _, policy, _ = pipeline
+        env = world.make_city_env(0)
+        states = env.reset()
+        actions, _, _ = policy.act(
+            states, np.zeros((12, 2)), np.random.default_rng(0), deterministic=True
+        )
+        clipped = np.clip(actions, 0, 1)
+        np.testing.assert_allclose(actions, clipped, atol=0.35)
+
+    def test_policy_stays_near_executable_subspace(self, pipeline):
+        """F_exec training pressure: deterministic actions should mostly fall
+        inside the logged action range."""
+        _, dataset, _, policy, _ = pipeline
+        _, logged_actions, _ = dataset.transition_pairs()
+        low = logged_actions.min(axis=0) - 0.15
+        high = logged_actions.max(axis=0) + 0.15
+        s, _, _ = dataset.transition_pairs()
+        policy.start_rollout(40)
+        actions, _, _ = policy.act(
+            s[:40], np.zeros((40, 2)), np.random.default_rng(0), deterministic=True
+        )
+        inside = ((actions >= low) & (actions <= high)).all(axis=1).mean()
+        assert inside > 0.5
+
+    def test_deploys_to_ground_truth_positively(self, pipeline):
+        """The trained policy earns meaningful reward in the real world it
+        never interacted with."""
+        world, _, _, policy, _ = pipeline
+        env = world.make_city_env(1, seed=901)
+        act_fn = policy.as_act_fn(np.random.default_rng(0), deterministic=True)
+        reward = expected_cumulative_reward(env, act_fn, episodes=1)
+        behavior = BehaviorPolicy(BehaviorPolicyConfig(seed=5))
+        behavior_reward = expected_cumulative_reward(
+            world.make_city_env(1, seed=901), behavior, episodes=1
+        )
+        assert reward > 0
+        assert reward > 0.5 * behavior_reward
+
+    def test_ab_protocol_runs_with_trained_policy(self, pipeline):
+        world, _, _, policy, _ = pipeline
+
+        def env_factory(seed):
+            config = DPRConfig(num_cities=3, drivers_per_city=12, horizon=11, seed=101)
+            return DPRWorld(config).make_city_env(0, seed=seed)
+
+        result = run_ab_test(
+            env_factory,
+            lambda: BehaviorPolicy(BehaviorPolicyConfig(seed=1)),
+            policy.as_act_fn(np.random.default_rng(0), deterministic=True),
+            start_day=18,
+            deploy_day=22,
+            end_day=28,
+            seed=3,
+        )
+        assert len(result.days) == 11
+        assert np.isfinite(result.post_deploy_improvement())
+
+    def test_sadae_group_embeddings_distinguish_cities(self, pipeline):
+        """After training, the SADAE embedding separates cities with very
+        different demand scales (the group-behaviour differences)."""
+        _, dataset, _, policy, _ = pipeline
+        small_city = dataset.groups[0]
+        big_city = dataset.groups[-1]
+        emb_small = policy.sadae.embed(*small_city.state_action_set(0, 5))
+        emb_small2 = policy.sadae.embed(*small_city.state_action_set(1, 5))
+        emb_big = policy.sadae.embed(*big_city.state_action_set(0, 5))
+        same = np.linalg.norm(emb_small - emb_small2)
+        different = np.linalg.norm(emb_small - emb_big)
+        assert different > same

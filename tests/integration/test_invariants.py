@@ -1,0 +1,136 @@
+"""Cross-module property-based invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.envs import DPRConfig, DPRWorld, LTSConfig, LTSEnv
+from repro.rl import compute_gae
+from repro.sim import SimulatorLearnerConfig, train_user_simulator
+
+
+class TestLTSClosedForm:
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_npe_matches_closed_form(self, action, steps, seed):
+        """Constant action a for t steps gives
+        NPE_t = -2 (a - 1/2) (1 - γ^t) / (1 - γ)."""
+        env = LTSEnv(LTSConfig(num_users=3, horizon=steps, seed=seed))
+        env.reset()
+        for _ in range(steps):
+            _, _, _, info = env.step(np.full((3, 1), action))
+        gamma = env.memory_discount
+        expected = -2.0 * (action - 0.5) * (1 - gamma**steps) / (1 - gamma)
+        np.testing.assert_allclose(info["npe"], expected, atol=1e-9)
+
+    @given(st.floats(min_value=-8.0, max_value=7.0))
+    @settings(max_examples=15, deadline=None)
+    def test_sat_always_in_unit_interval(self, omega_g):
+        env = LTSEnv(LTSConfig(num_users=5, horizon=10, omega_g=omega_g, seed=0))
+        env.reset()
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            states, _, _, info = env.step(rng.random((5, 1)))
+            assert np.all((info["sat"] > 0) & (info["sat"] < 1))
+            assert np.all((states[:, 0] > 0) & (states[:, 0] < 1))
+
+
+class TestGAEProperties:
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_zero_reward_perfect_value_zero_advantage(self, steps, lam, seed):
+        """If rewards are zero and V ≡ 0 everywhere, advantages are zero."""
+        rng = np.random.default_rng(seed)
+        rewards = np.zeros((steps, 2))
+        values = np.zeros((steps, 2))
+        dones = np.zeros((steps, 2))
+        dones[-1] = 1.0
+        adv, _ = compute_gae(rewards, values, dones, np.zeros(2), 0.9, lam)
+        np.testing.assert_allclose(adv, 0.0, atol=1e-12)
+
+    @given(st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=15, deadline=None)
+    def test_advantage_linear_in_reward_scale(self, scale):
+        rng = np.random.default_rng(0)
+        rewards = rng.standard_normal((5, 2))
+        values = np.zeros((5, 2))
+        dones = np.zeros((5, 2))
+        dones[-1] = 1.0
+        adv1, _ = compute_gae(rewards, values, dones, np.zeros(2), 0.9, 0.9)
+        adv2, _ = compute_gae(rewards * scale, values, dones, np.zeros(2), 0.9, 0.9)
+        np.testing.assert_allclose(adv2, adv1 * scale, rtol=1e-10)
+
+
+class TestSimulatorInvariants:
+    @pytest.fixture(scope="class")
+    def simulator(self):
+        rng = np.random.default_rng(0)
+        s = rng.standard_normal((600, 3))
+        a = rng.uniform(0, 1, (600, 2))
+        y = np.column_stack(
+            [s[:, 0] + a[:, 0] + rng.normal(0, 0.1, 600), (a[:, 1] > 0.5).astype(float)]
+        )
+        config = SimulatorLearnerConfig(
+            hidden_sizes=(24,), epochs=40, binary_dims=(1,), seed=0
+        )
+        return train_user_simulator((s, a, y), config)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_binary_probabilities_bounded(self, simulator, seed):
+        rng = np.random.default_rng(seed)
+        s = rng.standard_normal((10, 3)) * 3  # include off-support inputs
+        a = rng.uniform(-1, 2, (10, 2))
+        prediction = simulator.predict_mean(s, a)
+        assert np.all((prediction[:, 1] >= 0) & (prediction[:, 1] <= 1))
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_sample_mean_tracks_predicted_mean(self, simulator, seed):
+        rng = np.random.default_rng(seed)
+        s = rng.standard_normal((1, 3))
+        a = rng.uniform(0, 1, (1, 2))
+        predicted = simulator.predict_mean(s, a)[0, 0]
+        draws = np.array(
+            [
+                simulator.sample(s, a, np.random.default_rng(seed * 1000 + k))[0, 0]
+                for k in range(300)
+            ]
+        )
+        assert abs(draws.mean() - predicted) < 5 * draws.std() / np.sqrt(300) + 0.05
+
+
+class TestDPRWorldProperties:
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_rewards_never_below_half_orders(self, seed):
+        """reward = orders - cost with cost ≤ COST_RATE·orders, so reward ≥
+        (1 - COST_RATE)·orders ≥ 0 for α₁ = 1."""
+        world = DPRWorld(DPRConfig(num_cities=2, drivers_per_city=6, horizon=5, seed=seed))
+        env = world.make_city_env(0)
+        env.reset()
+        rng = np.random.default_rng(seed)
+        for _ in range(5):
+            _, rewards, _, info = env.step(rng.random((6, 2)))
+            assert np.all(rewards >= 0.5 * info["orders"] - 1e-9)
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_state_dim_stable_across_steps(self, seed):
+        world = DPRWorld(DPRConfig(num_cities=1, drivers_per_city=4, horizon=4, seed=seed))
+        env = world.make_city_env(0)
+        states = env.reset()
+        for _ in range(4):
+            next_states, _, _, _ = env.step(np.full((4, 2), 0.5))
+            assert next_states.shape == states.shape
+            assert np.all(np.isfinite(next_states))
+            states = next_states

@@ -1,0 +1,136 @@
+"""Tests for composite differentiable functions (softmax, losses)."""
+
+import numpy as np
+from scipy.special import logsumexp as scipy_logsumexp
+from scipy.stats import norm
+
+from repro.nn import (
+    Tensor,
+    binary_cross_entropy_with_logits,
+    gaussian_log_prob,
+    huber_loss,
+    log_softmax,
+    logsumexp,
+    mse_loss,
+    softmax,
+)
+
+from ..helpers import check_gradients
+
+RNG = np.random.default_rng(1)
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        logits = RNG.standard_normal((4, 5))
+        probs = softmax(Tensor(logits)).data
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(4), atol=1e-12)
+
+    def test_matches_scipy(self):
+        logits = RNG.standard_normal((3, 6))
+        expected = np.exp(logits - scipy_logsumexp(logits, axis=-1, keepdims=True))
+        np.testing.assert_allclose(softmax(Tensor(logits)).data, expected, atol=1e-12)
+
+    def test_stable_for_large_logits(self):
+        logits = np.array([[1000.0, 1001.0, 999.0]])
+        probs = softmax(Tensor(logits)).data
+        assert np.all(np.isfinite(probs))
+        np.testing.assert_allclose(probs.sum(), 1.0)
+
+    def test_gradient(self):
+        logits = RNG.standard_normal((2, 4))
+        weights = RNG.standard_normal((2, 4))
+        check_gradients(lambda t: (softmax(t[0]) * weights).sum(), [logits])
+
+
+class TestLogsumexp:
+    def test_matches_scipy(self):
+        logits = RNG.standard_normal((3, 5))
+        ours = logsumexp(Tensor(logits), axis=-1).data
+        np.testing.assert_allclose(ours, scipy_logsumexp(logits, axis=-1), atol=1e-12)
+
+    def test_keepdims(self):
+        logits = RNG.standard_normal((3, 5))
+        out = logsumexp(Tensor(logits), axis=-1, keepdims=True)
+        assert out.shape == (3, 1)
+
+    def test_gradient(self):
+        logits = RNG.standard_normal((2, 3))
+        check_gradients(lambda t: logsumexp(t[0], axis=-1).sum(), [logits])
+
+
+class TestLogSoftmax:
+    def test_exp_sums_to_one(self):
+        logits = RNG.standard_normal((4, 5))
+        out = log_softmax(Tensor(logits)).data
+        np.testing.assert_allclose(np.exp(out).sum(axis=-1), np.ones(4), atol=1e-12)
+
+    def test_gradient(self):
+        logits = RNG.standard_normal((2, 4))
+        weights = RNG.standard_normal((2, 4))
+        check_gradients(lambda t: (log_softmax(t[0]) * weights).sum(), [logits])
+
+
+class TestGaussianLogProb:
+    def test_matches_scipy(self):
+        x = RNG.standard_normal(10)
+        mean = RNG.standard_normal(10)
+        log_std = RNG.standard_normal(10) * 0.3
+        ours = gaussian_log_prob(Tensor(x), Tensor(mean), Tensor(log_std)).data
+        expected = norm.logpdf(x, loc=mean, scale=np.exp(log_std))
+        np.testing.assert_allclose(ours, expected, atol=1e-10)
+
+    def test_gradient(self):
+        x = RNG.standard_normal(4)
+        check_gradients(
+            lambda t: gaussian_log_prob(x, t[0], t[1]).sum(),
+            [RNG.standard_normal(4), RNG.standard_normal(4) * 0.2],
+        )
+
+
+class TestLosses:
+    def test_mse_zero_at_target(self):
+        x = RNG.standard_normal(5)
+        assert mse_loss(Tensor(x), Tensor(x.copy())).item() == 0.0
+
+    def test_mse_value(self):
+        loss = mse_loss(Tensor(np.array([1.0, 2.0])), Tensor(np.array([0.0, 0.0])))
+        np.testing.assert_allclose(loss.item(), 2.5)
+
+    def test_mse_gradient(self):
+        target = RNG.standard_normal((3, 2))
+        check_gradients(lambda t: mse_loss(t[0], target), [RNG.standard_normal((3, 2))])
+
+    def test_huber_quadratic_region(self):
+        pred = Tensor(np.array([0.3]))
+        target = Tensor(np.array([0.0]))
+        np.testing.assert_allclose(huber_loss(pred, target, delta=1.0).item(), 0.5 * 0.09)
+
+    def test_huber_linear_region(self):
+        pred = Tensor(np.array([3.0]))
+        target = Tensor(np.array([0.0]))
+        np.testing.assert_allclose(huber_loss(pred, target, delta=1.0).item(), 0.5 + 2.0)
+
+    def test_huber_gradient(self):
+        pred = np.array([0.2, 2.5, -3.0, 0.0])
+        target = np.zeros(4)
+        check_gradients(lambda t: huber_loss(t[0], target), [pred])
+
+    def test_bce_matches_reference(self):
+        logits = RNG.standard_normal(20)
+        targets = (RNG.random(20) < 0.5).astype(float)
+        probs = 1.0 / (1.0 + np.exp(-logits))
+        expected = -(targets * np.log(probs) + (1 - targets) * np.log(1 - probs)).mean()
+        ours = binary_cross_entropy_with_logits(Tensor(logits), Tensor(targets)).item()
+        np.testing.assert_allclose(ours, expected, atol=1e-10)
+
+    def test_bce_stable_for_extreme_logits(self):
+        logits = Tensor(np.array([100.0, -100.0]))
+        targets = Tensor(np.array([1.0, 0.0]))
+        loss = binary_cross_entropy_with_logits(logits, targets).item()
+        assert np.isfinite(loss) and loss < 1e-6
+
+    def test_bce_gradient(self):
+        logits = RNG.standard_normal(6)
+        targets = (RNG.random(6) < 0.5).astype(float)
+        check_gradients(lambda t: binary_cross_entropy_with_logits(t[0], targets), [logits])

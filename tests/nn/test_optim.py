@@ -1,0 +1,146 @@
+"""Tests for optimisers, LR schedules and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, LinearLRSchedule, Parameter, SGD, Tensor, clip_grad_norm
+
+RNG = np.random.default_rng(4)
+
+
+def quadratic_loss(param: Parameter) -> Tensor:
+    return ((param - 3.0) ** 2.0).sum()
+
+
+class TestSGD:
+    def test_single_step(self):
+        param = Parameter(np.array([0.0]))
+        optimizer = SGD([param], lr=0.1)
+        quadratic_loss(param).backward()
+        optimizer.step()
+        np.testing.assert_allclose(param.data, [0.6])  # grad = -6, step = 0.1*(-6)
+
+    def test_momentum_accumulates(self):
+        param = Parameter(np.array([0.0]))
+        optimizer = SGD([param], lr=0.1, momentum=0.9)
+        for _ in range(2):
+            optimizer.zero_grad()
+            quadratic_loss(param).backward()
+            optimizer.step()
+        # step1: v=-6, x=0.6; step2: v=0.9*(-6)+(-4.8)=-10.2, x=0.6+1.02
+        np.testing.assert_allclose(param.data, [1.62])
+
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.array([0.0]))
+        optimizer = SGD([param], lr=0.1)
+        for _ in range(100):
+            optimizer.zero_grad()
+            quadratic_loss(param).backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, [3.0], atol=1e-6)
+
+    def test_skips_params_without_grad(self):
+        p1 = Parameter(np.array([1.0]))
+        p2 = Parameter(np.array([2.0]))
+        optimizer = SGD([p1, p2], lr=0.1)
+        (p1 * 2.0).sum().backward()
+        optimizer.step()
+        np.testing.assert_allclose(p2.data, [2.0])
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        # With bias correction, the first Adam step has magnitude ~lr.
+        param = Parameter(np.array([10.0]))
+        optimizer = Adam([param], lr=0.5)
+        quadratic_loss(param).backward()
+        optimizer.step()
+        np.testing.assert_allclose(param.data, [9.5], atol=1e-6)
+
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.array([-4.0, 8.0]))
+        optimizer = Adam([param], lr=0.2)
+        for _ in range(300):
+            optimizer.zero_grad()
+            quadratic_loss(param).backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, [3.0, 3.0], atol=1e-4)
+
+    def test_weight_decay_pulls_to_zero(self):
+        param = Parameter(np.array([5.0]))
+        optimizer = Adam([param], lr=0.1, weight_decay=1.0)
+        for _ in range(500):
+            optimizer.zero_grad()
+            # zero loss gradient: only decay acts
+            (param * 0.0).sum().backward()
+            optimizer.step()
+        assert abs(param.data[0]) < 0.5
+
+    def test_zero_grad_resets(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = Adam([param], lr=0.1)
+        quadratic_loss(param).backward()
+        optimizer.zero_grad()
+        assert param.grad is None
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        param = Parameter(np.array([1.0]))
+        param.grad = np.array([0.5])
+        norm = clip_grad_norm([param], max_norm=10.0)
+        np.testing.assert_allclose(norm, 0.5)
+        np.testing.assert_allclose(param.grad, [0.5])
+
+    def test_clips_above_threshold(self):
+        p1 = Parameter(np.array([1.0]))
+        p2 = Parameter(np.array([1.0]))
+        p1.grad = np.array([3.0])
+        p2.grad = np.array([4.0])
+        norm = clip_grad_norm([p1, p2], max_norm=1.0)
+        np.testing.assert_allclose(norm, 5.0)
+        total = np.sqrt(p1.grad**2 + p2.grad**2)
+        np.testing.assert_allclose(total, [1.0], atol=1e-12)
+
+    def test_handles_missing_grads(self):
+        p1 = Parameter(np.array([1.0]))
+        p2 = Parameter(np.array([1.0]))
+        p1.grad = np.array([2.0])
+        norm = clip_grad_norm([p1, p2], max_norm=1.0)
+        np.testing.assert_allclose(norm, 2.0)
+
+
+class TestLinearLRSchedule:
+    def test_decays_to_end_value(self):
+        param = Parameter(np.array([0.0]))
+        optimizer = Adam([param], lr=1e-4)
+        schedule = LinearLRSchedule(optimizer, start=1e-4, end=1e-6, total=10)
+        for _ in range(10):
+            schedule.step()
+        np.testing.assert_allclose(optimizer.lr, 1e-6)
+
+    def test_midpoint(self):
+        param = Parameter(np.array([0.0]))
+        optimizer = Adam([param], lr=1.0)
+        schedule = LinearLRSchedule(optimizer, start=1.0, end=0.0, total=4)
+        schedule.step()
+        schedule.step()
+        np.testing.assert_allclose(optimizer.lr, 0.5)
+
+    def test_clamps_after_total(self):
+        param = Parameter(np.array([0.0]))
+        optimizer = Adam([param], lr=1.0)
+        schedule = LinearLRSchedule(optimizer, start=1.0, end=0.1, total=2)
+        for _ in range(5):
+            schedule.step()
+        np.testing.assert_allclose(optimizer.lr, 0.1)
+
+    def test_invalid_total_raises(self):
+        param = Parameter(np.array([0.0]))
+        optimizer = Adam([param], lr=1.0)
+        with pytest.raises(ValueError):
+            LinearLRSchedule(optimizer, start=1.0, end=0.1, total=0)

@@ -1,0 +1,147 @@
+"""Tests for LSTM / GRU cells and sequence unrolling (BPTT)."""
+
+import numpy as np
+
+from repro.nn import GRUCell, LSTM, LSTMCell, Tensor
+
+from ..helpers import check_gradients
+
+RNG = np.random.default_rng(3)
+
+
+class TestLSTMCell:
+    def test_output_shapes(self):
+        cell = LSTMCell(4, 8, RNG)
+        state = cell.initial_state(3)
+        h, (h2, c2) = cell(Tensor(RNG.standard_normal((3, 4))), state)
+        assert h.shape == (3, 8)
+        assert h2.shape == (3, 8)
+        assert c2.shape == (3, 8)
+
+    def test_forget_bias_initialised_to_one(self):
+        cell = LSTMCell(4, 8, RNG)
+        np.testing.assert_array_equal(cell.bias.data[8:16], np.ones(8))
+
+    def test_state_changes_output(self):
+        cell = LSTMCell(2, 4, RNG)
+        x = Tensor(RNG.standard_normal((1, 2)))
+        zero_state = cell.initial_state(1)
+        h1, _ = cell(x, zero_state)
+        active_state = (Tensor(np.ones((1, 4))), Tensor(np.ones((1, 4))))
+        h2, _ = cell(x, active_state)
+        assert not np.allclose(h1.data, h2.data)
+
+    def test_gradients_through_time(self):
+        cell = LSTMCell(2, 3, RNG)
+        xs = RNG.standard_normal((4, 1, 2))
+
+        def loss(tensors):
+            state = cell.initial_state(1)
+            total = None
+            for t in range(4):
+                h, state = cell(tensors[0][t], state)
+                total = h.sum() if total is None else total + h.sum()
+            return total
+
+        check_gradients(loss, [xs], atol=1e-4)
+
+    def test_parameter_gradients_populated(self):
+        cell = LSTMCell(2, 3, RNG)
+        state = cell.initial_state(2)
+        h, state = cell(Tensor(RNG.standard_normal((2, 2))), state)
+        h, _ = cell(Tensor(RNG.standard_normal((2, 2))), state)
+        h.sum().backward()
+        for param in cell.parameters():
+            assert param.grad is not None
+            assert np.any(param.grad != 0)
+
+
+class TestGRUCell:
+    def test_output_shape(self):
+        cell = GRUCell(4, 6, RNG)
+        h = cell(Tensor(RNG.standard_normal((3, 4))), cell.initial_state(3))
+        assert h.shape == (3, 6)
+
+    def test_interpolation_property(self):
+        # With z -> 1 the GRU must copy the previous state.
+        cell = GRUCell(2, 3, RNG)
+        cell.bias.data[3:6] = 100.0  # saturate update gate z to 1
+        h_prev = Tensor(RNG.standard_normal((1, 3)))
+        h = cell(Tensor(RNG.standard_normal((1, 2))), h_prev)
+        np.testing.assert_allclose(h.data, h_prev.data, atol=1e-6)
+
+    def test_gradients(self):
+        cell = GRUCell(2, 3, RNG)
+        h = cell(Tensor(RNG.standard_normal((2, 2))), cell.initial_state(2))
+        h.sum().backward()
+        for param in cell.parameters():
+            assert param.grad is not None
+
+
+class TestLSTMSequence:
+    def test_output_shapes(self):
+        lstm = LSTM(3, 5, RNG)
+        seq = Tensor(RNG.standard_normal((7, 2, 3)))
+        outputs, (h, c) = lstm(seq)
+        assert outputs.shape == (7, 2, 5)
+        assert h.shape == (2, 5)
+        assert c.shape == (2, 5)
+
+    def test_matches_manual_unroll(self):
+        lstm = LSTM(3, 4, RNG)
+        seq = RNG.standard_normal((5, 2, 3))
+        outputs, _ = lstm(Tensor(seq))
+        state = lstm.cell.initial_state(2)
+        for t in range(5):
+            h, state = lstm.cell(Tensor(seq[t]), state)
+            np.testing.assert_allclose(outputs.data[t], h.data, atol=1e-12)
+
+    def test_reset_mask_restarts_state(self):
+        lstm = LSTM(2, 3, RNG)
+        seq = RNG.standard_normal((4, 1, 2))
+        # Reset at t=2: outputs from t=2 on must equal a fresh run on the suffix.
+        mask = np.zeros((4, 1))
+        mask[2, 0] = 1.0
+        outputs_masked, _ = lstm(Tensor(seq), reset_mask=mask)
+        outputs_suffix, _ = lstm(Tensor(seq[2:]))
+        np.testing.assert_allclose(outputs_masked.data[2:], outputs_suffix.data, atol=1e-12)
+
+    def test_initial_state_passthrough(self):
+        lstm = LSTM(2, 3, RNG)
+        seq = Tensor(RNG.standard_normal((2, 1, 2)))
+        h0 = Tensor(np.ones((1, 3)) * 0.5)
+        c0 = Tensor(np.ones((1, 3)) * 0.5)
+        out_custom, _ = lstm(seq, state=(h0, c0))
+        out_zero, _ = lstm(seq)
+        assert not np.allclose(out_custom.data, out_zero.data)
+
+    def test_bptt_gradients_nonzero_at_first_step(self):
+        lstm = LSTM(2, 3, RNG)
+        seq = Tensor(RNG.standard_normal((6, 2, 2)), requires_grad=True)
+        outputs, _ = lstm(seq)
+        outputs[5].sum().backward()
+        first_step_grad = seq.grad[0]
+        assert np.any(first_step_grad != 0.0), "gradient should flow to t=0 through BPTT"
+
+    def test_learns_to_remember_first_input(self):
+        """LSTM can learn a copy task: output the first element at the end."""
+        from repro.nn import Adam, Linear, mse_loss
+
+        rng = np.random.default_rng(42)
+        lstm = LSTM(1, 8, rng)
+        head = Linear(8, 1, rng)
+        params = lstm.parameters() + head.parameters()
+        optimizer = Adam(params, lr=5e-3)
+        losses = []
+        for _ in range(150):
+            signal = rng.standard_normal((1, 8, 1))
+            seq = np.concatenate([signal, np.zeros((5, 8, 1))], axis=0)
+            target = signal[0]
+            optimizer.zero_grad()
+            outputs, _ = lstm(Tensor(seq))
+            prediction = head(outputs[-1])
+            loss = mse_loss(prediction, Tensor(target))
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert np.mean(losses[-10:]) < np.mean(losses[:10]) * 0.5

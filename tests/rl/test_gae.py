@@ -1,0 +1,142 @@
+"""Tests for GAE against brute-force reference computations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rl import compute_gae, valid_step_mask
+
+
+def brute_force_gae(rewards, values, dones, last_values, gamma, lam, bootstrap_last=False):
+    """O(T²) reference implementation."""
+    steps, n = rewards.shape
+    advantages = np.zeros_like(rewards)
+    for user in range(n):
+        for t in range(steps):
+            advantage = 0.0
+            weight = 1.0
+            for k in range(t, steps):
+                non_terminal = 1.0 - dones[k, user]
+                if k == steps - 1 and bootstrap_last:
+                    non_terminal = 1.0
+                next_value = values[k + 1, user] if k + 1 < steps else last_values[user]
+                delta = rewards[k, user] + gamma * next_value * non_terminal - values[k, user]
+                advantage += weight * delta
+                if non_terminal == 0.0:
+                    break
+                weight *= gamma * lam
+            advantages[t, user] = advantage
+    return advantages
+
+
+class TestComputeGAE:
+    def random_inputs(self, steps=6, n=3, seed=0, with_dones=False):
+        rng = np.random.default_rng(seed)
+        rewards = rng.standard_normal((steps, n))
+        values = rng.standard_normal((steps, n))
+        dones = np.zeros((steps, n))
+        if with_dones:
+            dones[2, 0] = 1.0
+            dones[4, 2] = 1.0
+        dones[-1] = 1.0
+        last_values = rng.standard_normal(n)
+        return rewards, values, dones, last_values
+
+    def test_matches_brute_force(self):
+        rewards, values, dones, last = self.random_inputs()
+        adv, _ = compute_gae(rewards, values, dones, last, gamma=0.9, lam=0.8)
+        expected = brute_force_gae(rewards, values, dones, last, 0.9, 0.8)
+        np.testing.assert_allclose(adv, expected, atol=1e-10)
+
+    def test_matches_brute_force_with_mid_dones(self):
+        rewards, values, dones, last = self.random_inputs(with_dones=True)
+        adv, _ = compute_gae(rewards, values, dones, last, gamma=0.95, lam=0.9)
+        expected = brute_force_gae(rewards, values, dones, last, 0.95, 0.9)
+        np.testing.assert_allclose(adv, expected, atol=1e-10)
+
+    def test_bootstrap_last_matches_brute_force(self):
+        rewards, values, dones, last = self.random_inputs()
+        adv, _ = compute_gae(rewards, values, dones, last, 0.9, 0.8, bootstrap_last=True)
+        expected = brute_force_gae(rewards, values, dones, last, 0.9, 0.8, bootstrap_last=True)
+        np.testing.assert_allclose(adv, expected, atol=1e-10)
+
+    def test_returns_are_advantages_plus_values(self):
+        rewards, values, dones, last = self.random_inputs()
+        adv, returns = compute_gae(rewards, values, dones, last, 0.9, 0.8)
+        np.testing.assert_allclose(returns, adv + values, atol=1e-12)
+
+    def test_lambda_one_equals_monte_carlo(self):
+        """With λ=1 and terminal at T, advantage = discounted return - value."""
+        rewards, values, dones, last = self.random_inputs()
+        adv, _ = compute_gae(rewards, values, dones, last, gamma=0.9, lam=1.0)
+        steps = rewards.shape[0]
+        discounted = np.zeros_like(rewards[0])
+        for t in reversed(range(steps)):
+            discounted = rewards[t] + 0.9 * discounted * (1.0 - dones[t])
+        np.testing.assert_allclose(adv[0], discounted - values[0], atol=1e-10)
+
+    def test_lambda_zero_is_one_step_td(self):
+        rewards, values, dones, last = self.random_inputs()
+        adv, _ = compute_gae(rewards, values, dones, last, gamma=0.9, lam=0.0)
+        expected_t0 = rewards[0] + 0.9 * values[1] * (1 - dones[0]) - values[0]
+        np.testing.assert_allclose(adv[0], expected_t0, atol=1e-12)
+
+    def test_terminal_blocks_bootstrap(self):
+        rewards = np.array([[1.0], [1.0]])
+        values = np.zeros((2, 1))
+        dones = np.array([[1.0], [1.0]])
+        last = np.array([100.0])
+        adv, _ = compute_gae(rewards, values, dones, last, gamma=0.9, lam=0.9)
+        np.testing.assert_allclose(adv, [[1.0], [1.0]])
+
+    def test_bootstrap_last_uses_last_value(self):
+        rewards = np.array([[0.0]])
+        values = np.array([[0.0]])
+        dones = np.array([[1.0]])
+        last = np.array([10.0])
+        adv, _ = compute_gae(rewards, values, dones, last, 0.5, 1.0, bootstrap_last=True)
+        np.testing.assert_allclose(adv, [[5.0]])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            compute_gae(
+                np.zeros((3, 2)), np.zeros((4, 2)), np.zeros((3, 2)), np.zeros(2), 0.9, 0.9
+            )
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_brute_force(self, steps, n, seed):
+        rng = np.random.default_rng(seed)
+        rewards = rng.standard_normal((steps, n))
+        values = rng.standard_normal((steps, n))
+        dones = (rng.random((steps, n)) < 0.2).astype(float)
+        dones[-1] = 1.0
+        last = rng.standard_normal(n)
+        adv, _ = compute_gae(rewards, values, dones, last, 0.93, 0.85)
+        expected = brute_force_gae(rewards, values, dones, last, 0.93, 0.85)
+        np.testing.assert_allclose(adv, expected, atol=1e-9)
+
+
+class TestValidStepMask:
+    def test_all_valid_without_dones(self):
+        dones = np.zeros((4, 2))
+        np.testing.assert_array_equal(valid_step_mask(dones), np.ones((4, 2)))
+
+    def test_invalid_after_first_done(self):
+        dones = np.array([[0.0], [1.0], [0.0], [0.0]])
+        np.testing.assert_array_equal(valid_step_mask(dones)[:, 0], [1.0, 1.0, 0.0, 0.0])
+
+    def test_done_step_itself_is_valid(self):
+        dones = np.array([[1.0], [0.0]])
+        np.testing.assert_array_equal(valid_step_mask(dones)[:, 0], [1.0, 0.0])
+
+    def test_per_user_independent(self):
+        dones = np.array([[0.0, 1.0], [0.0, 0.0], [1.0, 0.0]])
+        mask = valid_step_mask(dones)
+        np.testing.assert_array_equal(mask[:, 0], [1.0, 1.0, 1.0])
+        np.testing.assert_array_equal(mask[:, 1], [1.0, 0.0, 0.0])

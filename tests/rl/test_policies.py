@@ -1,0 +1,171 @@
+"""Tests for MLP and recurrent actor-critic policies."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.rl import MLPActorCritic, RecurrentActorCritic, RolloutSegment
+
+RNG = np.random.default_rng(6)
+
+
+def make_segment(policy, steps=4, n=5, ds=3, seed=0):
+    rng = np.random.default_rng(seed)
+    states = rng.standard_normal((steps, n, ds))
+    prev_actions = np.zeros((steps, n, policy.action_dim))
+    actions = rng.uniform(0, 1, (steps, n, policy.action_dim))
+    dones = np.zeros((steps, n))
+    dones[-1] = 1.0
+    segment = RolloutSegment(
+        states=states,
+        prev_actions=prev_actions,
+        actions=actions,
+        rewards=rng.standard_normal((steps, n)),
+        dones=dones,
+        values=rng.standard_normal((steps, n)),
+        log_probs=rng.standard_normal((steps, n)),
+        last_values=rng.standard_normal(n),
+    )
+    segment.finalize(0.9, 0.9)
+    return segment
+
+
+class TestMLPActorCritic:
+    def test_act_shapes(self):
+        policy = MLPActorCritic(3, 2, RNG, hidden_sizes=(8,))
+        actions, log_probs, values = policy.act(
+            RNG.standard_normal((5, 3)), np.zeros((5, 2)), RNG
+        )
+        assert actions.shape == (5, 2)
+        assert log_probs.shape == (5,)
+        assert values.shape == (5,)
+
+    def test_deterministic_act_is_mean(self):
+        policy = MLPActorCritic(3, 2, RNG, hidden_sizes=(8,))
+        states = RNG.standard_normal((4, 3))
+        a1, _, _ = policy.act(states, np.zeros((4, 2)), RNG, deterministic=True)
+        a2, _, _ = policy.act(states, np.zeros((4, 2)), RNG, deterministic=True)
+        np.testing.assert_array_equal(a1, a2)
+
+    def test_mean_in_unit_interval(self):
+        policy = MLPActorCritic(3, 1, RNG, hidden_sizes=(8,))
+        actions, _, _ = policy.act(
+            RNG.standard_normal((100, 3)) * 10, np.zeros((100, 1)), RNG, deterministic=True
+        )
+        assert np.all((actions >= 0) & (actions <= 1))
+
+    def test_evaluate_matches_act_log_probs(self):
+        policy = MLPActorCritic(3, 2, np.random.default_rng(0), hidden_sizes=(8,))
+        segment = make_segment(policy)
+        # Recompute log-probs for the stored actions; for a feed-forward
+        # policy they depend only on (s, a), so evaluating twice must agree.
+        lp1, v1, _ = policy.evaluate_segment(segment, np.arange(5))
+        lp2, v2, _ = policy.evaluate_segment(segment, np.arange(5))
+        np.testing.assert_allclose(lp1.data, lp2.data)
+        np.testing.assert_allclose(v1.data, v2.data)
+
+    def test_evaluate_user_subset(self):
+        policy = MLPActorCritic(3, 2, np.random.default_rng(0), hidden_sizes=(8,))
+        segment = make_segment(policy)
+        lp_all, _, _ = policy.evaluate_segment(segment, np.arange(5))
+        lp_sub, _, _ = policy.evaluate_segment(segment, np.array([1, 3]))
+        np.testing.assert_allclose(lp_sub.data, lp_all.data[:, [1, 3]])
+
+    def test_evaluate_gradients_reach_all_params(self):
+        policy = MLPActorCritic(3, 2, np.random.default_rng(0), hidden_sizes=(8,))
+        segment = make_segment(policy)
+        log_probs, values, entropy = policy.evaluate_segment(segment, np.arange(5))
+        (log_probs.sum() + values.sum() + entropy.sum()).backward()
+        for param in policy.parameters():
+            assert param.grad is not None
+
+    def test_act_log_prob_consistent_with_evaluate(self):
+        policy = MLPActorCritic(3, 1, np.random.default_rng(0), hidden_sizes=(8,))
+        states = RNG.standard_normal((4, 3))
+        actions, log_probs, _ = policy.act(states, np.zeros((4, 1)), np.random.default_rng(1))
+        dist = nn.DiagGaussian(
+            policy.actor(nn.Tensor(states)).sigmoid(), policy.log_std
+        )
+        np.testing.assert_allclose(dist.log_prob(actions).data, log_probs, atol=1e-10)
+
+
+class TestRecurrentActorCritic:
+    def make_policy(self, seed=0, **kwargs):
+        defaults = dict(lstm_hidden=8, head_hidden=(16,))
+        defaults.update(kwargs)
+        return RecurrentActorCritic(3, 2, np.random.default_rng(seed), **defaults)
+
+    def test_act_shapes(self):
+        policy = self.make_policy()
+        policy.start_rollout(5)
+        actions, log_probs, values = policy.act(
+            RNG.standard_normal((5, 3)), np.zeros((5, 2)), RNG
+        )
+        assert actions.shape == (5, 2)
+        assert log_probs.shape == (5,)
+        assert values.shape == (5,)
+
+    def test_internal_state_evolves(self):
+        policy = self.make_policy()
+        policy.start_rollout(2)
+        states = RNG.standard_normal((2, 3))
+        policy.act(states, np.zeros((2, 2)), np.random.default_rng(0))
+        h_after_one = policy._state[0].data.copy()
+        policy.act(states, np.zeros((2, 2)), np.random.default_rng(0))
+        assert not np.allclose(policy._state[0].data, h_after_one)
+
+    def test_start_rollout_resets_state(self):
+        policy = self.make_policy()
+        policy.start_rollout(2)
+        policy.act(RNG.standard_normal((2, 3)), np.zeros((2, 2)), RNG)
+        policy.start_rollout(2)
+        np.testing.assert_array_equal(policy._state[0].data, np.zeros((2, 8)))
+
+    def test_history_affects_actions(self):
+        """Same state, different history → different deterministic action
+        (the whole point of the extractor)."""
+        policy = self.make_policy()
+        state = np.ones((1, 3))
+        policy.start_rollout(1)
+        a_fresh, _, _ = policy.act(state, np.zeros((1, 2)), RNG, deterministic=True)
+        policy.start_rollout(1)
+        for _ in range(5):
+            policy.act(RNG.standard_normal((1, 3)) * 3, np.ones((1, 2)), RNG)
+        a_history, _, _ = policy.act(state, np.zeros((1, 2)), RNG, deterministic=True)
+        assert not np.allclose(a_fresh, a_history)
+
+    def test_evaluate_segment_shapes(self):
+        policy = self.make_policy()
+        segment = make_segment(policy)
+        log_probs, values, entropy = policy.evaluate_segment(segment, np.arange(5))
+        assert log_probs.shape == (4, 5)
+        assert values.shape == (4, 5)
+        assert entropy.shape == (4, 5)
+
+    def test_evaluate_gradients_reach_lstm(self):
+        policy = self.make_policy()
+        segment = make_segment(policy)
+        log_probs, values, _ = policy.evaluate_segment(segment, np.arange(5))
+        (log_probs.sum() + values.sum()).backward()
+        assert policy.extractor.weight_ih.grad is not None
+        assert np.any(policy.extractor.weight_ih.grad != 0)
+
+    def test_evaluate_user_subset_independent_columns(self):
+        """Each user's LSTM column is independent, so evaluating a subset
+        must equal the corresponding columns of a full evaluation."""
+        policy = self.make_policy()
+        segment = make_segment(policy)
+        lp_all, _, _ = policy.evaluate_segment(segment, np.arange(5))
+        lp_sub, _, _ = policy.evaluate_segment(segment, np.array([0, 4]))
+        np.testing.assert_allclose(lp_sub.data, lp_all.data[:, [0, 4]], atol=1e-12)
+
+    def test_context_dim_zero_by_default(self):
+        policy = self.make_policy()
+        assert policy.context_dim == 0
+
+    def test_as_act_fn_protocol(self):
+        policy = self.make_policy()
+        act_fn = policy.as_act_fn(np.random.default_rng(0))
+        act_fn.reset(3)
+        actions = act_fn(RNG.standard_normal((3, 3)), 0)
+        assert actions.shape == (3, 2)

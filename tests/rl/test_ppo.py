@@ -1,0 +1,202 @@
+"""Tests for the PPO learner: mechanics plus convergence on simple tasks."""
+
+import numpy as np
+import pytest
+
+from repro.envs import LTSConfig, LTSEnv, evaluate_policy, oracle_constant_policy_return
+from repro.envs.base import MultiUserEnv
+from repro.envs.spaces import Box
+from repro.rl import (
+    MLPActorCritic,
+    PPO,
+    PPOConfig,
+    RecurrentActorCritic,
+    RolloutBuffer,
+    collect_segment,
+)
+
+
+class TargetActionEnv(MultiUserEnv):
+    """Reward = -(a - target)², the simplest continuous-control testbed."""
+
+    def __init__(self, num_users=16, horizon=8, target=0.7, seed=0):
+        self.num_users = num_users
+        self.horizon = horizon
+        self.target = target
+        self.observation_space = Box(low=np.zeros(2), high=np.ones(2))
+        self.action_space = Box(low=np.zeros(1), high=np.ones(1))
+        self._rng = np.random.default_rng(seed)
+        self._t = 0
+        self.group_id = 0
+
+    def reset(self):
+        self._t = 0
+        return self._rng.random((self.num_users, 2))
+
+    def step(self, actions):
+        actions = self._validate_actions(actions)
+        rewards = -((actions[:, 0] - self.target) ** 2)
+        self._t += 1
+        dones = np.full(self.num_users, self._t >= self.horizon)
+        return self._rng.random((self.num_users, 2)), rewards, dones, {}
+
+
+class TestPPOMechanics:
+    def test_update_requires_finalized_buffer(self):
+        rng = np.random.default_rng(0)
+        env = TargetActionEnv()
+        policy = MLPActorCritic(2, 1, rng, hidden_sizes=(8,))
+        ppo = PPO(policy, PPOConfig())
+        buffer = RolloutBuffer()
+        buffer.add(collect_segment(env, policy, rng))
+        with pytest.raises(RuntimeError):
+            ppo.update(buffer)
+
+    def test_update_returns_stats(self):
+        rng = np.random.default_rng(0)
+        env = TargetActionEnv()
+        policy = MLPActorCritic(2, 1, rng, hidden_sizes=(8,))
+        ppo = PPO(policy, PPOConfig(update_epochs=1))
+        buffer = RolloutBuffer()
+        buffer.add(collect_segment(env, policy, rng))
+        buffer.finalize(0.99, 0.95)
+        stats = ppo.update(buffer)
+        for key in ("policy_loss", "value_loss", "entropy", "clip_frac", "learning_rate"):
+            assert key in stats
+
+    def test_update_changes_parameters(self):
+        rng = np.random.default_rng(0)
+        env = TargetActionEnv()
+        policy = MLPActorCritic(2, 1, rng, hidden_sizes=(8,))
+        before = policy.actor.layers[0].weight.data.copy()
+        ppo = PPO(policy, PPOConfig(update_epochs=2))
+        buffer = RolloutBuffer()
+        buffer.add(collect_segment(env, policy, rng))
+        buffer.finalize(0.99, 0.95)
+        ppo.update(buffer)
+        assert not np.allclose(before, policy.actor.layers[0].weight.data)
+
+    def test_lr_schedule_decays(self):
+        rng = np.random.default_rng(0)
+        env = TargetActionEnv()
+        policy = MLPActorCritic(2, 1, rng, hidden_sizes=(8,))
+        config = PPOConfig(
+            learning_rate=1e-3, final_learning_rate=1e-5, total_iterations=5, update_epochs=1
+        )
+        ppo = PPO(policy, config)
+        for _ in range(5):
+            buffer = RolloutBuffer()
+            buffer.add(collect_segment(env, policy, rng))
+            buffer.finalize(0.99, 0.95)
+            stats = ppo.update(buffer)
+        np.testing.assert_allclose(stats["learning_rate"], 1e-5)
+
+    def test_extra_parameters_receive_updates(self):
+        from repro import nn
+
+        rng = np.random.default_rng(0)
+        env = TargetActionEnv()
+        policy = MLPActorCritic(2, 1, rng, hidden_sizes=(8,))
+        extra = nn.Parameter(np.zeros(3))
+        ppo = PPO(policy, PPOConfig(update_epochs=1), extra_parameters=[extra])
+        assert extra in ppo._all_params
+
+    def test_segments_of_different_sizes(self):
+        rng = np.random.default_rng(0)
+        policy = MLPActorCritic(2, 1, rng, hidden_sizes=(8,))
+        ppo = PPO(policy, PPOConfig(update_epochs=1))
+        buffer = RolloutBuffer()
+        buffer.add(collect_segment(TargetActionEnv(num_users=4, horizon=3), policy, rng))
+        buffer.add(collect_segment(TargetActionEnv(num_users=9, horizon=6), policy, rng))
+        buffer.finalize(0.99, 0.95)
+        ppo.update(buffer)  # must not raise
+
+
+class TestPPOConvergence:
+    def train(self, policy, env, iterations, config=None, seed=0):
+        rng = np.random.default_rng(seed)
+        ppo = PPO(policy, config or PPOConfig(learning_rate=3e-3, update_epochs=4))
+        for _ in range(iterations):
+            buffer = RolloutBuffer()
+            buffer.add(collect_segment(env, policy, rng))
+            buffer.finalize(ppo.config.gamma, ppo.config.gae_lambda)
+            ppo.update(buffer)
+        return policy
+
+    def test_mlp_learns_target_action(self):
+        env = TargetActionEnv(num_users=32, horizon=8, target=0.7)
+        policy = MLPActorCritic(2, 1, np.random.default_rng(1), hidden_sizes=(16,))
+        self.train(policy, env, iterations=40)
+        actions, _, _ = policy.act(
+            env.reset(), np.zeros((32, 1)), np.random.default_rng(0), deterministic=True
+        )
+        np.testing.assert_allclose(actions.mean(), 0.7, atol=0.12)
+
+    def test_mlp_improves_lts_reward(self):
+        env = LTSEnv(LTSConfig(num_users=40, horizon=30, seed=0))
+        policy = MLPActorCritic(
+            env.observation_dim, env.action_dim, np.random.default_rng(2), hidden_sizes=(32, 32)
+        )
+        rng = np.random.default_rng(0)
+        before = evaluate_policy(env, policy.as_act_fn(rng), episodes=2)
+        self.train(policy, env, iterations=30, config=PPOConfig(learning_rate=1e-3))
+        after = evaluate_policy(env, policy.as_act_fn(np.random.default_rng(0)), episodes=2)
+        assert after > before
+
+    def test_recurrent_learns_target_action(self):
+        env = TargetActionEnv(num_users=16, horizon=6, target=0.3, seed=3)
+        policy = RecurrentActorCritic(
+            2, 1, np.random.default_rng(3), lstm_hidden=8, head_hidden=(16,)
+        )
+        self.train(
+            policy,
+            env,
+            iterations=40,
+            config=PPOConfig(learning_rate=3e-3, update_epochs=2, minibatches_per_segment=1),
+        )
+        policy.start_rollout(16)
+        actions, _, _ = policy.act(
+            env.reset(), np.zeros((16, 1)), np.random.default_rng(0), deterministic=True
+        )
+        np.testing.assert_allclose(actions.mean(), 0.3, atol=0.15)
+
+
+class TestCollectSegment:
+    def test_segment_shapes(self):
+        rng = np.random.default_rng(0)
+        env = TargetActionEnv(num_users=7, horizon=5)
+        policy = MLPActorCritic(2, 1, rng, hidden_sizes=(8,))
+        segment = collect_segment(env, policy, rng)
+        assert segment.states.shape == (5, 7, 2)
+        assert segment.actions.shape == (5, 7, 1)
+        assert segment.rewards.shape == (5, 7)
+        assert segment.last_values.shape == (7,)
+
+    def test_prev_actions_shifted(self):
+        rng = np.random.default_rng(0)
+        env = TargetActionEnv(num_users=4, horizon=5)
+        policy = MLPActorCritic(2, 1, rng, hidden_sizes=(8,))
+        segment = collect_segment(env, policy, rng)
+        np.testing.assert_array_equal(segment.prev_actions[0], np.zeros((4, 1)))
+        np.testing.assert_array_equal(segment.prev_actions[1:], segment.actions[:-1])
+
+    def test_max_steps_truncates(self):
+        rng = np.random.default_rng(0)
+        env = TargetActionEnv(num_users=4, horizon=10)
+        policy = MLPActorCritic(2, 1, rng, hidden_sizes=(8,))
+        segment = collect_segment(env, policy, rng, max_steps=3)
+        assert segment.horizon == 3
+
+    def test_extras_from_info(self):
+        rng = np.random.default_rng(0)
+        env = LTSEnv(LTSConfig(num_users=4, horizon=5, seed=0))
+        policy = MLPActorCritic(2, 1, rng, hidden_sizes=(8,))
+        segment = collect_segment(env, policy, rng, extras_from_info=("sat",))
+        assert segment.extras["sat"].shape == (5, 4)
+
+    def test_group_id_recorded(self):
+        rng = np.random.default_rng(0)
+        env = LTSEnv(LTSConfig(num_users=4, horizon=3, omega_g=5.0, seed=0))
+        policy = MLPActorCritic(2, 1, rng, hidden_sizes=(8,))
+        segment = collect_segment(env, policy, rng)
+        assert segment.group_id == 5.0

@@ -1,0 +1,121 @@
+"""Tests for user-simulator learning H(D', λ)."""
+
+import numpy as np
+import pytest
+
+from repro.envs import DPRConfig, DPRWorld, collect_dpr_dataset
+from repro.sim import (
+    SimulatorLearnerConfig,
+    UserSimulator,
+    heldout_log_likelihood,
+    train_user_simulator,
+)
+
+
+@pytest.fixture(scope="module")
+def dpr_data():
+    world = DPRWorld(DPRConfig(num_cities=2, drivers_per_city=15, horizon=10, seed=3))
+    return collect_dpr_dataset(world, episodes=2)
+
+
+@pytest.fixture(scope="module")
+def trained_simulator(dpr_data):
+    config = SimulatorLearnerConfig(hidden_sizes=(32, 32), epochs=40, seed=0)
+    return train_user_simulator(dpr_data, config)
+
+
+def synthetic_pairs(n=400, seed=0):
+    """y0 = 2*s0 + a0 + noise (continuous); y1 = a0 > 0 (binary)."""
+    rng = np.random.default_rng(seed)
+    s = rng.standard_normal((n, 2))
+    a = rng.uniform(-1, 1, (n, 1))
+    y_cont = 2.0 * s[:, :1] + a + rng.normal(0, 0.05, (n, 1))
+    y_bin = (a > 0).astype(float)
+    return s, a, np.concatenate([y_cont, y_bin], axis=1)
+
+
+class TestUserSimulator:
+    def test_head_index_partition(self):
+        config = SimulatorLearnerConfig(binary_dims=(2,))
+        sim = UserSimulator(4, 2, 3, config)
+        np.testing.assert_array_equal(sim.continuous_idx, [0, 1])
+        np.testing.assert_array_equal(sim.binary_idx, [2])
+
+    def test_predict_mean_shapes(self, trained_simulator, dpr_data):
+        s, a, _ = dpr_data.transition_pairs()
+        out = trained_simulator.predict_mean(s[:7], a[:7])
+        assert out.shape == (7, 3)
+
+    def test_binary_head_outputs_probabilities(self, trained_simulator, dpr_data):
+        s, a, _ = dpr_data.transition_pairs()
+        out = trained_simulator.predict_mean(s[:50], a[:50])
+        probs = out[:, 2]
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_sample_binary_dims_are_binary(self, trained_simulator, dpr_data):
+        s, a, _ = dpr_data.transition_pairs()
+        sample = trained_simulator.sample(s[:50], a[:50], np.random.default_rng(0))
+        assert set(np.unique(sample[:, 2])) <= {0.0, 1.0}
+
+    def test_sampling_reproducible(self, trained_simulator, dpr_data):
+        s, a, _ = dpr_data.transition_pairs()
+        y1 = trained_simulator.sample(s[:5], a[:5], np.random.default_rng(3))
+        y2 = trained_simulator.sample(s[:5], a[:5], np.random.default_rng(3))
+        np.testing.assert_array_equal(y1, y2)
+
+
+class TestTraining:
+    def test_learns_synthetic_relationship(self):
+        s, a, y = synthetic_pairs()
+        config = SimulatorLearnerConfig(
+            hidden_sizes=(32,), epochs=150, binary_dims=(1,), seed=1, learning_rate=3e-3
+        )
+        sim = train_user_simulator((s, a, y), config)
+        s_test, a_test, y_test = synthetic_pairs(seed=99)
+        prediction = sim.predict_mean(s_test, a_test)
+        residual = prediction[:, 0] - y_test[:, 0]
+        assert np.abs(residual).mean() < 0.3
+        accuracy = ((prediction[:, 1] > 0.5) == (y_test[:, 1] > 0.5)).mean()
+        assert accuracy > 0.9
+
+    def test_training_improves_likelihood(self, dpr_data):
+        base = SimulatorLearnerConfig(hidden_sizes=(32, 32), seed=0)
+        untrained_cfg = SimulatorLearnerConfig(hidden_sizes=(32, 32), epochs=0, seed=0)
+        untrained = train_user_simulator(dpr_data, untrained_cfg)
+        trained_cfg = SimulatorLearnerConfig(hidden_sizes=(32, 32), epochs=30, seed=0)
+        trained = train_user_simulator(dpr_data, trained_cfg)
+        assert heldout_log_likelihood(trained, dpr_data) > heldout_log_likelihood(
+            untrained, dpr_data
+        )
+
+    def test_generalizes_to_heldout_users(self, dpr_data):
+        train, test = dpr_data.split_users(0.8, seed=0)
+        config = SimulatorLearnerConfig(hidden_sizes=(32, 32), epochs=40, seed=0)
+        sim = train_user_simulator(train, config)
+        test_ll = heldout_log_likelihood(sim, test)
+        untrained = train_user_simulator(
+            train, SimulatorLearnerConfig(hidden_sizes=(32, 32), epochs=0, seed=0)
+        )
+        assert test_ll > heldout_log_likelihood(untrained, test)
+
+    def test_seed_changes_weights(self, dpr_data):
+        cfg1 = SimulatorLearnerConfig(hidden_sizes=(16,), epochs=2, seed=0)
+        cfg2 = SimulatorLearnerConfig(hidden_sizes=(16,), epochs=2, seed=1)
+        sim1 = train_user_simulator(dpr_data, cfg1)
+        sim2 = train_user_simulator(dpr_data, cfg2)
+        w1 = sim1.net.layers[0].weight.data
+        w2 = sim2.net.layers[0].weight.data
+        assert not np.allclose(w1, w2)
+
+    def test_same_seed_reproducible(self, dpr_data):
+        cfg = SimulatorLearnerConfig(hidden_sizes=(16,), epochs=3, seed=5)
+        sim1 = train_user_simulator(dpr_data, cfg)
+        sim2 = train_user_simulator(dpr_data, cfg)
+        s, a, _ = dpr_data.transition_pairs()
+        np.testing.assert_allclose(
+            sim1.predict_mean(s[:5], a[:5]), sim2.predict_mean(s[:5], a[:5])
+        )
+
+    def test_normalizer_fitted(self, trained_simulator):
+        assert not np.allclose(trained_simulator.input_mean, 0.0)
+        assert np.all(trained_simulator.input_std > 0)

@@ -1,0 +1,148 @@
+"""Tests for the alternative uncertainty estimators."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    SimulatorEnsemble,
+    SimulatorLearnerConfig,
+    UNCERTAINTY_ESTIMATORS,
+    get_uncertainty_estimator,
+    max_deviation,
+    mean_deviation,
+    pairwise_disagreement,
+    train_user_simulator,
+)
+
+
+@pytest.fixture(scope="module")
+def ensemble():
+    rng = np.random.default_rng(0)
+    s = rng.standard_normal((400, 3))
+    a = rng.uniform(0, 1, (400, 2))
+    y = np.column_stack([s[:, 0] + a[:, 0], (a[:, 1] > 0.5).astype(float)])
+    members = [
+        train_user_simulator(
+            (s, a, y),
+            SimulatorLearnerConfig(hidden_sizes=(16,), epochs=15, binary_dims=(1,), seed=i),
+        )
+        for i in range(4)
+    ]
+    return SimulatorEnsemble(members)
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    rng = np.random.default_rng(1)
+    return rng.standard_normal((20, 3)), rng.uniform(0, 1, (20, 2))
+
+
+class TestEstimators:
+    def test_registry_contents(self):
+        assert set(UNCERTAINTY_ESTIMATORS) == {
+            "mean_deviation",
+            "max_deviation",
+            "pairwise",
+        }
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            get_uncertainty_estimator("bogus")
+
+    @pytest.mark.parametrize("name", sorted(UNCERTAINTY_ESTIMATORS))
+    def test_shapes_and_nonnegativity(self, name, ensemble, inputs):
+        states, actions = inputs
+        values = get_uncertainty_estimator(name)(ensemble, states, actions)
+        assert values.shape == (20,)
+        assert np.all(values >= 0)
+
+    def test_mean_deviation_matches_ensemble_method(self, ensemble, inputs):
+        states, actions = inputs
+        np.testing.assert_allclose(
+            mean_deviation(ensemble, states, actions),
+            ensemble.uncertainty(states, actions),
+            atol=1e-12,
+        )
+
+    def test_max_dominates_mean(self, ensemble, inputs):
+        states, actions = inputs
+        assert np.all(
+            max_deviation(ensemble, states, actions)
+            >= mean_deviation(ensemble, states, actions) - 1e-12
+        )
+
+    def test_pairwise_zero_for_identical_members(self, inputs):
+        rng = np.random.default_rng(0)
+        s = rng.standard_normal((100, 3))
+        a = rng.uniform(0, 1, (100, 2))
+        y = np.column_stack([s[:, 0], (a[:, 1] > 0.5).astype(float)])
+        config = SimulatorLearnerConfig(hidden_sizes=(8,), epochs=3, binary_dims=(1,), seed=0)
+        member = train_user_simulator((s, a, y), config)
+        twin = train_user_simulator((s, a, y), config)
+        ensemble = SimulatorEnsemble([member, twin])
+        states, actions = inputs
+        np.testing.assert_allclose(
+            pairwise_disagreement(ensemble, states, actions), 0.0, atol=1e-10
+        )
+
+    def test_single_member_pairwise_zero(self, ensemble, inputs):
+        single = SimulatorEnsemble([ensemble[0]])
+        states, actions = inputs
+        np.testing.assert_allclose(
+            pairwise_disagreement(single, states, actions), 0.0
+        )
+
+    def test_estimators_agree_on_ordering(self, ensemble, inputs):
+        """All estimators should rank on-support vs far-off-support inputs
+        the same way (off-support disagreement is larger)."""
+        states, actions = inputs
+        extreme = np.column_stack([np.full(20, 5.0), np.full(20, -3.0)])
+        for name in UNCERTAINTY_ESTIMATORS:
+            fn = get_uncertainty_estimator(name)
+            on_support = fn(ensemble, states, actions).mean()
+            off_support = fn(ensemble, states, extreme).mean()
+            assert off_support > on_support, name
+
+
+class TestPenaltyIntegration:
+    def test_apply_penalty_with_estimator_choice(self, ensemble, inputs):
+        from repro.core import apply_uncertainty_penalty
+        from repro.rl import RolloutSegment
+
+        states, actions = inputs
+        rng = np.random.default_rng(2)
+        segment = RolloutSegment(
+            states=np.stack([states[:5]] * 3),
+            prev_actions=np.stack([actions[:5]] * 3),
+            actions=np.stack([actions[:5]] * 3),
+            rewards=np.ones((3, 5)),
+            dones=np.zeros((3, 5)),
+            values=np.zeros((3, 5)),
+            log_probs=np.zeros((3, 5)),
+            last_values=np.zeros(5),
+        )
+        penalties_mean = apply_uncertainty_penalty(
+            segment, ensemble, alpha=1.0, estimator="mean_deviation"
+        )
+        segment.rewards = np.ones((3, 5))
+        penalties_max = apply_uncertainty_penalty(
+            segment, ensemble, alpha=1.0, estimator="max_deviation"
+        )
+        assert np.all(penalties_max >= penalties_mean - 1e-12)
+
+    def test_unknown_estimator_raises(self, ensemble):
+        from repro.core import apply_uncertainty_penalty
+        from repro.rl import RolloutSegment
+
+        segment = RolloutSegment(
+            states=np.zeros((1, 2, 3)),
+            prev_actions=np.zeros((1, 2, 2)),
+            actions=np.zeros((1, 2, 2)),
+            rewards=np.zeros((1, 2)),
+            dones=np.zeros((1, 2)),
+            values=np.zeros((1, 2)),
+            log_probs=np.zeros((1, 2)),
+            last_values=np.zeros(2),
+        )
+        with pytest.raises(KeyError):
+            apply_uncertainty_penalty(segment, ensemble, 1.0, estimator="nope")
