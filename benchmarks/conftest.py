@@ -41,6 +41,20 @@ from repro.envs import (
 )
 from repro.sim import SimulatorLearnerConfig, build_simulator_set
 
+
+def pytest_collection_modifyitems(config, items):
+    """Everything under benchmarks/ is a slow, opt-in bench (see pyproject).
+
+    The hook sees the whole session's items, so restrict to this
+    directory before marking.
+    """
+    import pathlib
+
+    bench_dir = pathlib.Path(__file__).parent.resolve()
+    for item in items:
+        if bench_dir in pathlib.Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.bench)
+
 # Laptop-scale workload shared by all DPR benches.
 DPR_WORLD_CONFIG = DPRConfig(
     num_cities=5, drivers_per_city=20, horizon=20, seed=123

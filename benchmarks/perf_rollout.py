@@ -1,0 +1,145 @@
+"""Rollout-engine microbenchmark: sequential vs batched cross-city collection.
+
+Times ``collect_segment`` looped city by city against
+``collect_segments_vec`` over a :class:`VecEnvPool` (one ``policy.act``
+per timestep for all cities, block-diagonal env stepping, no-grad fast
+path), verifies the two produce bit-identical segments, and writes the
+results to ``BENCH_rollout.json`` so the speedup is tracked across PRs.
+
+Not a pytest module — run directly::
+
+    PYTHONPATH=src python benchmarks/perf_rollout.py [--smoke] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.envs import DPRConfig, DPRWorld
+from repro.rl import (
+    RecurrentActorCritic,
+    VecEnvPool,
+    collect_segment,
+    collect_segments_vec,
+)
+
+
+def make_policy(state_dim: int, action_dim: int) -> RecurrentActorCritic:
+    return RecurrentActorCritic(
+        state_dim,
+        action_dim,
+        np.random.default_rng(0),
+        lstm_hidden=64,
+        head_hidden=(128, 64),
+    )
+
+
+def verify_equivalence(world: DPRWorld, policy, seed: int) -> None:
+    """The timed paths must agree bit for bit before we trust the clock."""
+    n = world.num_cities
+    seq = [
+        collect_segment(env, policy, np.random.default_rng(seed + i))
+        for i, env in enumerate(world.make_all_city_envs())
+    ]
+    vec = collect_segments_vec(
+        world.make_all_city_envs(),
+        policy,
+        [np.random.default_rng(seed + i) for i in range(n)],
+    )
+    for s, v in zip(seq, vec):
+        for name in ("states", "actions", "rewards", "values", "log_probs", "last_values"):
+            if not np.array_equal(getattr(s, name), getattr(v, name)):
+                raise AssertionError(f"sequential/vectorized mismatch in {name}")
+
+
+def bench_scenario(name: str, config: DPRConfig, repeats: int) -> dict:
+    world = DPRWorld(config)
+    envs_seq = world.make_all_city_envs()
+    pool = VecEnvPool(world.make_all_city_envs())
+    policy = make_policy(13, 2)
+    rngs = [np.random.default_rng(1000 + i) for i in range(world.num_cities)]
+
+    verify_equivalence(world, policy, seed=7)
+    collect_segments_vec(pool, policy, rngs)  # warmup
+
+    seq_times, vec_times = [], []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for env, rng in zip(envs_seq, rngs):
+            collect_segment(env, policy, rng)
+        seq_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        collect_segments_vec(pool, policy, rngs)
+        vec_times.append(time.perf_counter() - start)
+
+    sequential = min(seq_times)
+    vectorized = min(vec_times)
+    result = {
+        "name": name,
+        "num_cities": config.num_cities,
+        "drivers_per_city": config.drivers_per_city,
+        "horizon": config.horizon,
+        "total_users": config.num_cities * config.drivers_per_city,
+        "sequential_s": round(sequential, 6),
+        "vectorized_s": round(vectorized, 6),
+        "speedup": round(sequential / vectorized, 3),
+        "equivalent": True,
+    }
+    print(
+        f"[{name}] {config.num_cities} cities x {config.drivers_per_city} drivers, "
+        f"T={config.horizon}: seq={sequential:.3f}s vec={vectorized:.3f}s "
+        f"-> {result['speedup']:.2f}x"
+    )
+    return result
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny CI-sized run")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_rollout.json",
+    )
+    args = parser.parse_args()
+    args.repeats = max(args.repeats, 1)
+
+    if args.smoke:
+        scenarios = [
+            ("smoke_cross_city", DPRConfig(num_cities=8, drivers_per_city=8, horizon=8, seed=0)),
+        ]
+        repeats = min(args.repeats, 2)
+    else:
+        scenarios = [
+            # The ensemble-training regime Sim2Rec targets: many groups,
+            # modest per-group user counts. This is the headline number.
+            ("many_cities", DPRConfig(num_cities=48, drivers_per_city=10, horizon=20, seed=0)),
+            ("wide_sweep", DPRConfig(num_cities=100, drivers_per_city=5, horizon=20, seed=0)),
+            ("large_groups", DPRConfig(num_cities=12, drivers_per_city=64, horizon=20, seed=0)),
+        ]
+        repeats = args.repeats
+
+    results = [bench_scenario(name, config, repeats) for name, config in scenarios]
+    payload = {
+        "benchmark": "perf_rollout",
+        "mode": "smoke" if args.smoke else "full",
+        "repeats": repeats,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scenarios": results,
+        "headline_speedup": max(r["speedup"] for r in results),
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output} (headline speedup {payload['headline_speedup']:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -34,6 +34,11 @@ class Sim2RecConfig:
     # --- PPO (Eq. 4) -----------------------------------------------------
     ppo: PPOConfig = field(default_factory=PPOConfig)
     segments_per_iteration: int = 2
+    # Collect every iteration's segments through one VecEnvPool (one
+    # policy act per timestep for all sampled simulators) instead of
+    # rolling them out one by one. Same per-env dynamics; only the layout
+    # of the policy-noise streams differs (per-env spawned streams).
+    vectorized_rollouts: bool = True
 
     # --- simulator-error countermeasures (Sec. IV-C) --------------------
     truncate_horizon: Optional[int] = None   # T_c; None = full episodes

@@ -63,12 +63,20 @@ class Sim2RecPolicy(RecurrentActorCritic):
     # context hooks
     # ------------------------------------------------------------------
     def _rollout_context(self, states: np.ndarray, prev_actions: np.ndarray) -> np.ndarray:
-        upsilon = self.sadae.embed(
-            states, None if self.sadae.config.state_only else prev_actions
-        )
-        with nn.no_grad():
-            context = self.context_mlp(nn.Tensor(upsilon.reshape(1, -1))).data
-        return np.tile(context, (states.shape[0], 1))
+        # υ_t is a *group-level* embedding: in a vectorized rollout the
+        # stacked batch holds several groups (one block per env), so the
+        # SADAE posterior product must run per block — mixing users across
+        # cities would change every number.
+        groups = self._rollout_groups or (slice(0, states.shape[0]),)
+        context = np.empty((states.shape[0], self.context_dim))
+        for block in groups:
+            upsilon = self.sadae.embed(
+                states[block],
+                None if self.sadae.config.state_only else prev_actions[block],
+            )
+            with nn.no_grad():
+                context[block] = self.context_mlp(nn.Tensor(upsilon.reshape(1, -1))).data
+        return context
 
     def _segment_context(self, segment: RolloutSegment) -> nn.Tensor:
         """υ context per step over the full group, with gradients to κ."""

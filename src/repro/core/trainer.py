@@ -27,6 +27,7 @@ from ..rl.buffer import RolloutBuffer, RolloutSegment
 from ..rl.policies import ActorCriticBase
 from ..rl.ppo import PPO
 from ..rl.runner import collect_segment
+from ..rl.vec import collect_segments_vec, split_rng
 from ..sim.dataset import TrajectoryDataset
 from ..sim.ensemble import SimulatorEnsemble
 from ..sim.env_wrapper import SimulatedDPREnv
@@ -43,6 +44,39 @@ from .policy import Sim2RecPolicy
 from .sadae import train_sadae
 
 EnvSampler = Callable[[np.random.Generator], MultiUserEnv]
+
+
+def _poolable_batches(
+    envs: Sequence[MultiUserEnv],
+) -> List[List[Tuple[int, MultiUserEnv]]]:
+    """Partition sampled envs into rounds that can share a VecEnvPool.
+
+    A pool must not hold the same env object twice (block-diagonal
+    stepping would corrupt its state) and members must agree on state and
+    action dims; anything that does not fit the current round is deferred
+    to a later one, preserving sampling order within each round.
+    """
+    remaining = list(enumerate(envs))
+    batches: List[List[Tuple[int, MultiUserEnv]]] = []
+    while remaining:
+        reference = remaining[0][1]
+        seen: set[int] = set()
+        batch: List[Tuple[int, MultiUserEnv]] = []
+        deferred: List[Tuple[int, MultiUserEnv]] = []
+        for index, env in remaining:
+            compatible = (
+                id(env) not in seen
+                and env.observation_dim == reference.observation_dim
+                and env.action_dim == reference.action_dim
+            )
+            if compatible:
+                seen.add(id(env))
+                batch.append((index, env))
+            else:
+                deferred.append((index, env))
+        batches.append(batch)
+        remaining = deferred
+    return batches
 
 
 class PolicyTrainer:
@@ -62,6 +96,10 @@ class PolicyTrainer:
         self.rng = make_rng(config.seed)
         self.logger = logger or MetricLogger()
         self._iteration = 0
+        # Samplers with side effects (e.g. resampling user gaps on shared
+        # env objects) need the sample→rollout interleaving of the
+        # sequential path; subclasses set this to opt out of pooling.
+        self._sequential_collect = False
 
     # Hooks specialised by Sim2Rec trainers ------------------------------
     def post_process_segment(self, segment: RolloutSegment, env: MultiUserEnv) -> None:
@@ -71,18 +109,59 @@ class PolicyTrainer:
         """Extra learning steps after PPO (the Eq. 8 SADAE update)."""
 
     # --------------------------------------------------------------------
-    def train_iteration(self) -> Dict[str, float]:
+    def collect(self) -> Tuple[RolloutBuffer, List[float]]:
+        """Sample simulators and roll the policy out in each (Alg. 1 l. 4–6).
+
+        With ``config.vectorized_rollouts`` the iteration's simulators are
+        sampled up front and driven together through a
+        :class:`~repro.rl.vec.VecEnvPool` — one ``policy.act`` per
+        timestep for the whole cross-city batch. Environments that cannot
+        share a pool (duplicate objects from samplers that reuse env
+        instances, or mismatched state/action dims) fall back to
+        additional pool rounds or the sequential path.
+        """
         config = self.config
         buffer = RolloutBuffer()
         raw_rewards: List[float] = []
-        for _ in range(config.segments_per_iteration):
-            env = self.env_sampler(self.rng)
-            segment = collect_segment(
-                env, self.policy, self.rng, max_steps=config.truncate_horizon
-            )
+        if not config.vectorized_rollouts or self._sequential_collect:
+            for _ in range(config.segments_per_iteration):
+                env = self.env_sampler(self.rng)
+                segment = collect_segment(
+                    env, self.policy, self.rng, max_steps=config.truncate_horizon
+                )
+                raw_rewards.append(float(segment.rewards.sum(axis=0).mean()))
+                self.post_process_segment(segment, env)
+                buffer.add(segment)
+            return buffer, raw_rewards
+
+        envs = [self.env_sampler(self.rng) for _ in range(config.segments_per_iteration)]
+        streams = split_rng(self.rng, len(envs))
+        segments: List[Optional[RolloutSegment]] = [None] * len(envs)
+        for batch in _poolable_batches(envs):
+            if len(batch) == 1:
+                index, env = batch[0]
+                segments[index] = collect_segment(
+                    env, self.policy, streams[index], max_steps=config.truncate_horizon
+                )
+            else:
+                indices = [index for index, _ in batch]
+                collected = collect_segments_vec(
+                    [env for _, env in batch],
+                    self.policy,
+                    [streams[index] for index in indices],
+                    max_steps=config.truncate_horizon,
+                )
+                for index, segment in zip(indices, collected):
+                    segments[index] = segment
+        for env, segment in zip(envs, segments):
             raw_rewards.append(float(segment.rewards.sum(axis=0).mean()))
             self.post_process_segment(segment, env)
             buffer.add(segment)
+        return buffer, raw_rewards
+
+    def train_iteration(self) -> Dict[str, float]:
+        config = self.config
+        buffer, raw_rewards = self.collect()
         buffer.finalize(
             config.ppo.gamma,
             config.ppo.gae_lambda,
@@ -135,6 +214,11 @@ class Sim2RecLTSTrainer(PolicyTrainer):
 
         super().__init__(policy, sampler, config, logger)
         self.sim2rec_policy = policy
+        # The unlimited-user mode resamples gaps on *shared* env objects at
+        # sample time; batching samples up front would let a later resample
+        # overwrite an earlier one before its rollout runs. Keep the
+        # sequential sample→rollout interleaving in that mode.
+        self._sequential_collect = resample_users
 
     def pretrain_sadae(self, epochs: Optional[int] = None, users_per_set: int = 200) -> List[float]:
         """Fit q_κ/p_θ on state sets drawn from the training simulators."""

@@ -70,11 +70,20 @@ def evaluate_policy(
     ``act_fn(states, t)`` must return actions ``[num_users, act_dim]``. A new
     episode calls ``reset()`` and, when the callable has a ``reset`` method
     (recurrent policies), resets its internal state too.
+
+    ``env`` may be a :class:`~repro.rl.vec.VecEnvPool`: pools expose the
+    same step/reset interface over the stacked user axis, and their block
+    structure (``group_slices``) is forwarded to group-aware policies so
+    per-city context never mixes cities.
     """
+    group_slices = getattr(env, "group_slices", None)
+    forward_groups = group_slices is not None and hasattr(act_fn, "set_rollout_groups")
     total = 0.0
     for _ in range(episodes):
         if hasattr(act_fn, "reset"):
             act_fn.reset(env.num_users)
+        if forward_groups:
+            act_fn.set_rollout_groups(group_slices)
         states = env.reset()
         returns = np.zeros(env.num_users)
         discount = 1.0
@@ -86,4 +95,6 @@ def evaluate_policy(
             if np.all(dones):
                 break
         total += float(returns.mean())
+    if forward_groups:
+        act_fn.set_rollout_groups(None)  # don't leak block structure
     return total / episodes

@@ -133,29 +133,35 @@ class DPRFeaturizer:
         t: int,
         order_history: np.ndarray,    # [N, HISTORY_DAYS], most recent last
         last_feedback: np.ndarray,    # [N, FEEDBACK_DIM]
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
+        """Assemble the state matrix; ``out`` lets hot paths reuse a buffer.
+
+        ``out`` must not alias any of the inputs except through copies —
+        slice writes happen block by block.
+        """
         n = user_static.shape[0]
-        stat7 = order_history[:, -7:].mean(axis=1)
-        stat14 = order_history.mean(axis=1)
-        time_feat = np.tile(self.time_features(t), (n, 1))
-        group_feat = np.tile(group_static, (n, 1))
-        return np.concatenate(
-            [
-                user_static,
-                last_feedback,
-                np.stack([stat7, stat14], axis=1),
-                group_feat,
-                time_feat,
-            ],
-            axis=1,
-        )
+        if out is None:
+            out = np.empty((n, self.state_dim))
+        slices = self.slices
+        out[:, slices["user"]] = user_static
+        out[:, slices["hist"]] = last_feedback
+        stat = out[:, slices["stat"]]
+        stat[:, 0] = order_history[:, -7:].mean(axis=1)
+        stat[:, 1] = order_history.mean(axis=1)
+        out[:, slices["group"]] = group_static
+        out[:, slices["time"]] = self.time_features(t)
+        return out
 
 
 class GroundTruthResponse:
     """The real user-feedback model E(y | s, a, F_u(u), F_g(g)).
 
     Vectorised over drivers. Kept separate from the env so tests can query
-    counterfactual responses directly.
+    counterfactual responses directly. ``demand_scale`` and the engagement
+    bounds are stored as broadcastable attributes (scalars for one city,
+    per-driver arrays after :meth:`from_stacked`), so the same formulas
+    serve both the single-city env and the block-diagonal batch stepper.
     """
 
     def __init__(
@@ -166,10 +172,45 @@ class GroundTruthResponse:
     ):
         self.city = city
         self.config = config
-        self.tolerance = np.array([p.tolerance for p in personas])
-        self.bonus_elasticity = np.array([p.bonus_elasticity for p in personas])
-        self.base_activity = np.array([p.base_activity for p in personas])
-        self.base_hours = np.array([p.base_hours for p in personas])
+        # One pass over the persona list instead of four.
+        traits = np.array(
+            [
+                (p.tolerance, p.bonus_elasticity, p.base_activity, p.base_hours)
+                for p in personas
+            ]
+        ).reshape(-1, 4)
+        self.tolerance = np.ascontiguousarray(traits[:, 0])
+        self.bonus_elasticity = np.ascontiguousarray(traits[:, 1])
+        self.base_activity = np.ascontiguousarray(traits[:, 2])
+        self.base_hours = np.ascontiguousarray(traits[:, 3])
+        self.demand_scale = city.demand_scale
+        self.engagement_min = config.engagement_min
+        self.engagement_max = config.engagement_max
+
+    @classmethod
+    def from_stacked(
+        cls, responses: List["GroundTruthResponse"], slices: List[slice]
+    ) -> "GroundTruthResponse":
+        """Stack several cities' responses on the driver axis.
+
+        The result answers the same formulas for the whole stacked batch;
+        the per-city scalars become per-driver rows.
+        """
+        total = slices[-1].stop
+        stacked = cls.__new__(cls)
+        stacked.city = None
+        stacked.config = None
+        for name in ("tolerance", "bonus_elasticity", "base_activity", "base_hours"):
+            rows = np.empty(total)
+            for response, block in zip(responses, slices):
+                rows[block] = getattr(response, name)
+            setattr(stacked, name, rows)
+        for name in ("demand_scale", "engagement_min", "engagement_max"):
+            rows = np.empty(total)
+            for response, block in zip(responses, slices):
+                rows[block] = getattr(response, name)
+            setattr(stacked, name, rows)
+        return stacked
 
     def completion_probability(self, difficulty: np.ndarray, bonus: np.ndarray) -> np.ndarray:
         return _sigmoid(6.0 * (self.tolerance - difficulty) + 1.5 * bonus)
@@ -182,7 +223,10 @@ class GroundTruthResponse:
             + 1.2 * completed * difficulty
             + 0.8 * self.bonus_elasticity * bonus
         )
-        return self.city.demand_scale * engagement * productivity
+        return self.demand_scale * engagement * productivity
+
+    def orders_noise_std(self, orders_mean: np.ndarray) -> np.ndarray:
+        return 0.3 * np.sqrt(np.maximum(orders_mean, 0.1)) + 0.1
 
     def sample_feedback(
         self,
@@ -196,7 +240,7 @@ class GroundTruthResponse:
         completed = (rng.random(p_complete.shape) < p_complete).astype(np.float64)
         orders_mean = self.expected_orders(engagement, difficulty, bonus, completed)
         orders = np.maximum(
-            0.0, rng.normal(orders_mean, 0.3 * np.sqrt(np.maximum(orders_mean, 0.1)) + 0.1)
+            0.0, rng.normal(orders_mean, self.orders_noise_std(orders_mean))
         )
         hours = np.maximum(0.0, self.base_hours * engagement + rng.normal(0, 0.3, orders.shape))
         feedback = np.stack([orders, hours, completed], axis=1)
@@ -205,9 +249,8 @@ class GroundTruthResponse:
     def engagement_update(
         self, engagement: np.ndarray, difficulty: np.ndarray, completed: np.ndarray
     ) -> np.ndarray:
-        cfg = self.config
         delta = 0.08 * completed - 0.05 * (1.0 - completed) * difficulty - 0.01
-        return np.clip(engagement + delta, cfg.engagement_min, cfg.engagement_max)
+        return np.clip(engagement + delta, self.engagement_min, self.engagement_max)
 
 
 class DPRCityEnv(MultiUserEnv):
@@ -241,6 +284,7 @@ class DPRCityEnv(MultiUserEnv):
         self._engagement: np.ndarray = np.ones(self.num_users)
         self._order_history: np.ndarray = np.zeros((self.num_users, HISTORY_DAYS))
         self._last_feedback: np.ndarray = np.zeros((self.num_users, FEEDBACK_DIM))
+        self._state_out: np.ndarray = np.empty((self.num_users, self.featurizer.state_dim))
         self._t = 0
 
     # ------------------------------------------------------------------
@@ -263,13 +307,15 @@ class DPRCityEnv(MultiUserEnv):
         return self._build_states()
 
     def _build_states(self) -> np.ndarray:
+        # Assembled into a reused scratch buffer; callers get a fresh copy.
         return self.featurizer.build_states(
             self.user_static,
             self.group_static,
             self._t,
             self._order_history,
             self._last_feedback,
-        )
+            out=self._state_out,
+        ).copy()
 
     def step(self, actions: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Dict[str, Any]]:
         actions = self._validate_actions(actions)
@@ -301,6 +347,150 @@ class DPRCityEnv(MultiUserEnv):
             "t": self._t,
         }
         return states, rewards, dones, info
+
+    @classmethod
+    def make_batch_stepper(cls, envs: List["DPRCityEnv"], slices: List[slice]):
+        """Block-diagonal stepper for a VecEnvPool of homogeneous city envs.
+
+        Returns None when batching is not applicable (mixed env types or
+        horizons); the pool then falls back to per-env stepping.
+        """
+        if len(envs) < 2:
+            return None
+        if any(type(env) is not DPRCityEnv for env in envs):
+            return None
+        if len({env.horizon for env in envs}) != 1:
+            return None
+        return _DPRCityBatchStepper(envs, slices)
+
+
+class _DPRCityBatchStepper:
+    """Block-diagonal reset/step for a homogeneous list of :class:`DPRCityEnv`.
+
+    All per-step arithmetic (completion probabilities, order/hour models,
+    engagement updates, history rolls, state assembly) runs once over the
+    stacked user axis; only the random draws loop over cities, each from
+    that city's own generator, so every number — and every env's RNG
+    stream — is bit-identical to stepping the envs one by one.
+
+    While a stepper drives a pool, the member envs' mutable episode state
+    (``_engagement`` etc.) is *not* written back; their RNGs do advance,
+    so a later ``env.reset()`` is fully consistent with the sequential
+    path.
+    """
+
+    def __init__(self, envs: List["DPRCityEnv"], slices: List[slice]):
+        self.envs = envs
+        self.slices = slices
+        self.total = slices[-1].stop
+        self.horizon = envs[0].horizon
+        self.featurizer = envs[0].featurizer
+        # One response object answering the shared formulas for the whole
+        # stacked batch — the model constants live only in
+        # GroundTruthResponse.
+        self.response = GroundTruthResponse.from_stacked(
+            [e.response for e in envs], slices
+        )
+        self.alpha1 = np.empty(self.total)
+        for env, block in zip(envs, slices):
+            self.alpha1[block] = env.config.alpha1
+        self.user_static = np.concatenate([e.user_static for e in envs], axis=0)
+        self.group_static = np.concatenate(
+            [np.tile(e.group_static, (e.num_users, 1)) for e in envs], axis=0
+        )
+        self._engagement = np.ones(self.total)
+        self._order_history = np.zeros((self.total, HISTORY_DAYS))
+        self._last_feedback = np.zeros((self.total, FEEDBACK_DIM))
+        self._state_out = np.empty((self.total, self.featurizer.state_dim))
+        self._t = 0
+
+    # ------------------------------------------------------------------
+    def _build_states(self) -> np.ndarray:
+        return self.featurizer.build_states(
+            self.user_static,
+            self.group_static,
+            self._t,
+            self._order_history,
+            self._last_feedback,
+            out=self._state_out,
+        ).copy()
+
+    def reset(self) -> np.ndarray:
+        response = self.response
+        eng_noise = np.empty(self.total)
+        hist_noise = np.empty((self.total, HISTORY_DAYS))
+        for env, block in zip(self.envs, self.slices):
+            # Same draws, same order as DPRCityEnv.reset, per-city stream.
+            eng_noise[block] = env._rng.normal(0, 0.05, env.num_users)
+            hist_noise[block] = env._rng.normal(0, 0.1, (env.num_users, HISTORY_DAYS))
+        self._engagement = np.clip(
+            response.base_activity + eng_noise,
+            response.engagement_min,
+            response.engagement_max,
+        )
+        typical = response.demand_scale * self._engagement * response.base_activity
+        self._order_history = np.maximum(0.0, typical[:, None] * (1.0 + hist_noise))
+        typical_hours = response.base_hours * self._engagement
+        self._last_feedback = np.stack(
+            [self._order_history[:, -1], typical_hours, np.ones(self.total)], axis=1
+        )
+        self._t = 0
+        return self._build_states()
+
+    def step(
+        self, actions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[Dict[str, Any]]]:
+        response = self.response
+        difficulty = np.clip(actions[:, 0], 0.0, 1.0)
+        bonus = np.clip(actions[:, 1], 0.0, 1.0)
+
+        # GroundTruthResponse.sample_feedback, with the draws split per
+        # city stream (each block consumes completed → orders → hours in
+        # the same order as the sequential env).
+        p_complete = response.completion_probability(difficulty, bonus)
+        completed = np.empty(self.total)
+        for env, block in zip(self.envs, self.slices):
+            completed[block] = (
+                env._rng.random(env.num_users) < p_complete[block]
+            ).astype(np.float64)
+        orders_mean = response.expected_orders(
+            self._engagement, difficulty, bonus, completed
+        )
+        orders_std = response.orders_noise_std(orders_mean)
+        orders = np.empty(self.total)
+        hours_noise = np.empty(self.total)
+        for env, block in zip(self.envs, self.slices):
+            orders[block] = env._rng.normal(orders_mean[block], orders_std[block])
+            hours_noise[block] = env._rng.normal(0, 0.3, env.num_users)
+        orders = np.maximum(0.0, orders)
+        hours = np.maximum(0.0, response.base_hours * self._engagement + hours_noise)
+        feedback = np.stack([orders, hours, completed], axis=1)
+
+        cost = COST_RATE * bonus * orders
+        rewards = orders - self.alpha1 * cost
+
+        self._engagement = response.engagement_update(
+            self._engagement, difficulty, completed
+        )
+        self._order_history = np.roll(self._order_history, -1, axis=1)
+        self._order_history[:, -1] = orders
+        self._last_feedback = feedback
+        self._t += 1
+
+        states = self._build_states()
+        dones = np.full(self.total, self._t >= self.horizon)
+        infos: List[Dict[str, Any]] = []
+        for block in self.slices:
+            infos.append(
+                {
+                    "orders": orders[block].copy(),
+                    "cost": cost[block].copy(),
+                    "completed": completed[block].copy(),
+                    "engagement": self._engagement[block].copy(),
+                    "t": self._t,
+                }
+            )
+        return states, rewards, dones, infos
 
 
 class DPRWorld:

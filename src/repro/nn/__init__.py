@@ -21,7 +21,16 @@ from .module import Module, Parameter
 from .optim import Adam, LinearLRSchedule, Optimizer, SGD, clip_grad_norm
 from .recurrent import GRUCell, LSTM, LSTMCell
 from .serialization import load_module, save_module
-from .tensor import Tensor, as_tensor, concat, is_grad_enabled, no_grad, stack, where
+from .tensor import (
+    Tensor,
+    affine,
+    as_tensor,
+    concat,
+    is_grad_enabled,
+    no_grad,
+    stack,
+    where,
+)
 
 __all__ = [
     "ACTIVATIONS",
@@ -43,6 +52,7 @@ __all__ = [
     "Parameter",
     "SGD",
     "Tensor",
+    "affine",
     "as_tensor",
     "binary_cross_entropy_with_logits",
     "clip_grad_norm",

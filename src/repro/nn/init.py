@@ -12,13 +12,19 @@ def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int, gain: fl
 
 
 def orthogonal(rng: np.random.Generator, fan_in: int, fan_out: int, gain: float = 1.0) -> np.ndarray:
-    """Orthogonal initialisation (the PPO-friendly default for policy nets)."""
+    """Orthogonal initialisation (the PPO-friendly default for policy nets).
+
+    The result is forced C-contiguous: the transpose below otherwise
+    yields an F-ordered matrix, and BLAS gemm on a transposed-B operand
+    is not row-stable across batch sizes — which would break the
+    bit-equivalence of vectorized vs sequential rollouts.
+    """
     raw = rng.standard_normal((max(fan_in, fan_out), min(fan_in, fan_out)))
     q, r = np.linalg.qr(raw)
     q = q * np.sign(np.diag(r))
     if fan_in < fan_out:
         q = q.T
-    return gain * q[:fan_in, :fan_out]
+    return np.ascontiguousarray(gain * q[:fan_in, :fan_out])
 
 
 def normal(rng: np.random.Generator, fan_in: int, fan_out: int, std: float = 0.01) -> np.ndarray:

@@ -8,7 +8,7 @@ import numpy as np
 
 from . import init as initializers
 from .module import Module, Parameter
-from .tensor import Tensor, as_tensor
+from .tensor import Tensor, affine, as_tensor
 
 Activation = Callable[[Tensor], Tensor]
 
@@ -51,10 +51,9 @@ class Linear(Module):
         self.bias = Parameter(np.zeros(out_features), name="bias") if bias else None
 
     def __call__(self, x: Tensor) -> Tensor:
-        out = as_tensor(x) @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        # Fused y = x W + b: one graph node (or none on the inference
+        # fast path) instead of a matmul node plus an add node.
+        return affine(x, self.weight, self.bias)
 
 
 class MLP(Module):

@@ -4,17 +4,44 @@ The environment-parameter extractor φ in Sim2Rec is a single-layer LSTM
 (Table II); the DR-OSI baseline uses the same cell. Sequences are unrolled
 step by step to build the autodiff graph (full backpropagation through
 time).
+
+Inference fast path
+-------------------
+Rollouts advance the cell once per environment step with gradients
+disabled, so both cells implement a graph-free ``_fast_forward`` used
+whenever ``no_grad()`` is active: gate pre-activations are computed with
+raw BLAS calls into a preallocated per-batch scratch buffer (reused
+across timesteps), and the nonlinearities run in place on views of that
+buffer. The arithmetic replicates the autodiff path operation-for-
+operation, so the produced hidden states are bit-identical to the graph
+path.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from . import init as initializers
 from .module import Module, Parameter
-from .tensor import Tensor, as_tensor, concat, stack
+from .tensor import Tensor, _graphless, as_tensor, concat, is_grad_enabled, stack
+
+
+def _sigmoid_(values: np.ndarray) -> np.ndarray:
+    """In-place sigmoid replicating ``Tensor.sigmoid`` numerics exactly."""
+    np.clip(values, -60.0, 60.0, out=values)
+    np.negative(values, out=values)
+    np.exp(values, out=values)
+    values += 1.0
+    np.reciprocal(values, out=values)
+    return values
+
+
+def _as_data(x) -> np.ndarray:
+    if isinstance(x, Tensor):
+        return x.data
+    return np.asarray(x, dtype=np.float64)
 
 
 class LSTMCell(Module):
@@ -36,12 +63,44 @@ class LSTMCell(Module):
         bias = np.zeros(4 * hidden_size)
         bias[hidden_size : 2 * hidden_size] = 1.0  # forget gate
         self.bias = Parameter(bias, name="bias")
+        self._scratch: Dict[int, np.ndarray] = {}
 
     def initial_state(self, batch: int) -> Tuple[Tensor, Tensor]:
         zeros = np.zeros((batch, self.hidden_size))
         return Tensor(zeros), Tensor(zeros.copy())
 
+    def _gates_scratch(self, batch: int) -> np.ndarray:
+        buf = self._scratch.get(batch)
+        if buf is None:
+            # Keep at most one buffer: rollout batch sizes are stable, and a
+            # stray probe with a different batch must not leak memory.
+            self._scratch.clear()
+            buf = np.empty((batch, 4 * self.hidden_size))
+            self._scratch[batch] = buf
+        return buf
+
+    def _fast_forward(self, x, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tuple[Tensor, Tensor]]:
+        h_prev, c_prev = state
+        xd = _as_data(x)
+        hd, cd = _as_data(h_prev), _as_data(c_prev)
+        hs = self.hidden_size
+        gates = self._gates_scratch(xd.shape[0])
+        np.matmul(xd, self.weight_ih.data, out=gates)
+        gates += hd @ self.weight_hh.data
+        gates += self.bias.data
+        i_gate = _sigmoid_(gates[:, 0 * hs : 1 * hs])
+        f_gate = _sigmoid_(gates[:, 1 * hs : 2 * hs])
+        g_gate = np.tanh(gates[:, 2 * hs : 3 * hs])
+        o_gate = _sigmoid_(gates[:, 3 * hs : 4 * hs])
+        c_new = f_gate * cd
+        c_new += i_gate * g_gate
+        h_new = o_gate * np.tanh(c_new)
+        h_t = _graphless(h_new)
+        return h_t, (h_t, _graphless(c_new))
+
     def __call__(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tuple[Tensor, Tensor]]:
+        if not is_grad_enabled():
+            return self._fast_forward(x, state)
         h_prev, c_prev = state
         x = as_tensor(x)
         gates = x @ self.weight_ih + h_prev @ self.weight_hh + self.bias
@@ -68,11 +127,42 @@ class GRUCell(Module):
             initializers.orthogonal(rng, hidden_size, 3 * hidden_size), name="weight_hh"
         )
         self.bias = Parameter(np.zeros(3 * hidden_size), name="bias")
+        self._scratch: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
 
     def initial_state(self, batch: int) -> Tensor:
         return Tensor(np.zeros((batch, self.hidden_size)))
 
+    def _gates_scratch(self, batch: int) -> Tuple[np.ndarray, np.ndarray]:
+        bufs = self._scratch.get(batch)
+        if bufs is None:
+            self._scratch.clear()
+            bufs = (
+                np.empty((batch, 3 * self.hidden_size)),
+                np.empty((batch, 3 * self.hidden_size)),
+            )
+            self._scratch[batch] = bufs
+        return bufs
+
+    def _fast_forward(self, x, h_prev) -> Tensor:
+        xd = _as_data(x)
+        hd = _as_data(h_prev)
+        hs = self.hidden_size
+        gates_x, gates_h = self._gates_scratch(xd.shape[0])
+        np.matmul(xd, self.weight_ih.data, out=gates_x)
+        gates_x += self.bias.data
+        np.matmul(hd, self.weight_hh.data, out=gates_h)
+        r_gate = _sigmoid_(gates_x[:, :hs].__iadd__(gates_h[:, :hs]))
+        z_gate = _sigmoid_(gates_x[:, hs : 2 * hs].__iadd__(gates_h[:, hs : 2 * hs]))
+        n_pre = gates_x[:, 2 * hs :]
+        n_pre += r_gate * gates_h[:, 2 * hs :]
+        n_gate = np.tanh(n_pre)
+        h_new = (1.0 - z_gate) * n_gate
+        h_new += z_gate * hd
+        return _graphless(h_new)
+
     def __call__(self, x: Tensor, h_prev: Tensor) -> Tensor:
+        if not is_grad_enabled():
+            return self._fast_forward(x, h_prev)
         x = as_tensor(x)
         hs = self.hidden_size
         gates_x = x @ self.weight_ih + self.bias

@@ -9,6 +9,17 @@ accumulate gradients.
 The engine supports full numpy broadcasting; gradients of broadcast
 operands are summed back to the operand's shape (``_unbroadcast``).
 
+Inference fast path
+-------------------
+Rollouts never backpropagate, so every operation first checks whether a
+graph is needed at all (``no_grad()`` active, or no operand requires
+grad). On that path the op returns immediately through
+:func:`_graphless` — a raw ``Tensor.__new__`` constructor that skips
+``np.asarray`` validation and, crucially, never allocates the backward
+closure or the parent tuple. This roughly halves the per-op cost of
+policy inference and is what ``policy.act`` / ``collect_segment`` /
+``evaluate_policy`` ride on.
+
 Only the operations needed by the Sim2Rec stack are implemented, which keeps
 the engine small enough to verify exhaustively with finite differences (see
 ``tests/nn/test_autodiff.py``).
@@ -67,6 +78,22 @@ def as_tensor(value: ArrayLike) -> "Tensor":
     if isinstance(value, Tensor):
         return value
     return Tensor(np.asarray(value, dtype=np.float64))
+
+
+def _graphless(data: np.ndarray) -> "Tensor":
+    """Fast Tensor constructor for op results on the inference path.
+
+    ``data`` must already be a float64 ndarray (op results always are);
+    skips ``np.asarray`` and graph bookkeeping entirely.
+    """
+    out = Tensor.__new__(Tensor)
+    out.data = data
+    out.grad = None
+    out.requires_grad = False
+    out._backward = None
+    out._prev = ()
+    out.name = None
+    return out
 
 
 class Tensor:
@@ -139,6 +166,14 @@ class Tensor:
     # ------------------------------------------------------------------
     # graph machinery
     # ------------------------------------------------------------------
+    def _needs_graph(self, other: Optional["Tensor"] = None) -> bool:
+        """Whether an op on (self[, other]) must record a backward closure."""
+        if not _GRAD_ENABLED:
+            return False
+        if self.requires_grad:
+            return True
+        return other is not None and other.requires_grad
+
     def _make(
         self,
         data: np.ndarray,
@@ -201,6 +236,8 @@ class Tensor:
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data + other.data
+        if not self._needs_graph(other):
+            return _graphless(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -215,6 +252,8 @@ class Tensor:
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data * other.data
+        if not self._needs_graph(other):
+            return _graphless(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -227,6 +266,9 @@ class Tensor:
     __rmul__ = __mul__
 
     def __neg__(self) -> "Tensor":
+        if not self._needs_graph():
+            return _graphless(-self.data)
+
         def backward(grad: np.ndarray) -> None:
             self._accumulate(-grad)
 
@@ -235,6 +277,8 @@ class Tensor:
     def __sub__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data - other.data
+        if not self._needs_graph(other):
+            return _graphless(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -250,6 +294,8 @@ class Tensor:
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data / other.data
+        if not self._needs_graph(other):
+            return _graphless(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -266,6 +312,8 @@ class Tensor:
         if not np.isscalar(exponent):
             raise TypeError("only scalar exponents are supported")
         out_data = self.data**exponent
+        if not self._needs_graph():
+            return _graphless(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * exponent * self.data ** (exponent - 1))
@@ -275,6 +323,8 @@ class Tensor:
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
         out_data = self.data @ other.data
+        if not self._needs_graph(other):
+            return _graphless(out_data)
 
         def backward(grad: np.ndarray) -> None:
             a, b = self.data, other.data
@@ -302,6 +352,8 @@ class Tensor:
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         out_data = np.exp(self.data)
+        if not self._needs_graph():
+            return _graphless(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data)
@@ -309,13 +361,19 @@ class Tensor:
         return self._make(out_data, (self,), backward)
 
     def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+        if not self._needs_graph():
+            return _graphless(out_data)
+
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad / self.data)
 
-        return self._make(np.log(self.data), (self,), backward)
+        return self._make(out_data, (self,), backward)
 
     def sqrt(self) -> "Tensor":
         out_data = np.sqrt(self.data)
+        if not self._needs_graph():
+            return _graphless(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * 0.5 / out_data)
@@ -324,6 +382,8 @@ class Tensor:
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
+        if not self._needs_graph():
+            return _graphless(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * (1.0 - out_data**2))
@@ -332,6 +392,8 @@ class Tensor:
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+        if not self._needs_graph():
+            return _graphless(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data * (1.0 - out_data))
@@ -340,6 +402,8 @@ class Tensor:
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
+        if not self._needs_graph():
+            return _graphless(self.data * mask)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * mask)
@@ -347,6 +411,8 @@ class Tensor:
         return self._make(self.data * mask, (self,), backward)
 
     def abs(self) -> "Tensor":
+        if not self._needs_graph():
+            return _graphless(np.abs(self.data))
         sign = np.sign(self.data)
 
         def backward(grad: np.ndarray) -> None:
@@ -356,6 +422,8 @@ class Tensor:
 
     def clip(self, low: float, high: float) -> "Tensor":
         """Clamp values; gradient is zero outside [low, high]."""
+        if not self._needs_graph():
+            return _graphless(np.clip(self.data, low, high))
         mask = (self.data >= low) & (self.data <= high)
 
         def backward(grad: np.ndarray) -> None:
@@ -367,6 +435,8 @@ class Tensor:
         other = as_tensor(other)
         take_self = self.data >= other.data
         out_data = np.where(take_self, self.data, other.data)
+        if not self._needs_graph(other):
+            return _graphless(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -380,6 +450,8 @@ class Tensor:
         other = as_tensor(other)
         take_self = self.data <= other.data
         out_data = np.where(take_self, self.data, other.data)
+        if not self._needs_graph(other):
+            return _graphless(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -394,6 +466,8 @@ class Tensor:
     # ------------------------------------------------------------------
     def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        if not self._needs_graph():
+            return _graphless(np.asarray(out_data))
 
         def backward(grad: np.ndarray) -> None:
             g = grad
@@ -415,6 +489,8 @@ class Tensor:
 
     def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.max(axis=axis, keepdims=keepdims)
+        if not self._needs_graph():
+            return _graphless(np.asarray(out_data))
 
         def backward(grad: np.ndarray) -> None:
             g = grad
@@ -436,6 +512,8 @@ class Tensor:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         out_data = self.data.reshape(shape)
+        if not self._needs_graph():
+            return _graphless(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.reshape(self.data.shape))
@@ -446,12 +524,15 @@ class Tensor:
         axes_tuple = axes if axes else tuple(reversed(range(self.data.ndim)))
         if len(axes_tuple) == 1 and isinstance(axes_tuple[0], (tuple, list)):
             axes_tuple = tuple(axes_tuple[0])
+        out_data = self.data.transpose(axes_tuple)
+        if not self._needs_graph():
+            return _graphless(out_data)
         inverse = np.argsort(axes_tuple)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.transpose(inverse))
 
-        return self._make(self.data.transpose(axes_tuple), (self,), backward)
+        return self._make(out_data, (self,), backward)
 
     @property
     def T(self) -> "Tensor":
@@ -459,6 +540,8 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
+        if not self._needs_graph():
+            return _graphless(np.asarray(out_data))
 
         def backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
@@ -471,11 +554,76 @@ class Tensor:
 # ----------------------------------------------------------------------
 # free functions that combine several tensors
 # ----------------------------------------------------------------------
+def affine(x: ArrayLike, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Fused ``y = x @ W (+ b)`` — one graph node instead of two.
+
+    The backward pass reproduces exactly the gradients the unfused
+    ``__matmul__`` + ``__add__`` pair would produce, so training numbers
+    are unchanged; on the inference path the whole call reduces to a
+    single BLAS gemm plus an in-place bias add with no closures at all.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    w = weight.data
+    if w.ndim == 2 and w.shape[1] <= 3 and x.data.ndim >= 2:
+        # Narrow heads (value functions, 1-3 dim action means) dispatch
+        # to BLAS gemv-style kernels whose last-ulp results depend on how
+        # the batch length aligns with the kernel's row chunking —
+        # breaking the bitwise sequential/vectorized rollout equivalence.
+        # Per-row reductions are batch-size independent; N >= 4 gemm is
+        # row-stable.
+        xd = x.data
+        out_data = np.stack(
+            [(xd * w[:, j]).sum(axis=-1) for j in range(w.shape[1])], axis=-1
+        )
+    else:
+        out_data = x.data @ w
+    if bias is not None:
+        bias = as_tensor(bias)
+        out_data += bias.data
+    requires = _GRAD_ENABLED and (
+        x.requires_grad
+        or weight.requires_grad
+        or (bias is not None and bias.requires_grad)
+    )
+    if not requires:
+        return _graphless(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        a, b = x.data, weight.data
+        if x.requires_grad:
+            if b.ndim == 1:
+                ga = np.outer(grad, b) if a.ndim == 2 else grad[..., None] * b
+            else:
+                ga = grad @ np.swapaxes(b, -1, -2)
+            if a.ndim == 1 and ga.ndim > 1:
+                ga = ga.sum(axis=tuple(range(ga.ndim - 1)))
+            x._accumulate(_unbroadcast(ga, a.shape))
+        if weight.requires_grad:
+            if a.ndim == 1:
+                gb = np.outer(a, grad) if b.ndim == 2 else a[..., None] * grad
+            elif b.ndim == 1:
+                gb = (a.reshape(-1, a.shape[-1]) * grad.reshape(-1, 1)).sum(axis=0)
+            else:
+                gb = np.swapaxes(a, -1, -2) @ grad
+            weight._accumulate(_unbroadcast(gb, b.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(_unbroadcast(grad, bias.data.shape))
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    out = Tensor(out_data, requires_grad=True, _prev=parents)
+    out._backward = backward
+    return out
+
+
 def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient routing."""
     tensors = [as_tensor(t) for t in tensors]
     datas = [t.data for t in tensors]
     out_data = np.concatenate(datas, axis=axis)
+    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    if not requires:
+        return _graphless(out_data)
     sizes = [d.shape[axis] for d in datas]
     offsets = np.cumsum([0] + sizes)
 
@@ -486,10 +634,8 @@ def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
                 index[axis] = slice(start, stop)
                 tensor._accumulate(grad[tuple(index)])
 
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
-    out = Tensor(out_data, requires_grad=requires, _prev=tuple(tensors) if requires else ())
-    if requires:
-        out._backward = backward
+    out = Tensor(out_data, requires_grad=True, _prev=tuple(tensors))
+    out._backward = backward
     return out
 
 
@@ -497,6 +643,9 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new ``axis`` with gradient routing."""
     tensors = [as_tensor(t) for t in tensors]
     out_data = np.stack([t.data for t in tensors], axis=axis)
+    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    if not requires:
+        return _graphless(out_data)
 
     def backward(grad: np.ndarray) -> None:
         moved = np.moveaxis(grad, axis, 0)
@@ -504,10 +653,8 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             if tensor.requires_grad:
                 tensor._accumulate(g)
 
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
-    out = Tensor(out_data, requires_grad=requires, _prev=tuple(tensors) if requires else ())
-    if requires:
-        out._backward = backward
+    out = Tensor(out_data, requires_grad=True, _prev=tuple(tensors))
+    out._backward = backward
     return out
 
 
@@ -516,6 +663,9 @@ def where(condition: ArrayLike, a: ArrayLike, b: ArrayLike) -> Tensor:
     cond = _as_array(condition).astype(bool)
     a_t, b_t = as_tensor(a), as_tensor(b)
     out_data = np.where(cond, a_t.data, b_t.data)
+    requires = _GRAD_ENABLED and (a_t.requires_grad or b_t.requires_grad)
+    if not requires:
+        return _graphless(out_data)
 
     def backward(grad: np.ndarray) -> None:
         if a_t.requires_grad:
@@ -523,8 +673,6 @@ def where(condition: ArrayLike, a: ArrayLike, b: ArrayLike) -> Tensor:
         if b_t.requires_grad:
             b_t._accumulate(grad * ~cond)
 
-    requires = _GRAD_ENABLED and (a_t.requires_grad or b_t.requires_grad)
-    out = Tensor(out_data, requires_grad=requires, _prev=(a_t, b_t) if requires else ())
-    if requires:
-        out._backward = backward
+    out = Tensor(out_data, requires_grad=True, _prev=(a_t, b_t))
+    out._backward = backward
     return out

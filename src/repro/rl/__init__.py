@@ -1,20 +1,32 @@
-"""Reinforcement-learning substrate: GAE, rollout buffers, policies, PPO."""
+"""Reinforcement-learning substrate: GAE, buffers, policies, PPO, vec rollouts."""
 
 from .buffer import RolloutBuffer, RolloutSegment
 from .gae import compute_gae, valid_step_mask
 from .policies import ActorCriticBase, MLPActorCritic, RecurrentActorCritic
 from .ppo import PPO, PPOConfig
 from .runner import collect_segment
+from .vec import (
+    BlockRNG,
+    VecEnvPool,
+    collect_segments_vec,
+    evaluate_policy_vec,
+    split_rng,
+)
 
 __all__ = [
     "ActorCriticBase",
+    "BlockRNG",
     "MLPActorCritic",
     "PPO",
     "PPOConfig",
     "RecurrentActorCritic",
     "RolloutBuffer",
     "RolloutSegment",
+    "VecEnvPool",
     "collect_segment",
+    "collect_segments_vec",
     "compute_gae",
+    "evaluate_policy_vec",
+    "split_rng",
     "valid_step_mask",
 ]

@@ -22,7 +22,7 @@ Both expose the same rollout/update interface consumed by
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,9 +34,23 @@ class ActorCriticBase(nn.Module):
     """Shared interface; see module docstring."""
 
     recurrent: bool = False
+    # Block structure of the current rollout batch (set by the vectorized
+    # collector); None means the whole batch is one group.
+    _rollout_groups: Optional[Sequence[slice]] = None
 
     def start_rollout(self, num_users: int) -> None:
         """Reset any per-episode internal state (no-op for feed-forward)."""
+        self._rollout_groups = None
+
+    def set_rollout_groups(self, groups: Optional[Sequence[slice]]) -> None:
+        """Declare the per-env blocks of a stacked rollout batch.
+
+        Group-level machinery (the SADAE context in
+        :class:`~repro.core.policy.Sim2RecPolicy`) must never mix users
+        across environments; the vectorized collector calls this after
+        ``start_rollout`` so context is computed block by block.
+        """
+        self._rollout_groups = list(groups) if groups is not None else None
 
     def act(
         self,
@@ -60,6 +74,9 @@ class ActorCriticBase(nn.Module):
             def reset(self, num_users: int) -> None:
                 policy.start_rollout(num_users)
                 self._prev_actions: Optional[np.ndarray] = None
+
+            def set_rollout_groups(self, groups) -> None:
+                policy.set_rollout_groups(groups)
 
             def __call__(self, states: np.ndarray, t: int) -> np.ndarray:
                 if self._prev_actions is None:
@@ -180,6 +197,7 @@ class RecurrentActorCritic(ActorCriticBase):
 
     # ------------------------------------------------------------------
     def start_rollout(self, num_users: int) -> None:
+        super().start_rollout(num_users)
         self._state = self.extractor.initial_state(num_users)
 
     def _advance(self, x: nn.Tensor, state):

@@ -7,6 +7,7 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from ..envs.base import MultiUserEnv
+from ..nn import no_grad
 from .buffer import RolloutSegment
 from .policies import ActorCriticBase
 
@@ -24,6 +25,17 @@ def collect_segment(
     (e.g. ``"orders"``, ``"cost"``, ``"uncertainty"``) to stack into
     ``segment.extras`` for later post-processing or metrics.
     """
+    with no_grad():
+        return _collect_segment_impl(env, policy, rng, max_steps, extras_from_info)
+
+
+def _collect_segment_impl(
+    env: MultiUserEnv,
+    policy: ActorCriticBase,
+    rng: np.random.Generator,
+    max_steps: Optional[int],
+    extras_from_info: tuple[str, ...],
+) -> RolloutSegment:
     horizon = max_steps or env.horizon
     states = env.reset()
     n = env.num_users

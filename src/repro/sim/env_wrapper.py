@@ -18,13 +18,15 @@ truncated at T_c steps.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import nn
 from ..envs.base import MultiUserEnv
 from ..envs.dpr import COST_RATE, DPRFeaturizer, FEEDBACK_DIM, HISTORY_DAYS
 from ..envs.spaces import Box
+from ..rl.vec import VecEnvPool
 from ..utils.seeding import make_rng
 from .dataset import GroupTrajectories
 from .ensemble import SimulatorEnsemble
@@ -95,9 +97,11 @@ class SimulatedDPREnv(MultiUserEnv):
         start = int(self._rng.integers(0, max_start + 1))
         states = log.states[episode, start].copy()
         self._states = states
-        self._user_static = states[:, self.featurizer.slices["user"]]
-        self._group_static = states[0, self.featurizer.slices["group"]]
-        self._last_feedback = states[:, self.featurizer.slices["hist"]]
+        # Copies, not views: ``step`` rebuilds the state in place into the
+        # ``self._states`` buffer, so the exogenous blocks must not alias it.
+        self._user_static = states[:, self.featurizer.slices["user"]].copy()
+        self._group_static = states[0, self.featurizer.slices["group"]].copy()
+        self._last_feedback = states[:, self.featurizer.slices["hist"]].copy()
         self._order_history = self._history_from_state(states)
         self._time_index = start
         self._steps = 0
@@ -127,6 +131,7 @@ class SimulatedDPREnv(MultiUserEnv):
             self._time_index,
             self._order_history,
             self._last_feedback,
+            out=self._states,
         )
         dones = np.full(self.num_users, self._steps >= self.truncate_horizon)
         info: Dict[str, Any] = {
@@ -138,3 +143,172 @@ class SimulatedDPREnv(MultiUserEnv):
         if self.ensemble is not None:
             info["uncertainty"] = self.ensemble.uncertainty(self._states, actions)
         return self._states.copy(), rewards, dones, info
+
+    @classmethod
+    def make_batch_stepper(cls, envs: Sequence["SimulatedDPREnv"], slices: Sequence[slice]):
+        """Block-diagonal stepper for pools sharing one simulator M_ω.
+
+        Batching across cities requires every member to query the *same*
+        simulator (and the same uncertainty ensemble), so the network
+        forward runs once per timestep for the whole stacked batch.
+        Returns None otherwise; the pool falls back to per-env stepping.
+        """
+        if len(envs) < 2:
+            return None
+        if any(type(env) is not SimulatedDPREnv for env in envs):
+            return None
+        first = envs[0]
+        if any(env.simulator is not first.simulator for env in envs):
+            return None
+        if any(env.ensemble is not first.ensemble for env in envs):
+            return None
+        if len({env.truncate_horizon for env in envs}) != 1:
+            return None
+        return _SimulatedDPRBatchStepper(list(envs), list(slices))
+
+
+class _SimulatedDPRBatchStepper:
+    """Vectorized reset/step over a stacked batch of :class:`SimulatedDPREnv`.
+
+    The learned-simulator forward (and the ensemble uncertainty pass)
+    runs once over all cities; feedback noise is drawn per city from that
+    city's own generator, and episode starts are drawn per city exactly
+    as in ``SimulatedDPREnv.reset`` — the results are numerically
+    identical to stepping the member envs one by one.
+    """
+
+    def __init__(self, envs: Sequence["SimulatedDPREnv"], slices: Sequence[slice]):
+        self.envs = list(envs)
+        self.slices = list(slices)
+        self.total = self.slices[-1].stop
+        first = self.envs[0]
+        self.simulator = first.simulator
+        self.ensemble = first.ensemble
+        self.featurizer = first.featurizer
+        self.truncate_horizon = first.truncate_horizon
+        self.alpha1 = np.empty(self.total)
+        for env, block in zip(self.envs, self.slices):
+            self.alpha1[block] = env.alpha1
+        ds = self.featurizer.state_dim
+        self._states = np.zeros((self.total, ds))
+        self._user_static = np.zeros((self.total, DPRFeaturizer.USER_DIM))
+        self._group_static = np.zeros((self.total, DPRFeaturizer.GROUP_DIM))
+        self._last_feedback = np.zeros((self.total, FEEDBACK_DIM))
+        self._order_history = np.zeros((self.total, HISTORY_DAYS))
+        self._time_index = np.zeros(len(self.envs), dtype=np.int64)
+        self._steps = 0
+
+    def reset(self) -> np.ndarray:
+        featurizer = self.featurizer
+        for index, (env, block) in enumerate(zip(self.envs, self.slices)):
+            log = env.group_log
+            episode = int(env._rng.integers(0, log.num_episodes))
+            max_start = max(log.horizon - env.truncate_horizon, 0)
+            start = int(env._rng.integers(0, max_start + 1))
+            states = log.states[episode, start]
+            self._states[block] = states
+            self._group_static[block] = states[0, featurizer.slices["group"]]
+            self._time_index[index] = start
+        self._user_static[:] = self._states[:, featurizer.slices["user"]]
+        self._last_feedback[:] = self._states[:, featurizer.slices["hist"]]
+        # _history_from_state is already row-vectorized; reuse it on the
+        # stacked batch so the reconstruction rule lives in one place.
+        self._order_history[:] = self.envs[0]._history_from_state(self._states)
+        self._steps = 0
+        return self._states.copy()
+
+    def _sample_feedback(self, actions: np.ndarray) -> np.ndarray:
+        """One simulator forward for all cities; per-city noise streams."""
+        simulator = self.simulator
+        with nn.no_grad():
+            mean, log_std, logits = simulator._forward(self._states, actions)
+        n_cont = len(simulator.continuous_idx)
+        n_bin = len(simulator.binary_idx)
+        noise = np.empty((self.total, n_cont)) if n_cont > 0 else None
+        draws = np.empty((self.total, n_bin)) if n_bin > 0 else None
+        for env, block in zip(self.envs, self.slices):
+            # Per stream: continuous noise first, then binary draws —
+            # the order UserSimulator.sample consumes them in.
+            count = block.stop - block.start
+            if noise is not None:
+                noise[block] = env._rng.standard_normal((count, n_cont))
+            if draws is not None:
+                draws[block] = env._rng.random((count, n_bin))
+        return simulator.sample_from_outputs(
+            mean.data, log_std.data, logits.data, noise, draws
+        )
+
+    def step(self, actions: np.ndarray):
+        actions = np.clip(np.asarray(actions, dtype=np.float64), 0.0, 1.0)
+        bonus = actions[:, 1]
+
+        feedback = self._sample_feedback(actions)
+        feedback[:, 0] = np.maximum(feedback[:, 0], 0.0)
+        feedback[:, 1] = np.maximum(feedback[:, 1], 0.0)
+        orders = feedback[:, 0]
+        cost = COST_RATE * bonus * orders
+        rewards = orders - self.alpha1 * cost
+
+        self._order_history = np.roll(self._order_history, -1, axis=1)
+        self._order_history[:, -1] = orders
+        self._last_feedback = feedback
+        self._time_index += 1
+        self._steps += 1
+
+        per_env_states = []
+        for index, block in enumerate(self.slices):
+            per_env_states.append(
+                self.featurizer.build_states(
+                    self._user_static[block],
+                    self._group_static[block],
+                    int(self._time_index[index]),
+                    self._order_history[block],
+                    self._last_feedback[block],
+                    out=self._states[block],
+                )
+            )
+        dones = np.full(self.total, self._steps >= self.truncate_horizon)
+        uncertainty = None
+        if self.ensemble is not None:
+            uncertainty = self.ensemble.uncertainty(self._states, actions)
+        infos = []
+        for block in self.slices:
+            info = {
+                "orders": orders[block].copy(),
+                "cost": cost[block].copy(),
+                "completed": feedback[block, 2].copy(),
+                "t": self._steps,
+            }
+            if uncertainty is not None:
+                info["uncertainty"] = np.asarray(uncertainty)[block].copy()
+            infos.append(info)
+        return self._states.copy(), rewards, dones, infos
+
+
+def make_simulated_pool(
+    simulator: UserSimulator,
+    group_logs: Sequence[GroupTrajectories],
+    truncate_horizon: int = 5,
+    alpha1: float = 1.0,
+    ensemble: Optional[SimulatorEnsemble] = None,
+    seed: Optional[int] = None,
+) -> VecEnvPool:
+    """All cities of a logged dataset under one sampled simulator M_ω.
+
+    The canonical batched cross-city rollout setup: one
+    :class:`SimulatedDPREnv` per group, stacked on the user axis so
+    :func:`repro.rl.vec.collect_segments_vec` drives every city with a
+    single ``act`` call per timestep.
+    """
+    envs = [
+        SimulatedDPREnv(
+            simulator,
+            log,
+            truncate_horizon=truncate_horizon,
+            alpha1=alpha1,
+            ensemble=ensemble,
+            seed=None if seed is None else seed + index,
+        )
+        for index, log in enumerate(group_logs)
+    ]
+    return VecEnvPool(envs)

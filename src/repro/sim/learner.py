@@ -134,19 +134,37 @@ class UserSimulator(nn.Module):
             out[:, self.binary_idx] = 1.0 / (1.0 + np.exp(-logits.data))
         return out
 
+    def sample_from_outputs(
+        self,
+        mean: np.ndarray,
+        log_std: np.ndarray,
+        logits: np.ndarray,
+        normal_noise: Optional[np.ndarray] = None,
+        uniform_draws: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Turn raw network outputs plus noise into a feedback sample.
+
+        Shared by :meth:`sample` and the batched env stepper (which draws
+        the noise per city from per-city streams); keeping the
+        de-normalisation here guarantees both paths stay numerically
+        identical.
+        """
+        out = np.zeros((mean.shape[0], self.feedback_dim))
+        if len(self.continuous_idx) > 0:
+            standardised = mean + np.exp(log_std) * normal_noise
+            out[:, self.continuous_idx] = standardised * self.target_std + self.target_mean
+        if len(self.binary_idx) > 0:
+            probs = 1.0 / (1.0 + np.exp(-logits))
+            out[:, self.binary_idx] = (uniform_draws < probs).astype(np.float64)
+        return out
+
     def sample(self, states: np.ndarray, actions: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Draw ŷ ~ p(y | s, a)."""
         with nn.no_grad():
             mean, log_std, logits = self._forward(states, actions)
-        out = np.zeros((states.shape[0], self.feedback_dim))
-        if len(self.continuous_idx) > 0:
-            noise = rng.standard_normal(mean.shape)
-            standardised = mean.data + np.exp(log_std.data) * noise
-            out[:, self.continuous_idx] = standardised * self.target_std + self.target_mean
-        if len(self.binary_idx) > 0:
-            probs = 1.0 / (1.0 + np.exp(-logits.data))
-            out[:, self.binary_idx] = (rng.random(probs.shape) < probs).astype(np.float64)
-        return out
+        noise = rng.standard_normal(mean.shape) if len(self.continuous_idx) > 0 else None
+        draws = rng.random(logits.shape) if len(self.binary_idx) > 0 else None
+        return self.sample_from_outputs(mean.data, log_std.data, logits.data, noise, draws)
 
 
 DataLike = Union[TrajectoryDataset, Tuple[np.ndarray, np.ndarray, np.ndarray]]

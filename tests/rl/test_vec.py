@@ -1,0 +1,250 @@
+"""Vectorized rollout engine: seeded equivalence with the sequential path.
+
+The contract under test (see :mod:`repro.rl.vec`): collecting all cities
+through a :class:`VecEnvPool` with one ``policy.act`` per timestep yields
+per-city :class:`RolloutSegment` objects *bit-identical* to looping
+``collect_segment`` city by city, provided each city keeps its own
+policy-noise stream and the same policy instance (same weight buffers)
+drives both paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import build_sim2rec_policy, dpr_small_config
+from repro.envs import DPRConfig, DPRWorld, evaluate_policy
+from repro.rl import (
+    BlockRNG,
+    MLPActorCritic,
+    RecurrentActorCritic,
+    VecEnvPool,
+    collect_segment,
+    collect_segments_vec,
+    evaluate_policy_vec,
+)
+
+SEGMENT_FIELDS = (
+    "states",
+    "prev_actions",
+    "actions",
+    "rewards",
+    "dones",
+    "values",
+    "log_probs",
+    "last_values",
+)
+
+
+def make_world(**kwargs) -> DPRWorld:
+    defaults = dict(num_cities=4, drivers_per_city=10, horizon=6, seed=3)
+    defaults.update(kwargs)
+    return DPRWorld(DPRConfig(**defaults))
+
+
+def assert_segments_identical(seq, vec):
+    assert len(seq) == len(vec)
+    for s, v in zip(seq, vec):
+        assert s.group_id == v.group_id
+        for name in SEGMENT_FIELDS:
+            a, b = getattr(s, name), getattr(v, name)
+            assert a.shape == b.shape, (name, a.shape, b.shape)
+            np.testing.assert_array_equal(a, b, err_msg=name)
+        assert set(s.extras) == set(v.extras)
+        for key in s.extras:
+            np.testing.assert_array_equal(s.extras[key], v.extras[key], err_msg=key)
+
+
+def collect_both(world, policy, max_steps=None, extras=(), seed=100):
+    n = world.num_cities
+    rngs_seq = [np.random.default_rng(seed + i) for i in range(n)]
+    rngs_vec = [np.random.default_rng(seed + i) for i in range(n)]
+    seq = [
+        collect_segment(env, policy, rng, max_steps=max_steps, extras_from_info=extras)
+        for env, rng in zip(world.make_all_city_envs(), rngs_seq)
+    ]
+    vec = collect_segments_vec(
+        world.make_all_city_envs(),
+        policy,
+        rngs_vec,
+        max_steps=max_steps,
+        extras_from_info=extras,
+    )
+    return seq, vec
+
+
+class TestCollectEquivalence:
+    def test_recurrent_policy_full_horizon(self):
+        world = make_world()
+        policy = RecurrentActorCritic(
+            13, 2, np.random.default_rng(0), lstm_hidden=16, head_hidden=(32,)
+        )
+        assert_segments_identical(*collect_both(world, policy))
+
+    def test_sim2rec_policy_with_truncation_and_extras(self):
+        """The acceptance case: SADAE context policy over DPRWorld city
+        envs, truncated (so last_values bootstraps mid-episode), with
+        extras stacked from the env info dicts."""
+        world = make_world()
+        policy = build_sim2rec_policy(13, 2, dpr_small_config(seed=0))
+        seq, vec = collect_both(
+            world, policy, max_steps=4, extras=("orders", "cost")
+        )
+        assert_segments_identical(seq, vec)
+        assert seq[0].horizon == 4  # truncated below env horizon
+        assert set(seq[0].extras) == {"orders", "cost"}
+
+    def test_mlp_policy(self):
+        world = make_world()
+        policy = MLPActorCritic(13, 2, np.random.default_rng(1), hidden_sizes=(16,))
+        assert_segments_identical(*collect_both(world, policy, max_steps=3))
+
+    def test_gru_policy_odd_block_sizes(self):
+        # 7 drivers/city: blocks that do not align with BLAS kernel
+        # chunking — the regression case for the value-head gemv fix.
+        world = make_world(num_cities=5, drivers_per_city=7, horizon=5, seed=11)
+        policy = RecurrentActorCritic(
+            13, 2, np.random.default_rng(2), lstm_hidden=16, head_hidden=(32,), cell="gru"
+        )
+        assert_segments_identical(*collect_both(world, policy))
+
+    def test_many_city_batch(self):
+        # Large stacked batch (200 users): exercises the BLAS kernel
+        # regimes where narrow-head matmuls were batch-size dependent.
+        world = make_world(num_cities=20, drivers_per_city=10, horizon=5, seed=21)
+        policy = RecurrentActorCritic(
+            13, 2, np.random.default_rng(6), lstm_hidden=32, head_hidden=(64,)
+        )
+        assert_segments_identical(*collect_both(world, policy, seed=400))
+
+    def test_multi_episode_rng_continuity(self):
+        """Back-to-back episodes on the same envs keep every stream aligned."""
+        world = make_world()
+        policy = RecurrentActorCritic(
+            13, 2, np.random.default_rng(3), lstm_hidden=16, head_hidden=(32,)
+        )
+        envs_seq = world.make_all_city_envs()
+        envs_vec = world.make_all_city_envs()
+        rngs_seq = [np.random.default_rng(50 + i) for i in range(4)]
+        rngs_vec = [np.random.default_rng(50 + i) for i in range(4)]
+        pool = VecEnvPool(envs_vec)
+        for _ in range(2):
+            seq = [collect_segment(e, policy, r) for e, r in zip(envs_seq, rngs_seq)]
+            vec = collect_segments_vec(pool, policy, rngs_vec)
+            assert_segments_identical(seq, vec)
+
+    def test_heterogeneous_horizons_truncate_per_env(self):
+        """Per-env done masking: members leave the pool at their own
+        horizon; each segment is cut and bootstrapped at its own end."""
+        config = DPRConfig(num_cities=3, drivers_per_city=6, horizon=8, seed=9)
+        world = DPRWorld(config)
+        envs_seq = world.make_all_city_envs()
+        envs_vec = world.make_all_city_envs()
+        for envs in (envs_seq, envs_vec):
+            envs[0].horizon = 3
+            envs[2].horizon = 6
+        policy = RecurrentActorCritic(
+            13, 2, np.random.default_rng(4), lstm_hidden=16, head_hidden=(32,)
+        )
+        rngs_seq = [np.random.default_rng(70 + i) for i in range(3)]
+        rngs_vec = [np.random.default_rng(70 + i) for i in range(3)]
+        seq = [collect_segment(e, policy, r) for e, r in zip(envs_seq, rngs_seq)]
+        vec = collect_segments_vec(envs_vec, policy, rngs_vec)
+        assert [s.horizon for s in vec] == [3, 8, 6]
+        assert_segments_identical(seq, vec)
+
+
+class TestVecEnvPool:
+    def test_pool_is_a_multi_user_env(self):
+        world = make_world()
+        pool = VecEnvPool(world.make_all_city_envs())
+        assert pool.num_users == 4 * 10
+        assert pool.observation_dim == 13
+        assert pool.group_id == [0, 1, 2, 3]
+        states = pool.reset()
+        assert states.shape == (40, 13)
+        next_states, rewards, dones, info = pool.step(np.full((40, 2), 0.5))
+        assert rewards.shape == (40,)
+        assert len(info["per_env"]) == 4
+
+    def test_rejects_duplicate_env_objects(self):
+        world = make_world()
+        env = world.make_city_env(0)
+        with pytest.raises(ValueError, match="distinct"):
+            VecEnvPool([env, env])
+
+    def test_rejects_dim_mismatch(self):
+        from repro.envs import LTSConfig, LTSEnv
+
+        world = make_world()
+        lts = LTSEnv(LTSConfig(num_users=5, horizon=4, seed=0))
+        with pytest.raises(ValueError, match="observation dimension"):
+            VecEnvPool([world.make_city_env(0), lts])
+
+    def test_block_rng_draws_match_per_env_streams(self):
+        slices = [slice(0, 3), slice(3, 8)]
+        block = BlockRNG([np.random.default_rng(0), np.random.default_rng(1)], slices)
+        direct = [np.random.default_rng(0), np.random.default_rng(1)]
+        draws = block.standard_normal((8, 2))
+        np.testing.assert_array_equal(draws[0:3], direct[0].standard_normal((3, 2)))
+        np.testing.assert_array_equal(draws[3:8], direct[1].standard_normal((5, 2)))
+        with pytest.raises(ValueError):
+            block.standard_normal((4, 2))
+
+
+class TestEvaluatePolicyVec:
+    def test_matches_sequential_evaluate(self):
+        world = make_world()
+        policy = RecurrentActorCritic(
+            13, 2, np.random.default_rng(5), lstm_hidden=16, head_hidden=(32,)
+        )
+        seq_returns = np.array(
+            [
+                evaluate_policy(env, policy.as_act_fn(np.random.default_rng(0)), episodes=1)
+                for env in world.make_all_city_envs()
+            ]
+        )
+        vec_returns = evaluate_policy_vec(
+            world.make_all_city_envs(),
+            policy.as_act_fn(np.random.default_rng(0)),
+            episodes=1,
+        )
+        # Deterministic act_fn + identical env streams: identical numbers.
+        np.testing.assert_array_equal(seq_returns, vec_returns)
+
+    def test_pool_works_through_plain_evaluate_policy(self):
+        world = make_world()
+        policy = build_sim2rec_policy(13, 2, dpr_small_config(seed=1))
+        pool = VecEnvPool(world.make_all_city_envs())
+        pooled = evaluate_policy(pool, policy.as_act_fn(np.random.default_rng(0)), episodes=1)
+        per_env = evaluate_policy_vec(
+            VecEnvPool(world.make_all_city_envs()),
+            policy.as_act_fn(np.random.default_rng(0)),
+            episodes=1,
+        )
+        # The pool's aggregate mean weights every user equally.
+        assert pooled == pytest.approx(float(np.mean(per_env)))
+
+
+class TestTrainerVectorizedCollect:
+    def test_vectorized_collect_produces_full_buffer(self):
+        from repro.core import Sim2RecLTSTrainer, lts_small_config
+        from repro.envs import make_lts_task
+
+        config = lts_small_config(seed=0)
+        assert config.vectorized_rollouts  # batched by default
+        task = make_lts_task("LTS3", num_users=8, horizon=6, seed=0)
+        policy = build_sim2rec_policy(2, 1, config)
+        trainer = Sim2RecLTSTrainer(policy, task, config)
+        buffer, raw_rewards = trainer.collect()
+        assert len(buffer) == config.segments_per_iteration
+        assert len(raw_rewards) == config.segments_per_iteration
+        metrics = trainer.train_iteration()
+        assert "reward" in metrics
+
+    def test_duplicate_env_samples_fall_back_to_extra_rounds(self):
+        from repro.core.trainer import _poolable_batches
+
+        world = make_world()
+        env_a, env_b = world.make_city_env(0), world.make_city_env(1)
+        batches = _poolable_batches([env_a, env_b, env_a])
+        assert [[index for index, _ in batch] for batch in batches] == [[0, 1], [2]]
