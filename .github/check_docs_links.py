@@ -1,0 +1,47 @@
+"""Docs link checker: every relative markdown link must resolve.
+
+Scans README.md and docs/*.md for ``[text](target)`` links and fails if a
+relative target (optionally with a ``#fragment``) does not exist on disk.
+External (``http``/``https``/``mailto``) links are skipped — CI must not
+depend on the network.
+
+Run from the repo root:  python .github/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    for target in LINK.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(ROOT)}: broken link -> {target}")
+    return errors
+
+
+def main() -> int:
+    files = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+    errors = []
+    for path in files:
+        if not path.exists():
+            errors.append(f"missing documentation file: {path.relative_to(ROOT)}")
+            continue
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} files: {'FAIL' if errors else 'ok'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

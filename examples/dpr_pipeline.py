@@ -14,6 +14,14 @@ Run:  python examples/dpr_pipeline.py   (takes a couple of minutes)
 
 import numpy as np
 
+try:
+    import repro.core  # noqa: F401  (probe a submodule so foreign 'repro' dists don't shadow the checkout)
+except ImportError:  # running from a checkout: fall back to the src/ layout
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro.core import Sim2RecDPRTrainer, build_sim2rec_policy, dpr_small_config
 from repro.envs import (
     BehaviorPolicy,

@@ -9,6 +9,14 @@ Run:  python examples/lts_transfer.py
 
 import numpy as np
 
+try:
+    import repro.core  # noqa: F401  (probe a submodule so foreign 'repro' dists don't shadow the checkout)
+except ImportError:  # running from a checkout: fall back to the src/ layout
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro.baselines import (
     lts_single_sampler,
     lts_task_sampler,

@@ -10,6 +10,14 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
+try:
+    import repro.core  # noqa: F401  (probe a submodule so foreign 'repro' dists don't shadow the checkout)
+except ImportError:  # running from a checkout: fall back to the src/ layout
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro.core import Sim2RecLTSTrainer, build_sim2rec_policy, lts_small_config
 from repro.envs import evaluate_policy, make_lts_task
 

@@ -10,6 +10,14 @@ Run:  python examples/sadae_embedding.py
 
 import numpy as np
 
+try:
+    import repro.core  # noqa: F401  (probe a submodule so foreign 'repro' dists don't shadow the checkout)
+except ImportError:  # running from a checkout: fall back to the src/ layout
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro.core import collect_lts_state_sets, train_sadae
 from repro.core.sadae import SADAE, SADAEConfig
 from repro.envs import LTSConfig, LTSEnv, MU_C_REAL, make_lts_task

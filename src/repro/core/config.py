@@ -30,6 +30,10 @@ class Sim2RecConfig:
     sadae_pretrain_epochs: int = 30
     sadae_updates_per_iteration: int = 1
     sadae_sets_per_update: int = 8
+    # Evaluate each SADAE step's equal-cardinality sets through one
+    # stacked elbo_batch forward (bit-identical losses for
+    # equal-cardinality corpora; see repro.core.sadae.train_sadae).
+    batched_sadae: bool = True
 
     # --- PPO (Eq. 4) -----------------------------------------------------
     ppo: PPOConfig = field(default_factory=PPOConfig)

@@ -25,7 +25,7 @@ state distribution there); DPR uses the full state-action form.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -198,6 +198,89 @@ class SADAE(nn.Module):
         # without changing the optimum (a positive rescaling of the ELBO).
         return (recon - kl) * (1.0 / n)
 
+    def elbo_batch(
+        self,
+        sets: Sequence[StateActionSet],
+        rng: np.random.Generator,
+    ) -> List[nn.Tensor]:
+        """Per-set ELBOs for equal-cardinality sets via stacked forwards.
+
+        The batched counterpart of :meth:`elbo`: the K sets' inputs are
+        stacked to ``[K·N, d]`` so the encoder and both decoders run once
+        for the whole batch instead of once per set; only the per-set
+        reductions (the Eq. (6) posterior product, the reparameterised
+        υ draw, the KL term) stay set-wise. Each returned scalar is
+        **bit-identical** to ``elbo(states, actions, rng)`` called set by
+        set in order: the MLP forwards are batch-length independent
+        row-wise, the υ-noise is drawn per set in set order (so ``rng``
+        advances exactly as the sequential loop would), and the per-set
+        log-likelihood sums reduce the same contiguous rows.
+
+        All sets must share one cardinality — :func:`train_sadae` groups
+        ragged collections by set size before calling this.
+        """
+        if not sets:
+            return []
+        n = sets[0][0].shape[0]
+        if any(states.shape[0] != n for states, _ in sets):
+            raise ValueError("elbo_batch requires equal-cardinality sets")
+        if self.action_decoder is not None and any(a is None for _, a in sets):
+            raise ValueError("actions required unless state_only=True")
+        k = len(sets)
+        latent = self.config.latent_dim
+        stacked_states = np.concatenate(
+            [np.asarray(states, dtype=np.float64) for states, _ in sets], axis=0
+        )
+        stacked_actions = None
+        if not self.config.state_only:
+            stacked_actions = np.concatenate(
+                [np.asarray(actions, dtype=np.float64) for _, actions in sets], axis=0
+            )
+        encoded = self.encoder(
+            nn.Tensor(self._encoder_input(stacked_states, stacked_actions))
+        )  # [K·N, 2·latent]
+
+        posteriors, upsilons = [], []
+        for index in range(k):
+            rows = encoded[index * n : (index + 1) * n]
+            posterior = nn.product_of_gaussians(rows[:, :latent], rows[:, latent:], axis=0)
+            posteriors.append(posterior)
+            upsilons.append(posterior.rsample(rng))  # one draw per set, in set order
+
+        stacked_upsilon = nn.stack(upsilons, axis=0)  # [K, latent]
+        decoded_s = self.state_decoder(stacked_upsilon)  # [K, 2·ds]
+        norm_states = (stacked_states - self.state_mean) / self.state_std
+        counts = [n] * k
+        state_dist = nn.DiagGaussian(
+            nn.tile_rows(decoded_s[:, : self.state_dim], counts),
+            nn.tile_rows(decoded_s[:, self.state_dim :], counts),
+        )
+        state_row_logp = state_dist.log_prob(norm_states)  # [K·N]
+
+        action_row_logp = None
+        if self.action_decoder is not None:
+            latent_tiled = nn.tile_rows(stacked_upsilon, counts)  # [K·N, latent]
+            norm_state_t = nn.Tensor(norm_states)
+            decoded_a = self.action_decoder(nn.concat([latent_tiled, norm_state_t], axis=1))
+            action_dist = nn.DiagGaussian(
+                decoded_a[:, : self.action_dim], decoded_a[:, self.action_dim :]
+            )
+            norm_actions = (stacked_actions - self.action_mean) / self.action_std
+            action_row_logp = action_dist.log_prob(norm_actions)  # [K·N]
+
+        prior = nn.DiagGaussian(
+            nn.Tensor(np.zeros(latent)), nn.Tensor(np.zeros(latent))
+        )
+        elbos: List[nn.Tensor] = []
+        for index in range(k):
+            block = slice(index * n, (index + 1) * n)
+            recon = state_row_logp[block].sum()
+            if action_row_logp is not None:
+                recon = recon + action_row_logp[block].sum()
+            kl = posteriors[index].kl(prior)
+            elbos.append((recon - kl) * (1.0 / n))
+        return elbos
+
     # ------------------------------------------------------------------
     # reconstruction / analysis
     # ------------------------------------------------------------------
@@ -244,6 +327,37 @@ class SADAE(nn.Module):
         return recon_states, recon_actions
 
 
+def _batch_elbos(
+    sadae: SADAE,
+    sets: Sequence[StateActionSet],
+    batch_ids: Sequence[int],
+    rng: np.random.Generator,
+) -> Dict[int, nn.Tensor]:
+    """Per-set ELBOs for one optimisation step, set-batched where possible.
+
+    Sets are grouped by cardinality (in first-appearance order) and each
+    equal-cardinality group runs through :meth:`SADAE.elbo_batch`;
+    singleton groups take the sequential :meth:`SADAE.elbo`. When all
+    sets in the batch share one cardinality the υ-noise draws happen in
+    exactly the sequential order, so the step is bit-identical to the
+    unbatched loop; ragged batches reorder the draws group by group
+    (a different but equally valid sample of the same objective).
+    """
+    by_cardinality: Dict[int, List[int]] = {}
+    for set_id in batch_ids:
+        by_cardinality.setdefault(sets[set_id][0].shape[0], []).append(set_id)
+    elbos: Dict[int, nn.Tensor] = {}
+    for group_ids in by_cardinality.values():
+        if len(group_ids) == 1:
+            states, actions = sets[group_ids[0]]
+            elbos[group_ids[0]] = sadae.elbo(states, actions, rng)
+        else:
+            group_values = sadae.elbo_batch([sets[i] for i in group_ids], rng)
+            for set_id, value in zip(group_ids, group_values):
+                elbos[set_id] = value
+    return elbos
+
+
 def train_sadae(
     sadae: SADAE,
     sets: Sequence[StateActionSet],
@@ -252,12 +366,24 @@ def train_sadae(
     sets_per_step: int = 8,
     fit_normalizer: bool = True,
     callback=None,
+    batched: bool = True,
 ) -> List[float]:
     """Optimise the Theorem 4.1 ELBO over a collection of X sets.
 
     Returns the per-epoch mean negative-ELBO losses. ``callback(epoch)``
     (if given) runs after every epoch — the benches use it to snapshot
     KLD / PCA trajectories during training.
+
+    With ``batched`` (the default) each step's equal-cardinality sets are
+    evaluated through one stacked :meth:`SADAE.elbo_batch` forward
+    instead of one :meth:`SADAE.elbo` call per set — see
+    :func:`_batch_elbos` for the exact-equivalence conditions. The loss
+    of every step is accumulated in the sampled set order either way, so
+    given identical parameters an equal-cardinality step's loss is
+    bit-identical; across optimizer steps the batched backward sums
+    gradients in a different order, letting parameters drift at the last
+    ulp (per-epoch losses agree to ≤1e-10, enforced by
+    ``tests/core/test_sadae_batched.py`` and ``benchmarks/perf_train.py``).
     """
     rng = rng or make_rng(sadae.config.seed)
     if fit_normalizer:
@@ -276,10 +402,16 @@ def train_sadae(
             batch_ids = order[start : start + sets_per_step]
             optimizer.zero_grad()
             total = None
-            for set_id in batch_ids:
-                states, actions = sets[set_id]
-                value = -sadae.elbo(states, actions, rng)
-                total = value if total is None else total + value
+            if batched:
+                elbos = _batch_elbos(sadae, sets, [int(i) for i in batch_ids], rng)
+                for set_id in batch_ids:
+                    value = -elbos[int(set_id)]
+                    total = value if total is None else total + value
+            else:
+                for set_id in batch_ids:
+                    states, actions = sets[set_id]
+                    value = -sadae.elbo(states, actions, rng)
+                    total = value if total is None else total + value
             loss = total * (1.0 / len(batch_ids))
             loss.backward()
             nn.clip_grad_norm(sadae.parameters(), 10.0)

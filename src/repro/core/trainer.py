@@ -230,6 +230,7 @@ class Sim2RecLTSTrainer(PolicyTrainer):
             sets,
             epochs=epochs or self.config.sadae_pretrain_epochs,
             rng=self.rng,
+            batched=self.config.batched_sadae,
         )
 
     def post_process_segment(self, segment: RolloutSegment, env: MultiUserEnv) -> None:
@@ -249,6 +250,7 @@ class Sim2RecLTSTrainer(PolicyTrainer):
             epochs=self.config.sadae_updates_per_iteration,
             rng=self.rng,
             fit_normalizer=False,
+            batched=self.config.batched_sadae,
         )
 
 
@@ -344,6 +346,7 @@ class Sim2RecDPRTrainer(PolicyTrainer):
             self._sadae_sets,
             epochs=epochs or self.config.sadae_pretrain_epochs,
             rng=self.rng,
+            batched=self.config.batched_sadae,
         )
 
     def post_process_segment(self, segment: RolloutSegment, env: MultiUserEnv) -> None:
@@ -378,6 +381,7 @@ class Sim2RecDPRTrainer(PolicyTrainer):
             epochs=self.config.sadae_updates_per_iteration,
             rng=self.rng,
             fit_normalizer=False,
+            batched=self.config.batched_sadae,
         )
 
 

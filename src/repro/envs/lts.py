@@ -33,7 +33,7 @@ deployment environment is ω* = [0, 0].
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -163,6 +163,116 @@ class LTSEnv(MultiUserEnv):
         """E[engagement | a, SAT] — exposed for oracle computations in tests."""
         a = np.clip(np.asarray(a, dtype=np.float64), 0.0, 1.0)
         return (a * self.mu_c + (1.0 - a) * self.mu_k_users) * sat
+
+    @classmethod
+    def make_batch_stepper(cls, envs: List["LTSEnv"], slices: List[slice]):
+        """Block-diagonal stepper for a VecEnvPool of homogeneous LTS envs.
+
+        The counterpart of :meth:`repro.envs.dpr.DPRCityEnv.make_batch_stepper`
+        for the LTS world: member groups may differ in every environment
+        parameter (ω_g, ω_u, σ_c/σ_k, sensitivity draws, ...) because the
+        stepper stacks them to per-user rows, but they must all be plain
+        :class:`LTSEnv` instances sharing one horizon so the whole batch
+        terminates simultaneously (the pool contract for native steppers).
+        Returns None otherwise; the pool then falls back to per-env
+        stepping.
+        """
+        if len(envs) < 2:
+            return None
+        if any(type(env) is not LTSEnv for env in envs):
+            return None
+        if len({env.horizon for env in envs}) != 1:
+            return None
+        return _LTSBatchStepper(envs, slices)
+
+
+class _LTSBatchStepper:
+    """Block-diagonal reset/step for a homogeneous list of :class:`LTSEnv`.
+
+    All satisfaction dynamics (NPE recursion, SAT sigmoid, engagement
+    means) run once over the stacked user axis; only the random draws —
+    per-step engagement noise and the group observation noise — loop over
+    member envs, each consuming that env's own generator with exactly the
+    shapes and order of the sequential :meth:`LTSEnv.step` /
+    :meth:`LTSEnv._observe`, so every number and every env's RNG stream
+    is bit-identical to stepping the envs one by one.
+
+    Member envs' mutable episode state (``_npe``, ``_sat``, ``_t``) is
+    *not* written back while the stepper drives a pool; their RNGs do
+    advance, so a later ``env.reset()`` is fully consistent with the
+    sequential path. Per-user parameters are re-read on every
+    :meth:`reset` so ``resample_user_gaps`` between episodes is honoured.
+    """
+
+    def __init__(self, envs: List["LTSEnv"], slices: List[slice]):
+        self.envs = envs
+        self.slices = slices
+        self.total = slices[-1].stop
+        self.horizon = envs[0].horizon
+        # Per-user rows of the per-env scalars; refreshed in reset().
+        self.sigma_c = np.empty(self.total)
+        self.sigma_k = np.empty(self.total)
+        self.mu_c = np.empty(self.total)
+        self.sensitivity = np.empty(self.total)
+        self.memory_discount = np.empty(self.total)
+        self.mu_k_users = np.empty(self.total)
+        self._npe = np.zeros(self.total)
+        self._sat = np.full(self.total, 0.5)
+        self._t = 0
+
+    def _refresh_parameters(self) -> None:
+        for env, block in zip(self.envs, self.slices):
+            self.sigma_c[block] = env.config.sigma_c
+            self.sigma_k[block] = env.config.sigma_k
+            self.mu_c[block] = env.mu_c
+            self.sensitivity[block] = env.sensitivity
+            self.memory_discount[block] = env.memory_discount
+            self.mu_k_users[block] = env.mu_k_users
+
+    def _observe(self) -> np.ndarray:
+        noise = np.empty(self.total)
+        for env, block in zip(self.envs, self.slices):
+            # Same draw, same order as LTSEnv._observe, per-env stream.
+            noise[block] = env._rng.normal(
+                0.0, env.config.observation_noise_std, env.num_users
+            )
+        return np.stack([self._sat, self.mu_c + noise], axis=1)
+
+    def reset(self) -> np.ndarray:
+        self._refresh_parameters()
+        self._t = 0
+        self._npe = np.zeros(self.total)
+        self._sat = _sigmoid(self.sensitivity * self._npe)
+        return self._observe()
+
+    def step(
+        self, actions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[Dict[str, Any]]]:
+        a = np.clip(actions[:, 0], 0.0, 1.0)
+
+        mu_t = (a * self.mu_c + (1.0 - a) * self.mu_k_users) * self._sat
+        sigma_t = np.maximum(a * self.sigma_c + (1.0 - a) * self.sigma_k, 1e-8)
+        engagement = np.empty(self.total)
+        for env, block in zip(self.envs, self.slices):
+            engagement[block] = env._rng.normal(mu_t[block], sigma_t[block])
+
+        self._npe = self.memory_discount * self._npe - 2.0 * (a - 0.5)
+        self._sat = _sigmoid(self.sensitivity * self._npe)
+        self._t += 1
+
+        states = self._observe()
+        dones = np.full(self.total, self._t >= self.horizon)
+        infos: List[Dict[str, Any]] = []
+        for block in self.slices:
+            infos.append(
+                {
+                    "engagement_mean": mu_t[block],
+                    "sat": self._sat[block].copy(),
+                    "npe": self._npe[block].copy(),
+                    "t": self._t,
+                }
+            )
+        return states, engagement, dones, infos
 
 
 def oracle_constant_policy_return(

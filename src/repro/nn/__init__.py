@@ -29,6 +29,7 @@ from .tensor import (
     is_grad_enabled,
     no_grad,
     stack,
+    tile_rows,
     where,
 )
 
@@ -70,5 +71,6 @@ __all__ = [
     "save_module",
     "softmax",
     "stack",
+    "tile_rows",
     "where",
 ]

@@ -25,7 +25,15 @@ import numpy as np
 
 from . import init as initializers
 from .module import Module, Parameter
-from .tensor import Tensor, _graphless, as_tensor, concat, is_grad_enabled, stack
+from .tensor import (
+    Tensor,
+    _graphless,
+    _row_stable_matmul,
+    as_tensor,
+    concat,
+    is_grad_enabled,
+    stack,
+)
 
 
 def _sigmoid_(values: np.ndarray) -> np.ndarray:
@@ -85,8 +93,14 @@ class LSTMCell(Module):
         hd, cd = _as_data(h_prev), _as_data(c_prev)
         hs = self.hidden_size
         gates = self._gates_scratch(xd.shape[0])
-        np.matmul(xd, self.weight_ih.data, out=gates)
-        gates += hd @ self.weight_hh.data
+        if xd.shape[0] == 1:
+            # Single-row batches replicate the graph path's row-stable
+            # matmul (gemv results differ from gemm at the last ulp).
+            gates[:] = _row_stable_matmul(xd, self.weight_ih.data)
+            gates += _row_stable_matmul(hd, self.weight_hh.data)
+        else:
+            np.matmul(xd, self.weight_ih.data, out=gates)
+            gates += hd @ self.weight_hh.data
         gates += self.bias.data
         i_gate = _sigmoid_(gates[:, 0 * hs : 1 * hs])
         f_gate = _sigmoid_(gates[:, 1 * hs : 2 * hs])
@@ -148,9 +162,15 @@ class GRUCell(Module):
         hd = _as_data(h_prev)
         hs = self.hidden_size
         gates_x, gates_h = self._gates_scratch(xd.shape[0])
-        np.matmul(xd, self.weight_ih.data, out=gates_x)
+        if xd.shape[0] == 1:
+            # See LSTMCell._fast_forward: keep single-row batches on the
+            # row-stable gemm path.
+            gates_x[:] = _row_stable_matmul(xd, self.weight_ih.data)
+            gates_h[:] = _row_stable_matmul(hd, self.weight_hh.data)
+        else:
+            np.matmul(xd, self.weight_ih.data, out=gates_x)
+            np.matmul(hd, self.weight_hh.data, out=gates_h)
         gates_x += self.bias.data
-        np.matmul(hd, self.weight_hh.data, out=gates_h)
         r_gate = _sigmoid_(gates_x[:, :hs].__iadd__(gates_h[:, :hs]))
         z_gate = _sigmoid_(gates_x[:, hs : 2 * hs].__iadd__(gates_h[:, hs : 2 * hs]))
         n_pre = gates_x[:, 2 * hs :]

@@ -80,6 +80,21 @@ def as_tensor(value: ArrayLike) -> "Tensor":
     return Tensor(np.asarray(value, dtype=np.float64))
 
 
+def _row_stable_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """2-D matmul whose rows never depend on the batch length.
+
+    BLAS dispatches a single-row ``[1, K] @ [K, N]`` product to gemv-style
+    kernels whose last-ulp results differ from the gemm kernels used for
+    M ≥ 2 — breaking the bitwise contract that evaluating one user's
+    sequence alone matches that user's rows inside a stacked batch (the
+    learning-side analogue of the narrow-head fix below). Duplicating the
+    row forces the gemm path, whose per-row results are M-independent.
+    """
+    if a.ndim == 2 and b.ndim == 2 and a.shape[0] == 1:
+        return np.matmul(np.repeat(a, 2, axis=0), b)[:1]
+    return a @ b
+
+
 def _graphless(data: np.ndarray) -> "Tensor":
     """Fast Tensor constructor for op results on the inference path.
 
@@ -322,7 +337,7 @@ class Tensor:
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other = as_tensor(other)
-        out_data = self.data @ other.data
+        out_data = _row_stable_matmul(self.data, other.data)
         if not self._needs_graph(other):
             return _graphless(out_data)
 
@@ -577,7 +592,7 @@ def affine(x: ArrayLike, weight: Tensor, bias: Optional[Tensor] = None) -> Tenso
             [(xd * w[:, j]).sum(axis=-1) for j in range(w.shape[1])], axis=-1
         )
     else:
-        out_data = x.data @ w
+        out_data = _row_stable_matmul(x.data, w)
     if bias is not None:
         bias = as_tensor(bias)
         out_data += bias.data
@@ -654,6 +669,48 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                 tensor._accumulate(g)
 
     out = Tensor(out_data, requires_grad=True, _prev=tuple(tensors))
+    out._backward = backward
+    return out
+
+
+def tile_rows(x: Tensor, counts: Sequence[int]) -> Tensor:
+    """Repeat each row of ``x`` (shape ``[K, d]``) ``counts[k]`` times.
+
+    Returns a ``[sum(counts), d]`` tensor whose rows
+    ``offset_k .. offset_k + counts[k]`` all equal ``x[k]`` — the batched
+    generalisation of ``concat([row] * n, axis=0)`` used to broadcast one
+    group-level vector (a SADAE context υ_t, a decoded distribution
+    parameter ψ) over that group's users. The forward values are exactly
+    ``np.repeat``, so they are bit-identical to the concat-based tiling;
+    the backward pass sums each output row's gradient back to its source
+    row in one ``np.add.reduceat`` instead of one closure per user.
+    """
+    x = as_tensor(x)
+    counts_arr = np.asarray(list(counts), dtype=np.int64)
+    rows = x.data.shape[0] if x.data.ndim >= 1 else None
+    if counts_arr.shape[0] != rows:
+        raise ValueError(
+            f"tile_rows needs one count per row: {counts_arr.shape[0]} counts "
+            f"for {rows if rows is not None else 'a 0-d tensor with no'} rows"
+        )
+    out_data = np.repeat(x.data, counts_arr, axis=0)
+    if not x._needs_graph():
+        return _graphless(out_data)
+    offsets = np.concatenate([[0], np.cumsum(counts_arr)[:-1]])
+
+    def backward(grad: np.ndarray) -> None:
+        if np.any(counts_arr == 0):
+            # reduceat misbehaves on empty slices; fall back to per-row sums
+            full = np.zeros_like(x.data)
+            start = 0
+            for row, count in enumerate(counts_arr):
+                full[row] = grad[start : start + count].sum(axis=0)
+                start += count
+            x._accumulate(full)
+        else:
+            x._accumulate(np.add.reduceat(grad, offsets, axis=0))
+
+    out = Tensor(out_data, requires_grad=True, _prev=(x,))
     out._backward = backward
     return out
 

@@ -22,7 +22,7 @@ Both expose the same rollout/update interface consumed by
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -65,6 +65,49 @@ class ActorCriticBase(nn.Module):
         self, segment: RolloutSegment, user_idx: np.ndarray
     ) -> Tuple[nn.Tensor, nn.Tensor, nn.Tensor]:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    @staticmethod
+    def _check_equal_horizons(segments: Sequence[RolloutSegment]) -> int:
+        horizons = {segment.horizon for segment in segments}
+        if len(horizons) != 1:
+            raise ValueError(
+                f"evaluate_segments_batched needs equal-length segments, got "
+                f"horizons {sorted(horizons)}; bucket ragged segments by length first"
+            )
+        return horizons.pop()
+
+    def evaluate_segments_batched(
+        self,
+        segments: Sequence[RolloutSegment],
+        user_idxs: Sequence[np.ndarray],
+    ) -> Tuple[nn.Tensor, nn.Tensor, nn.Tensor]:
+        """Evaluate several same-length segments in one stacked forward pass.
+
+        The batched counterpart of :meth:`evaluate_segment`: segment ``k``'s
+        selected users occupy rows ``sum(len(user_idxs[:k])) ..`` of the
+        user axis, giving time-major ``[T, sum-of-users]`` log-probs,
+        values and entropies. The contract mirrors the rollout engine's
+        (:mod:`repro.rl.vec`): every number is **bit-identical** to calling
+        ``evaluate_segment(segments[k], user_idxs[k])`` one segment at a
+        time, because each row's arithmetic never mixes users across
+        segments (group-level context is computed per segment) and all
+        matmuls are batch-length independent row-wise.
+
+        All segments must share one horizon — :class:`repro.rl.ppo.PPO`
+        buckets ragged segments by length before calling this. The base
+        implementation loops :meth:`evaluate_segment` and concatenates
+        (correct for any subclass); :class:`MLPActorCritic` and
+        :class:`RecurrentActorCritic` override it with genuinely stacked
+        forwards.
+        """
+        self._check_equal_horizons(segments)
+        outs = [
+            self.evaluate_segment(segment, idx)
+            for segment, idx in zip(segments, user_idxs)
+        ]
+        return tuple(
+            nn.concat([out[field] for out in outs], axis=1) for field in range(3)
+        )
 
     def as_act_fn(self, rng: np.random.Generator, deterministic: bool = True):
         """Adapt to the ``evaluate_policy`` callable protocol."""
@@ -135,6 +178,31 @@ class MLPActorCritic(ActorCriticBase):
         log_probs = dist.log_prob(actions).reshape(t, b)
         values = self.critic(states_t).reshape(t, b)
         entropy = dist.entropy().reshape(t, b)
+        return log_probs, values, entropy
+
+    def evaluate_segments_batched(self, segments, user_idxs):
+        """Stacked evaluation: one actor/critic forward for all segments.
+
+        Feed-forward policies have no cross-user state at all, so batching
+        is a pure concatenation on the user axis; see
+        :meth:`ActorCriticBase.evaluate_segments_batched` for the
+        bit-equivalence contract.
+        """
+        t = self._check_equal_horizons(segments)
+        counts = [len(idx) for idx in user_idxs]
+        total = sum(counts)
+        # [T, sum_b, d] -> [T * sum_b, d] with each segment's block intact
+        states = np.concatenate(
+            [s.states[:, idx] for s, idx in zip(segments, user_idxs)], axis=1
+        ).reshape(t * total, self.state_dim)
+        actions = np.concatenate(
+            [s.actions[:, idx] for s, idx in zip(segments, user_idxs)], axis=1
+        ).reshape(t * total, self.action_dim)
+        states_t = nn.Tensor(states)
+        dist = self._distribution(states_t)
+        log_probs = dist.log_prob(actions).reshape(t, total)
+        values = self.critic(states_t).reshape(t, total)
+        entropy = dist.entropy().reshape(t, total)
         return log_probs, values, entropy
 
 
@@ -257,6 +325,63 @@ class RecurrentActorCritic(ActorCriticBase):
             z, state = self._advance(x, state)
             dist, value = self._heads(states_t, z)
             log_probs.append(dist.log_prob(segment.actions[step, user_idx]))
+            values.append(value[:, 0])
+            entropies.append(dist.entropy())
+        return (
+            nn.stack(log_probs, axis=0),
+            nn.stack(values, axis=0),
+            nn.stack(entropies, axis=0),
+        )
+
+    def evaluate_segments_batched(self, segments, user_idxs):
+        """One time-major BPTT pass over every segment's selected users.
+
+        Stacks the segments on the user axis (``[T, sum-of-users, d]``) so
+        the extractor cell, heads and distributions run once per timestep
+        for the whole batch instead of once per segment — the same
+        block-diagonal trick :func:`repro.rl.vec.collect_segments_vec`
+        applies to rollouts, now with the autodiff graph attached.
+
+        Bit-equivalence with per-segment :meth:`evaluate_segment` holds
+        because (a) the recurrent state of row i only ever reads row i,
+        (b) group-level context is computed per segment, in segment order,
+        so any embedding-noise stream advances exactly as the sequential
+        loop would, and (c) context tiling uses :func:`repro.nn.tile_rows`,
+        whose forward is value-identical to the per-user concat tiling.
+        """
+        t = self._check_equal_horizons(segments)
+        counts = [len(idx) for idx in user_idxs]
+        total = sum(counts)
+        # Per-segment context first (in order): each call may consume the
+        # embedding-noise stream, and the draws must happen segment by
+        # segment exactly like sequential evaluation.
+        context_seqs = [self._segment_context(segment) for segment in segments]
+        have_context = [c is not None for c in context_seqs]
+        if any(have_context) and not all(have_context):
+            raise RuntimeError("segments disagree on context availability")
+        states_all = np.concatenate(
+            [s.states[:, idx] for s, idx in zip(segments, user_idxs)], axis=1
+        )
+        prev_all = np.concatenate(
+            [s.prev_actions[:, idx] for s, idx in zip(segments, user_idxs)], axis=1
+        )
+        actions_all = np.concatenate(
+            [s.actions[:, idx] for s, idx in zip(segments, user_idxs)], axis=1
+        )
+        state = self.extractor.initial_state(total)
+        log_probs, values, entropies = [], [], []
+        for step in range(t):
+            states_t = nn.Tensor(states_all[step])
+            parts = [states_t, nn.Tensor(prev_all[step])]
+            if all(have_context):
+                step_rows = nn.stack(
+                    [c[step] for c in context_seqs], axis=0
+                )  # [K, context_dim]
+                parts.append(nn.tile_rows(step_rows, counts))
+            x = nn.concat(parts, axis=-1)
+            z, state = self._advance(x, state)
+            dist, value = self._heads(states_t, z)
+            log_probs.append(dist.log_prob(actions_all[step]))
             values.append(value[:, 0])
             entropies.append(dist.entropy())
         return (

@@ -7,12 +7,27 @@ with the autodiff graph attached (full backpropagation through time).
 
 Minibatches are drawn over *users* (whole sequences), never over time
 steps, so recurrent state is always consistent.
+
+Stacked-segment updates
+-----------------------
+With ``PPOConfig.batch_segments`` (the default) each epoch buckets the
+buffer's segments by horizon and evaluates every same-length segment's
+minibatch in one time-major ``[T, sum-of-users, d]`` BPTT pass
+(:meth:`~repro.rl.policies.ActorCriticBase.evaluate_segments_batched`),
+taking one optimizer step per minibatch *round* instead of one per
+(segment, minibatch) pair. The forward numbers are bit-identical to
+per-segment evaluation; the optimisation granularity changes — K
+same-length segments mean K× fewer, K×-larger steps per epoch, the
+standard trade of vectorized PPO implementations. Buckets holding a
+single segment take the legacy per-segment path, so single-segment
+buffers (and all ragged leftovers) update exactly as with
+``batch_segments=False``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,6 +53,9 @@ class PPOConfig:
     max_grad_norm: float = 0.5
     bootstrap_truncated: bool = False  # bootstrap V at segment end (T_c truncation)
     normalize_advantages: bool = True
+    # Stack same-length segments into one BPTT pass per minibatch round
+    # (see the module docstring); single-segment buckets are unaffected.
+    batch_segments: bool = True
 
 
 class PPO:
@@ -79,15 +97,22 @@ class PPO:
         config = self.config
         stats = {"policy_loss": 0.0, "value_loss": 0.0, "entropy": 0.0, "clip_frac": 0.0}
         updates = 0
+        for segment in buffer:
+            if segment.advantages is None:
+                raise RuntimeError("buffer not finalized before PPO.update")
         for epoch in range(config.update_epochs):
-            for segment in buffer:
-                if segment.advantages is None:
-                    raise RuntimeError("buffer not finalized before PPO.update")
-                for user_idx in self._user_minibatches(segment, epoch):
-                    metrics = self._update_minibatch(segment, user_idx)
-                    for key in stats:
-                        stats[key] += metrics[key]
-                    updates += 1
+            if config.batch_segments:
+                epoch_metrics = self._update_epoch_batched(buffer, epoch)
+            else:
+                epoch_metrics = [
+                    self._update_minibatch(segment, user_idx)
+                    for segment in buffer
+                    for user_idx in self._user_minibatches(segment, epoch)
+                ]
+            for metrics in epoch_metrics:
+                for key in stats:
+                    stats[key] += metrics[key]
+                updates += 1
         if self._schedule is not None:
             self._schedule.step()
         if updates:
@@ -102,21 +127,88 @@ class PPO:
         order = np.random.default_rng(hash((epoch, id(segment))) % (2**32)).permutation(n)
         return np.array_split(order, count)
 
-    def _update_minibatch(self, segment: RolloutSegment, user_idx: np.ndarray) -> Dict[str, float]:
-        config = self.config
+    def _update_epoch_batched(
+        self, buffer: RolloutBuffer, epoch: int
+    ) -> List[Dict[str, float]]:
+        """One epoch of stacked-segment updates (length-bucketed).
+
+        Segments are bucketed by horizon in buffer order; within a bucket
+        the r-th minibatches of every segment form one stacked update step.
+        A bucket of one (including every ragged leftover length) runs the
+        legacy per-segment path, bit-identical to ``batch_segments=False``.
+        """
+        buckets: Dict[int, List[RolloutSegment]] = {}
+        for segment in buffer:
+            buckets.setdefault(segment.horizon, []).append(segment)
+        metrics: List[Dict[str, float]] = []
+        for bucket in buckets.values():
+            if len(bucket) == 1:
+                segment = bucket[0]
+                for user_idx in self._user_minibatches(segment, epoch):
+                    metrics.append(self._update_minibatch(segment, user_idx))
+                continue
+            splits = [list(self._user_minibatches(s, epoch)) for s in bucket]
+            for round_idx in range(max(len(split) for split in splits)):
+                members = [
+                    (segment, split[round_idx])
+                    for segment, split in zip(bucket, splits)
+                    if round_idx < len(split)
+                ]
+                metrics.append(self._update_stacked(members))
+        return metrics
+
+    def _minibatch_targets(
+        self, segment: RolloutSegment, user_idx: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(advantages, returns, old log-probs, mask) for one minibatch."""
         advantages = (
             segment.normalized_advantages()
-            if config.normalize_advantages
+            if self.config.normalize_advantages
             else segment.advantages
         )
-        adv = advantages[:, user_idx]
-        returns = segment.returns[:, user_idx]
-        old_log_probs = segment.log_probs[:, user_idx]
-        mask = segment.valid_mask[:, user_idx]
-        mask_total = max(mask.sum(), 1.0)
+        return (
+            advantages[:, user_idx],
+            segment.returns[:, user_idx],
+            segment.log_probs[:, user_idx],
+            segment.valid_mask[:, user_idx],
+        )
 
+    def _update_minibatch(self, segment: RolloutSegment, user_idx: np.ndarray) -> Dict[str, float]:
+        adv, returns, old_log_probs, mask = self._minibatch_targets(segment, user_idx)
         log_probs, values, entropy = self.policy.evaluate_segment(segment, user_idx)
+        return self._loss_step(log_probs, values, entropy, adv, returns, old_log_probs, mask)
 
+    def _update_stacked(
+        self, members: Sequence[Tuple[RolloutSegment, np.ndarray]]
+    ) -> Dict[str, float]:
+        """One optimizer step over several segments' stacked minibatches.
+
+        Advantage normalisation stays per segment (each segment's own
+        valid-step statistics, as in the sequential path); only the
+        forward/backward pass and the optimizer step are shared.
+        """
+        targets = [self._minibatch_targets(s, idx) for s, idx in members]
+        adv, returns, old_log_probs, mask = (
+            np.concatenate([t[field] for t in targets], axis=1) for field in range(4)
+        )
+        log_probs, values, entropy = self.policy.evaluate_segments_batched(
+            [s for s, _ in members], [idx for _, idx in members]
+        )
+        return self._loss_step(log_probs, values, entropy, adv, returns, old_log_probs, mask)
+
+    def _loss_step(
+        self,
+        log_probs: nn.Tensor,
+        values: nn.Tensor,
+        entropy: nn.Tensor,
+        adv: np.ndarray,
+        returns: np.ndarray,
+        old_log_probs: np.ndarray,
+        mask: np.ndarray,
+    ) -> Dict[str, float]:
+        """Clipped-PPO loss on ``[T, B]`` evaluation outputs + one step."""
+        config = self.config
+        mask_total = max(mask.sum(), 1.0)
         mask_t = nn.Tensor(mask)
         ratio = (log_probs - old_log_probs).exp()
         surrogate = ratio * adv

@@ -179,7 +179,8 @@ class VecEnvPool(MultiUserEnv):
         # object with reset()/step() over the stacked user axis (or None
         # when the members are not homogeneous enough). The stepper must
         # preserve per-env RNG streams and guarantee that all members
-        # finish simultaneously (equal horizons).
+        # finish simultaneously (equal horizons). Implementations:
+        # DPRCityEnv, SimulatedDPREnv (shared simulator) and LTSEnv.
         self._batch_stepper = None
         factory = getattr(type(first), "make_batch_stepper", None)
         if factory is not None and len(self.envs) > 1:

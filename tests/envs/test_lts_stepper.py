@@ -1,0 +1,148 @@
+"""Native block-diagonal LTS stepper: seeded equivalence with per-env stepping.
+
+The contract under test (see :meth:`repro.envs.lts.LTSEnv.make_batch_stepper`):
+a :class:`VecEnvPool` of homogeneous :class:`LTSEnv` members steps through
+one stacked ``_LTSBatchStepper`` call per timestep and remains
+*bit-identical* to looping ``collect_segment`` env by env — the same
+guarantee the DPR stepper provides, closing the LTS side of the
+``make_batch_stepper`` protocol.
+"""
+
+import numpy as np
+
+from repro.envs import LTSConfig, LTSEnv
+from repro.rl import RecurrentActorCritic, VecEnvPool, collect_segment, collect_segments_vec
+
+SEGMENT_FIELDS = (
+    "states",
+    "prev_actions",
+    "actions",
+    "rewards",
+    "dones",
+    "values",
+    "log_probs",
+    "last_values",
+)
+
+
+def make_envs(num_envs=4, num_users=8, horizon=7, seed0=100, **overrides):
+    envs = []
+    for g in range(num_envs):
+        config = LTSConfig(
+            num_users=num_users,
+            horizon=horizon,
+            omega_g=2.0 * g - 3.0,       # heterogeneous group parameters
+            omega_u_range=2.0,            # per-user gaps
+            sigma_c=1.0 + 0.2 * g,        # heterogeneous noise scales
+            seed=seed0 + g,
+            **overrides,
+        )
+        envs.append(LTSEnv(config))
+    return envs
+
+
+def make_policy(seed=2):
+    return RecurrentActorCritic(2, 1, np.random.default_rng(seed), lstm_hidden=16, head_hidden=(32,))
+
+
+def assert_segments_identical(seq, vec):
+    assert len(seq) == len(vec)
+    for s, v in zip(seq, vec):
+        for name in SEGMENT_FIELDS:
+            np.testing.assert_array_equal(getattr(s, name), getattr(v, name), err_msg=name)
+
+
+class TestLTSBatchStepper:
+    def test_stepper_engaged_for_homogeneous_pool(self):
+        pool = VecEnvPool(make_envs())
+        assert pool._batch_stepper is not None
+
+    def test_not_engaged_for_single_env(self):
+        assert LTSEnv.make_batch_stepper(make_envs(num_envs=1), [slice(0, 8)]) is None
+
+    def test_not_engaged_for_mixed_horizons(self):
+        envs = make_envs()
+        envs[1].horizon = 3
+        assert VecEnvPool(envs)._batch_stepper is None
+
+    def test_not_engaged_for_subclasses(self):
+        class TweakedLTSEnv(LTSEnv):
+            pass
+
+        envs = make_envs(num_envs=2)
+        envs.append(TweakedLTSEnv(LTSConfig(num_users=8, horizon=7, seed=9)))
+        assert VecEnvPool(envs)._batch_stepper is None
+
+    def test_rollouts_bit_identical_to_sequential(self):
+        policy = make_policy()
+        seq = [
+            collect_segment(env, policy, np.random.default_rng(90 + i), extras_from_info=("sat",))
+            for i, env in enumerate(make_envs())
+        ]
+        pool = VecEnvPool(make_envs())
+        assert pool._batch_stepper is not None
+        vec = collect_segments_vec(
+            pool,
+            policy,
+            [np.random.default_rng(90 + i) for i in range(4)],
+            extras_from_info=("sat",),
+        )
+        assert_segments_identical(seq, vec)
+        for s, v in zip(seq, vec):
+            np.testing.assert_array_equal(s.extras["sat"], v.extras["sat"], err_msg="sat")
+
+    def test_truncated_rollouts_bit_identical(self):
+        policy = make_policy(seed=5)
+        seq = [
+            collect_segment(env, policy, np.random.default_rng(30 + i), max_steps=3)
+            for i, env in enumerate(make_envs())
+        ]
+        vec = collect_segments_vec(
+            make_envs(),
+            policy,
+            [np.random.default_rng(30 + i) for i in range(4)],
+            max_steps=3,
+        )
+        assert all(s.horizon == 3 for s in vec)
+        assert_segments_identical(seq, vec)
+
+    def test_multi_episode_rng_continuity(self):
+        """Back-to-back episodes on the same pool keep every env stream
+        aligned with the sequential path (the stepper never writes back
+        episode state but does advance the env RNGs)."""
+        policy = make_policy(seed=3)
+        envs_seq = make_envs(seed0=200)
+        envs_vec = make_envs(seed0=200)
+        pool = VecEnvPool(envs_vec)
+        rngs_seq = [np.random.default_rng(40 + i) for i in range(4)]
+        rngs_vec = [np.random.default_rng(40 + i) for i in range(4)]
+        for _ in range(2):
+            seq = [collect_segment(e, policy, r) for e, r in zip(envs_seq, rngs_seq)]
+            vec = collect_segments_vec(pool, policy, rngs_vec)
+            assert_segments_identical(seq, vec)
+
+    def test_resample_user_gaps_honoured_between_episodes(self):
+        """reset() re-reads per-user parameters, so the Fig. 7
+        unlimited-user resampling changes the pooled dynamics exactly as
+        it changes the sequential ones."""
+        policy = make_policy(seed=4)
+        envs_seq = make_envs(seed0=300)
+        envs_vec = make_envs(seed0=300)
+        pool = VecEnvPool(envs_vec)
+        # Episode 1 on both paths (keeps every env RNG stream aligned) …
+        for i, env in enumerate(envs_seq):
+            collect_segment(env, policy, np.random.default_rng(50 + i))
+        collect_segments_vec(pool, policy, [np.random.default_rng(50 + i) for i in range(4)])
+        # … then redraw the per-user gaps on both env sets.
+        for env in envs_seq:
+            env.resample_user_gaps()
+        for env in envs_vec:
+            env.resample_user_gaps()
+        seq = [
+            collect_segment(env, policy, np.random.default_rng(60 + i))
+            for i, env in enumerate(envs_seq)
+        ]
+        vec = collect_segments_vec(
+            pool, policy, [np.random.default_rng(60 + i) for i in range(4)]
+        )
+        assert_segments_identical(seq, vec)

@@ -1,0 +1,67 @@
+"""`nn.tile_rows`: forward values and gradient routing.
+
+The op backs the batched group-context tiling in
+``evaluate_segments_batched`` and the batched SADAE decoders; its forward
+must equal ``np.repeat`` (and hence the concat-based tiling it replaces)
+and its backward must sum each output row's gradient into its source row.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestTileRowsForward:
+    def test_matches_np_repeat(self):
+        x = nn.Tensor(np.arange(6.0).reshape(3, 2))
+        out = nn.tile_rows(x, [2, 1, 3])
+        np.testing.assert_array_equal(out.data, np.repeat(x.data, [2, 1, 3], axis=0))
+
+    def test_matches_concat_tiling(self):
+        row = nn.Tensor(np.array([[1.5, -2.0, 0.25]]))
+        tiled_concat = nn.concat([row] * 5, axis=0)
+        tiled_op = nn.tile_rows(row, [5])
+        np.testing.assert_array_equal(tiled_op.data, tiled_concat.data)
+
+    def test_zero_count_rows_dropped(self):
+        x = nn.Tensor(np.arange(6.0).reshape(3, 2))
+        out = nn.tile_rows(x, [2, 0, 1])
+        np.testing.assert_array_equal(out.data, x.data[[0, 0, 2]])
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="one count per row"):
+            nn.tile_rows(nn.Tensor(np.zeros((3, 2))), [1, 2])
+
+
+class TestTileRowsBackward:
+    def test_gradient_sums_per_source_row(self):
+        x = nn.Tensor(np.arange(6.0).reshape(3, 2), requires_grad=True)
+        out = nn.tile_rows(x, [2, 1, 3])
+        seed = np.arange(12.0).reshape(6, 2)
+        out.backward(seed)
+        expected = np.stack(
+            [seed[0:2].sum(axis=0), seed[2:3].sum(axis=0), seed[3:6].sum(axis=0)]
+        )
+        np.testing.assert_array_equal(x.grad, expected)
+
+    def test_gradient_with_zero_counts(self):
+        x = nn.Tensor(np.ones((3, 2)), requires_grad=True)
+        out = nn.tile_rows(x, [1, 0, 2])
+        out.sum().backward()
+        np.testing.assert_array_equal(x.grad, np.array([[1.0, 1.0], [0.0, 0.0], [2.0, 2.0]]))
+
+    def test_matches_concat_tiling_gradient(self):
+        data = np.array([[0.5, -1.0]])
+        x_op = nn.Tensor(data.copy(), requires_grad=True)
+        x_cat = nn.Tensor(data.copy(), requires_grad=True)
+        (nn.tile_rows(x_op, [4]) * 2.0).sum().backward()
+        (nn.concat([x_cat] * 4, axis=0) * 2.0).sum().backward()
+        np.testing.assert_allclose(x_op.grad, x_cat.grad)
+
+    def test_no_grad_fast_path(self):
+        x = nn.Tensor(np.ones((2, 2)), requires_grad=True)
+        with nn.no_grad():
+            out = nn.tile_rows(x, [3, 1])
+        assert not out.requires_grad
+        assert out._backward is None
