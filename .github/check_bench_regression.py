@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate: fail the build when recorded speedups regress.
+
+Compares the smoke-run ``BENCH_rollout.json`` / ``BENCH_train.json``
+artifacts against committed baseline floors (``bench_baselines.json``)
+and exits non-zero on regression. Semantics:
+
+- every scenario floor is a *speedup* floor; the measured value must be
+  at least ``floor * tolerance`` (the tolerance band absorbs shared-
+  runner noise — regressions have to be real, not jitter);
+- every scenario must carry ``"equivalent": true`` — a bench that could
+  not verify bit-equivalence between its timed paths is a failure
+  regardless of timing;
+- worker-sweep floors (``workers`` section, keyed by worker count) apply
+  the ``speedup_vs_sequential`` number and are skipped when the bench
+  machine has fewer than ``min_cpus`` cores: multi-process stepping
+  cannot beat a single core, and the JSON records ``cpu_count`` exactly
+  so this gate can tell a slow runner from a slow commit;
+- baselines are keyed by bench mode (``smoke`` for the CI artifacts,
+  ``full`` for the committed dev-box artifacts), so the same gate checks
+  whichever artifact it is handed.
+
+Usage (CI runs this right after the smoke benches)::
+
+    python .github/check_bench_regression.py \
+        [--rollout BENCH_rollout.json] [--train BENCH_train.json] \
+        [--baselines .github/bench_baselines.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+
+def check_payload(payload: dict, baseline: dict, tolerance: float, label: str) -> List[str]:
+    """Return a list of human-readable failures for one bench artifact."""
+    failures: List[str] = []
+    scenarios = {s["name"]: s for s in payload.get("scenarios", [])}
+    cpu_count = payload.get("cpu_count") or 1
+
+    for name, floors in baseline.get("scenarios", {}).items():
+        scenario = scenarios.get(name)
+        if scenario is None:
+            failures.append(f"{label}: scenario {name!r} missing from artifact")
+            continue
+        if scenario.get("equivalent") is not True:
+            failures.append(f"{label}/{name}: equivalence flag is not true")
+        floor = floors["min_speedup"]
+        measured = scenario.get("speedup")
+        if measured is None or measured < floor * tolerance:
+            failures.append(
+                f"{label}/{name}: speedup {measured} < floor {floor} x "
+                f"tolerance {tolerance} = {floor * tolerance:.3f}"
+            )
+
+    worker_floors = baseline.get("workers", {})
+    if worker_floors:
+        # Every sweep scenario must clear the floor: collect all records
+        # per worker count and gate the weakest one.
+        sweeps: dict = {}
+        for scenario in scenarios.values():
+            for record in scenario.get("workers", []):
+                sweeps.setdefault(str(record["num_workers"]), []).append(
+                    (scenario["name"], record)
+                )
+        for count, floors in worker_floors.items():
+            min_cpus = floors.get("min_cpus", 2)
+            if cpu_count < min_cpus:
+                print(
+                    f"skip {label}/workers={count}: bench ran on {cpu_count} "
+                    f"CPU(s), floor needs >= {min_cpus}"
+                )
+                continue
+            records = sweeps.get(str(count))
+            if not records:
+                failures.append(
+                    f"{label}/workers={count}: missing from the worker sweep"
+                )
+                continue
+            floor = floors["min_speedup_vs_sequential"]
+            for scenario_name, record in records:
+                if record.get("equivalent") is not True:
+                    failures.append(
+                        f"{label}/{scenario_name}/workers={count}: "
+                        "equivalence flag is not true"
+                    )
+                measured = record.get("speedup_vs_sequential")
+                if measured is None or measured < floor * tolerance:
+                    failures.append(
+                        f"{label}/{scenario_name}/workers={count}: "
+                        f"speedup_vs_sequential {measured} < floor {floor} x "
+                        f"tolerance {tolerance} = {floor * tolerance:.3f}"
+                    )
+    return failures
+
+
+def run(rollout_path: Path, train_path: Path, baselines_path: Path) -> int:
+    baselines = json.loads(baselines_path.read_text())
+    tolerance = baselines.get("tolerance", 1.0)
+    failures: List[str] = []
+    for label, path in (("rollout", rollout_path), ("train", train_path)):
+        per_mode = baselines.get(label)
+        if per_mode is None:
+            continue
+        if not path.exists():
+            failures.append(f"{label}: bench artifact {path} not found")
+            continue
+        payload = json.loads(path.read_text())
+        mode = payload.get("mode", "smoke")
+        baseline = per_mode.get(mode)
+        if baseline is None:
+            print(f"skip {label}: no {mode!r} baselines committed")
+            continue
+        failures.extend(check_payload(payload, baseline, tolerance, f"{label}/{mode}"))
+
+    if failures:
+        print("\nBENCH REGRESSION GATE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        print(
+            "\nIf the regression is intentional (e.g. a trade for correctness),"
+            "\nlower the floors in .github/bench_baselines.json in the same PR"
+            "\nand say why in the PR description."
+        )
+        return 1
+    print("bench regression gate: all floors held")
+    return 0
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rollout", type=Path, default=root / "BENCH_rollout.json")
+    parser.add_argument("--train", type=Path, default=root / "BENCH_train.json")
+    parser.add_argument(
+        "--baselines", type=Path, default=root / ".github" / "bench_baselines.json"
+    )
+    args = parser.parse_args()
+    return run(args.rollout, args.train, args.baselines)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,11 +12,18 @@ policies) is expensive, so it is built once per session in
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict
 
 import numpy as np
 import pytest
+
+try:
+    import repro.core  # noqa: F401  (probe a submodule so foreign 'repro' dists don't shadow the checkout)
+except ImportError:  # running from a checkout: fall back to the src/ layout
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.baselines import (
     DeepFMRecommender,

@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict
 
 import numpy as np
 
 from repro.core import SADAE, SADAEConfig, collect_lts_state_sets, train_sadae
-from repro.envs import LTSConfig, LTSEnv, MU_C_REAL, make_lts_task
+from repro.envs import LTSConfig, LTSEnv, make_lts_task
 
 STATE_DIM = 2
 OBS_NOISE_STD = 2.0  # o ~ N(μ_c, 4)

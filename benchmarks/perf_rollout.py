@@ -1,32 +1,49 @@
-"""Rollout-engine microbenchmark: sequential vs batched cross-city collection.
+"""Rollout-engine microbenchmark: sequential vs batched vs sharded collection.
 
 Times ``collect_segment`` looped city by city against
 ``collect_segments_vec`` over a :class:`VecEnvPool` (one ``policy.act``
 per timestep for all cities, block-diagonal env stepping, no-grad fast
-path), verifies the two produce bit-identical segments, and writes the
-results to ``BENCH_rollout.json`` so the speedup is tracked across PRs.
+path), then sweeps :class:`ShardedVecEnvPool` worker counts (multi-process
+env stepping with overlapped collection). Every timed path is first
+verified **bit-identical** to the sequential baseline; results go to
+``BENCH_rollout.json`` so speedups are tracked across PRs (and gated in
+CI by ``.github/check_bench_regression.py``).
+
+Worker-count speedups scale with physical cores: on a 1-CPU container the
+sweep records ~1x (the JSON carries ``cpu_count`` so the CI gate only
+enforces worker floors on multi-core runners).
 
 Not a pytest module — run directly::
 
-    PYTHONPATH=src python benchmarks/perf_rollout.py [--smoke] [--output PATH]
+    python benchmarks/perf_rollout.py [--smoke] [--output PATH] [--workers 1,2,4]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
 
 import numpy as np
 
+try:
+    import repro.core  # noqa: F401  (probe a submodule so foreign 'repro' dists don't shadow the checkout)
+except ImportError:  # running from a checkout: fall back to the src/ layout
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro.envs import DPRConfig, DPRWorld
 from repro.rl import (
     RecurrentActorCritic,
+    ShardedVecEnvPool,
     VecEnvPool,
     collect_segment,
     collect_segments_vec,
+    sharding_available,
 )
 
 
@@ -40,22 +57,22 @@ def make_policy(state_dim: int, action_dim: int) -> RecurrentActorCritic:
     )
 
 
-def verify_equivalence(world: DPRWorld, policy, seed: int) -> None:
-    """The timed paths must agree bit for bit before we trust the clock."""
-    n = world.num_cities
-    seq = [
+SEGMENT_FIELDS = ("states", "actions", "rewards", "values", "log_probs", "last_values")
+
+
+def collect_sequential(world: DPRWorld, policy, seed: int):
+    return [
         collect_segment(env, policy, np.random.default_rng(seed + i))
         for i, env in enumerate(world.make_all_city_envs())
     ]
-    vec = collect_segments_vec(
-        world.make_all_city_envs(),
-        policy,
-        [np.random.default_rng(seed + i) for i in range(n)],
-    )
+
+
+def assert_identical(seq, vec, label: str) -> None:
+    """The timed paths must agree bit for bit before we trust the clock."""
     for s, v in zip(seq, vec):
-        for name in ("states", "actions", "rewards", "values", "log_probs", "last_values"):
+        for name in SEGMENT_FIELDS:
             if not np.array_equal(getattr(s, name), getattr(v, name)):
-                raise AssertionError(f"sequential/vectorized mismatch in {name}")
+                raise AssertionError(f"{label}: sequential mismatch in {name}")
 
 
 def bench_scenario(name: str, config: DPRConfig, repeats: int) -> dict:
@@ -65,7 +82,13 @@ def bench_scenario(name: str, config: DPRConfig, repeats: int) -> dict:
     policy = make_policy(13, 2)
     rngs = [np.random.default_rng(1000 + i) for i in range(world.num_cities)]
 
-    verify_equivalence(world, policy, seed=7)
+    seq_ref = collect_sequential(world, policy, seed=7)
+    vec_ref = collect_segments_vec(
+        world.make_all_city_envs(),
+        policy,
+        [np.random.default_rng(7 + i) for i in range(world.num_cities)],
+    )
+    assert_identical(seq_ref, vec_ref, name)
     collect_segments_vec(pool, policy, rngs)  # warmup
 
     seq_times, vec_times = [], []
@@ -99,10 +122,81 @@ def bench_scenario(name: str, config: DPRConfig, repeats: int) -> dict:
     return result
 
 
+def bench_worker_sweep(
+    name: str,
+    config: DPRConfig,
+    worker_counts: tuple,
+    repeats: int,
+    sequential_s: float,
+    vectorized_s: float,
+) -> list:
+    """Time sharded collection per worker count; verify bitwise first.
+
+    Speedups are reported against both baselines: the sequential
+    per-city loop (the end-to-end win a training run sees) and the
+    single-process vectorized pool (isolates what moving env stepping
+    off the parent buys — bounded by the env-step fraction of collection
+    time, so expect modest numbers on policy-bound workloads and < 1x on
+    single-core machines where IPC serialises). Throughput is stacked
+    user-steps per second.
+    """
+    world = DPRWorld(config)
+    policy = make_policy(13, 2)
+    total_steps = config.num_cities * config.drivers_per_city * config.horizon
+    seq_ref = collect_sequential(world, policy, seed=7)
+    records = []
+    for workers in worker_counts:
+        if not sharding_available():
+            print(f"[{name}] workers={workers}: sharding unavailable, skipped")
+            continue
+        pool = ShardedVecEnvPool(world.make_all_city_envs(), num_workers=workers)
+        try:
+            # Re-verify the acceptance contract inside the bench: sharded
+            # segments bitwise-identical to sequential for this layout.
+            sharded = collect_segments_vec(
+                pool,
+                policy,
+                [np.random.default_rng(7 + i) for i in range(world.num_cities)],
+            )
+            assert_identical(seq_ref, sharded, f"{name}/workers={workers}")
+            rngs = [np.random.default_rng(1000 + i) for i in range(world.num_cities)]
+            collect_segments_vec(pool, policy, rngs)  # warmup
+            times = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                collect_segments_vec(pool, policy, rngs)
+                times.append(time.perf_counter() - start)
+        finally:
+            pool.close()
+        best = min(times)
+        record = {
+            "num_workers": pool.num_workers,
+            "sharded_s": round(best, 6),
+            "speedup_vs_sequential": round(sequential_s / best, 3),
+            "speedup_vs_vectorized": round(vectorized_s / best, 3),
+            "throughput_user_steps_per_s": round(total_steps / best, 1),
+            "equivalent": True,
+        }
+        records.append(record)
+        print(
+            f"[{name}] workers={pool.num_workers}: {best:.3f}s "
+            f"-> {record['speedup_vs_sequential']:.2f}x vs sequential, "
+            f"{record['speedup_vs_vectorized']:.2f}x vs vectorized "
+            f"({record['throughput_user_steps_per_s']:.0f} user-steps/s)"
+        )
+    return records
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true", help="tiny CI-sized run")
     parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--workers",
+        type=str,
+        default=None,
+        help="comma-separated worker counts for the sharded sweep (default 1,2,4)",
+    )
     parser.add_argument(
         "--output",
         type=Path,
@@ -115,6 +209,8 @@ def main() -> None:
         scenarios = [
             ("smoke_cross_city", DPRConfig(num_cities=8, drivers_per_city=8, horizon=8, seed=0)),
         ]
+        sweep_scenarios = {"smoke_cross_city"}
+        worker_counts = (1, 2)
         repeats = min(args.repeats, 2)
     else:
         scenarios = [
@@ -124,9 +220,25 @@ def main() -> None:
             ("wide_sweep", DPRConfig(num_cities=100, drivers_per_city=5, horizon=20, seed=0)),
             ("large_groups", DPRConfig(num_cities=12, drivers_per_city=64, horizon=20, seed=0)),
         ]
+        sweep_scenarios = {"many_cities", "large_groups"}
+        worker_counts = (1, 2, 4)
         repeats = args.repeats
+    if args.workers:
+        worker_counts = tuple(int(w) for w in args.workers.split(","))
 
-    results = [bench_scenario(name, config, repeats) for name, config in scenarios]
+    results = []
+    for name, config in scenarios:
+        result = bench_scenario(name, config, repeats)
+        if name in sweep_scenarios:
+            result["workers"] = bench_worker_sweep(
+                name,
+                config,
+                worker_counts,
+                repeats,
+                result["sequential_s"],
+                result["vectorized_s"],
+            )
+        results.append(result)
     payload = {
         "benchmark": "perf_rollout",
         "mode": "smoke" if args.smoke else "full",
@@ -134,6 +246,7 @@ def main() -> None:
         "platform": platform.platform(),
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
         "scenarios": results,
         "headline_speedup": max(r["speedup"] for r in results),
     }

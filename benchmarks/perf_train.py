@@ -11,18 +11,26 @@ so the speedup is tracked across PRs.
 
 Not a pytest module — run directly::
 
-    PYTHONPATH=src python benchmarks/perf_train.py [--smoke] [--output PATH]
+    python benchmarks/perf_train.py [--smoke] [--output PATH]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
 
 import numpy as np
+
+try:
+    import repro.core  # noqa: F401  (probe a submodule so foreign 'repro' dists don't shadow the checkout)
+except ImportError:  # running from a checkout: fall back to the src/ layout
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core import SADAE, SADAEConfig, train_sadae
 from repro.envs import DPRConfig, DPRWorld
@@ -214,6 +222,7 @@ def main() -> None:
         "platform": platform.platform(),
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
         "scenarios": results,
         "headline_speedup": results[0]["speedup"],
     }

@@ -7,7 +7,6 @@ group) as SADAE trains — i.e. SADAE generalises group reconstruction to
 held-out environment parameters.
 """
 
-import numpy as np
 
 from repro.envs import MU_C_REAL
 from repro.eval import gaussian_kld

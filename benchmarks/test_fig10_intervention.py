@@ -13,7 +13,6 @@ Paper claims:
   are what F_trend removes.
 """
 
-import numpy as np
 
 from repro.eval import cluster_driver_responses, consistent_violators
 

@@ -9,7 +9,6 @@ stage ever touched (policies saw only logged data and learned
 simulators) — the same epistemic situation as the paper's deployment.
 """
 
-import numpy as np
 
 from repro.eval import run_ab_test
 

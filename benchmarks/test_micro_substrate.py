@@ -8,7 +8,6 @@ TensorFlow stack (a substitution documented in DESIGN.md).
 """
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.core import SADAE, SADAEConfig

@@ -13,7 +13,6 @@ the held-out simulator SimA):
 - **Sim2Rec** keeps train and test performance consistent.
 """
 
-import numpy as np
 
 from repro.eval import rollout_totals
 

@@ -13,7 +13,6 @@ weights, FM term and deep output are summed into the score.
 
 from __future__ import annotations
 
-import numpy as np
 
 from .. import nn
 from ..utils.seeding import make_rng

@@ -8,8 +8,6 @@ environment level: whether training sees one simulator or the whole set.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from ..core.trainer import EnvSampler

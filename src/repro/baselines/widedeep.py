@@ -7,7 +7,6 @@ via an MLP over the same inputs. Their outputs are summed into the score.
 
 from __future__ import annotations
 
-import numpy as np
 
 from .. import nn
 from ..utils.seeding import make_rng

@@ -43,6 +43,13 @@ class Sim2RecConfig:
     # rolling them out one by one. Same per-env dynamics; only the layout
     # of the policy-noise streams differs (per-env spawned streams).
     vectorized_rollouts: bool = True
+    # Shard each iteration's pooled rollouts across this many worker
+    # processes (repro.rl.workers.ShardedVecEnvPool) with overlapped
+    # stepping; bit-identical to the in-process pool for any value.
+    # 1 = in-process; auto-degrades to in-process when a rollout batch
+    # has a single env or the platform offers no multiprocessing start
+    # method. Worker processes are reused across iterations.
+    rollout_workers: int = 1
 
     # --- simulator-error countermeasures (Sec. IV-C) --------------------
     truncate_horizon: Optional[int] = None   # T_c; None = full episodes

@@ -16,7 +16,7 @@ actually needs, exactly as the paper prescribes.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

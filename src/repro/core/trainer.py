@@ -28,6 +28,7 @@ from ..rl.policies import ActorCriticBase
 from ..rl.ppo import PPO
 from ..rl.runner import collect_segment
 from ..rl.vec import collect_segments_vec, split_rng
+from ..rl.workers import ShardedVecEnvPool, sharding_available
 from ..sim.dataset import TrajectoryDataset
 from ..sim.ensemble import SimulatorEnsemble
 from ..sim.env_wrapper import SimulatedDPREnv
@@ -100,6 +101,66 @@ class PolicyTrainer:
         # env objects) need the sample→rollout interleaving of the
         # sequential path; subclasses set this to opt out of pooling.
         self._sequential_collect = False
+        # Multi-process rollout workers (config.rollout_workers > 1): the
+        # sharded pool is cached and its worker processes reused across
+        # iterations whenever the sampled batch has the same layout.
+        self._worker_pool: Optional[ShardedVecEnvPool] = None
+        self._worker_pool_key: Optional[tuple] = None
+        # Samplers that hand out *shared* env objects (the LTS task's
+        # train envs) rely on env state continuity across iterations, so
+        # worker-side state is synced back after each collection. Fresh-
+        # env samplers (DPR) opt out to skip the transfer.
+        self._sync_worker_envs = True
+
+    def close(self) -> None:
+        """Release the rollout worker processes (idempotent)."""
+        if self._worker_pool is not None:
+            self._worker_pool.close()
+            self._worker_pool = None
+            self._worker_pool_key = None
+
+    # Worker-pool plumbing ----------------------------------------------
+    def _effective_workers(self, batch_size: int) -> int:
+        workers = min(self.config.rollout_workers, batch_size)
+        if workers <= 1 or not sharding_available():
+            return 1  # in-process VecEnvPool path
+        return workers
+
+    def _sharded_pool(self, envs: Sequence[MultiUserEnv], workers: int) -> ShardedVecEnvPool:
+        key = (
+            workers,
+            tuple(env.num_users for env in envs),
+            envs[0].observation_dim,
+            envs[0].action_dim,
+        )
+        if self._worker_pool is not None and key == self._worker_pool_key:
+            self._worker_pool.load_envs(envs)
+            return self._worker_pool
+        self.close()
+        self._worker_pool = ShardedVecEnvPool(envs, num_workers=workers)
+        self._worker_pool_key = key
+        return self._worker_pool
+
+    def _collect_pooled(
+        self, envs: List[MultiUserEnv], streams: List[np.random.Generator]
+    ) -> List[RolloutSegment]:
+        """One pooled rollout round: sharded across workers when configured."""
+        workers = self._effective_workers(len(envs))
+        if workers <= 1:
+            return collect_segments_vec(
+                envs, self.policy, streams, max_steps=self.config.truncate_horizon
+            )
+        pool = self._sharded_pool(envs, workers)
+        segments = collect_segments_vec(
+            pool, self.policy, streams, max_steps=self.config.truncate_horizon
+        )
+        if self._sync_worker_envs:
+            # Pull the advanced env state (RNG streams, episode state)
+            # back into the parent's objects: samplers that reuse envs
+            # across iterations stay bit-identical to in-process runs.
+            for mine, theirs in zip(envs, pool.fetch_member_envs()):
+                vars(mine).update(vars(theirs))
+        return segments
 
     # Hooks specialised by Sim2Rec trainers ------------------------------
     def post_process_segment(self, segment: RolloutSegment, env: MultiUserEnv) -> None:
@@ -118,7 +179,11 @@ class PolicyTrainer:
         timestep for the whole cross-city batch. Environments that cannot
         share a pool (duplicate objects from samplers that reuse env
         instances, or mismatched state/action dims) fall back to
-        additional pool rounds or the sequential path.
+        additional pool rounds or the sequential path. With
+        ``config.rollout_workers > 1`` each pooled round is sharded
+        across reusable worker processes
+        (:class:`~repro.rl.workers.ShardedVecEnvPool`) with overlapped
+        stepping — bit-identical segments either way.
         """
         config = self.config
         buffer = RolloutBuffer()
@@ -145,11 +210,9 @@ class PolicyTrainer:
                 )
             else:
                 indices = [index for index, _ in batch]
-                collected = collect_segments_vec(
+                collected = self._collect_pooled(
                     [env for _, env in batch],
-                    self.policy,
                     [streams[index] for index in indices],
-                    max_steps=config.truncate_horizon,
                 )
                 for index, segment in zip(indices, collected):
                     segments[index] = segment
@@ -334,6 +397,9 @@ class Sim2RecDPRTrainer(PolicyTrainer):
         super().__init__(policy, sampler, config, logger)
         self.sim2rec_policy = policy
         self._sadae_sets = dataset.state_action_sets()
+        # The sampler builds a fresh SimulatedDPREnv per draw — nothing
+        # outlives its iteration, so skip the worker-state sync transfer.
+        self._sync_worker_envs = False
 
     @property
     def trend_results(self):

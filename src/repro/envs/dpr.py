@@ -27,7 +27,7 @@ P_{M,τr} constructs states exactly like the real world does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np

@@ -11,8 +11,8 @@ keeps group means inside the paper's range; ω_g is integer-valued.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from .lts import LTSConfig, LTSEnv, MU_C_REAL
 

@@ -7,8 +7,6 @@ decoders for discrete state features in DPR.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from .functional import LOG_2PI, gaussian_log_prob, log_softmax, softmax

@@ -12,11 +12,32 @@ from .tensor import Tensor, affine, as_tensor
 
 Activation = Callable[[Tensor], Tensor]
 
+
+# Module-level functions rather than lambdas: modules keep a reference to
+# their activation, and named functions keep every model (and everything
+# holding one, e.g. simulator-backed envs shipped to rollout worker
+# processes) picklable.
+def _tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def _relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def _sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def _identity(x: Tensor) -> Tensor:
+    return x
+
+
 ACTIVATIONS: dict[str, Activation] = {
-    "tanh": lambda x: x.tanh(),
-    "relu": lambda x: x.relu(),
-    "sigmoid": lambda x: x.sigmoid(),
-    "identity": lambda x: x,
+    "tanh": _tanh,
+    "relu": _relu,
+    "sigmoid": _sigmoid,
+    "identity": _identity,
 }
 
 

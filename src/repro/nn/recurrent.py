@@ -30,7 +30,6 @@ from .tensor import (
     _graphless,
     _row_stable_matmul,
     as_tensor,
-    concat,
     is_grad_enabled,
     stack,
 )

@@ -7,10 +7,17 @@ from .ppo import PPO, PPOConfig
 from .runner import collect_segment
 from .vec import (
     BlockRNG,
+    ShardableVecPool,
     VecEnvPool,
     collect_segments_vec,
     evaluate_policy_vec,
     split_rng,
+)
+from .workers import (
+    ShardedVecEnvPool,
+    WorkerCrashed,
+    WorkerStepError,
+    sharding_available,
 )
 
 __all__ = [
@@ -22,11 +29,16 @@ __all__ = [
     "RecurrentActorCritic",
     "RolloutBuffer",
     "RolloutSegment",
+    "ShardableVecPool",
+    "ShardedVecEnvPool",
     "VecEnvPool",
+    "WorkerCrashed",
+    "WorkerStepError",
     "collect_segment",
     "collect_segments_vec",
     "compute_gae",
     "evaluate_policy_vec",
+    "sharding_available",
     "split_rng",
     "valid_step_mask",
 ]

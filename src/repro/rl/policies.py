@@ -22,7 +22,7 @@ Both expose the same rollout/update interface consumed by
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 

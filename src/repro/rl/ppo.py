@@ -106,8 +106,8 @@ class PPO:
             else:
                 epoch_metrics = [
                     self._update_minibatch(segment, user_idx)
-                    for segment in buffer
-                    for user_idx in self._user_minibatches(segment, epoch)
+                    for index, segment in enumerate(buffer)
+                    for user_idx in self._user_minibatches(segment, epoch, index)
                 ]
             for metrics in epoch_metrics:
                 for key in stats:
@@ -121,10 +121,19 @@ class PPO:
         stats["learning_rate"] = self.optimizer.lr
         return stats
 
-    def _user_minibatches(self, segment: RolloutSegment, epoch: int) -> Iterable[np.ndarray]:
+    def _user_minibatches(
+        self, segment: RolloutSegment, epoch: int, index: int
+    ) -> Iterable[np.ndarray]:
+        """Minibatch user splits, seeded by (epoch, buffer position).
+
+        The position-derived seed (rather than ``id(segment)``, whose
+        memory address made every run's shuffles unique) keeps the whole
+        PPO update reproducible: same buffer contents → same minibatch
+        order, across runs, processes and rollout worker counts.
+        """
         n = segment.num_users
         count = min(self.config.minibatches_per_segment, n)
-        order = np.random.default_rng(hash((epoch, id(segment))) % (2**32)).permutation(n)
+        order = np.random.default_rng(hash((epoch, index)) % (2**32)).permutation(n)
         return np.array_split(order, count)
 
     def _update_epoch_batched(
@@ -137,21 +146,23 @@ class PPO:
         A bucket of one (including every ragged leftover length) runs the
         legacy per-segment path, bit-identical to ``batch_segments=False``.
         """
-        buckets: Dict[int, List[RolloutSegment]] = {}
-        for segment in buffer:
-            buckets.setdefault(segment.horizon, []).append(segment)
+        buckets: Dict[int, List[Tuple[int, RolloutSegment]]] = {}
+        for index, segment in enumerate(buffer):
+            buckets.setdefault(segment.horizon, []).append((index, segment))
         metrics: List[Dict[str, float]] = []
         for bucket in buckets.values():
             if len(bucket) == 1:
-                segment = bucket[0]
-                for user_idx in self._user_minibatches(segment, epoch):
+                index, segment = bucket[0]
+                for user_idx in self._user_minibatches(segment, epoch, index):
                     metrics.append(self._update_minibatch(segment, user_idx))
                 continue
-            splits = [list(self._user_minibatches(s, epoch)) for s in bucket]
+            splits = [
+                list(self._user_minibatches(s, epoch, i)) for i, s in bucket
+            ]
             for round_idx in range(max(len(split) for split in splits)):
                 members = [
                     (segment, split[round_idx])
-                    for segment, split in zip(bucket, splits)
+                    for (_, segment), split in zip(bucket, splits)
                     if round_idx < len(split)
                 ]
                 metrics.append(self._update_stacked(members))

@@ -126,7 +126,79 @@ class BlockRNG:
         return out
 
 
-class VecEnvPool(MultiUserEnv):
+class ShardableVecPool(MultiUserEnv):
+    """Protocol base for env pools drivable by :func:`collect_segments_vec`.
+
+    A pool is a :class:`MultiUserEnv` over a stacked user axis that also
+    exposes the block structure and per-member progress the collector
+    needs:
+
+    - ``slices`` / ``group_slices`` — one user-axis slice per member env,
+      in member order (``group_slices`` is the duck-typed alias consumed
+      by ``evaluate_policy`` and context-aware policies);
+    - ``group_id`` — list of member group ids, in slice order;
+    - ``num_envs``, ``active_mask``, ``env_steps``, ``all_done``;
+    - ``max_steps`` — settable per-episode step budget, applied at the
+      next ``reset``;
+    - optionally ``step_async(actions)`` / ``step_wait()`` for overlapped
+      stepping. ``step_wait`` may return *views* into double-buffered
+      storage; they stay valid until the second following ``step_async``
+      (slots alternate per step), which is exactly the window the
+      overlapped collector uses to copy them out while the next env step
+      is already in flight.
+
+    :class:`VecEnvPool` is the in-process implementation;
+    :class:`repro.rl.workers.ShardedVecEnvPool` shards members across
+    worker processes behind the same protocol — because every member env
+    steps with its own internal RNG and every policy draw comes from that
+    env's :class:`BlockRNG` stream, results are placement-independent and
+    any implementation of this protocol yields bit-identical segments.
+    """
+
+    max_steps: Optional[int] = None
+
+    @property
+    def num_envs(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def active_mask(self) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def env_steps(self) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def all_done(self) -> bool:
+        return not self.active_mask.any()
+
+
+def validate_pool_members(envs: Sequence[MultiUserEnv]) -> List[slice]:
+    """Shared member checks for every pool implementation.
+
+    Enforces the pool invariants (at least one env, distinct objects,
+    homogeneous obs/action dims) and returns the user-axis slice of each
+    member, in order.
+    """
+    if not envs:
+        raise ValueError("a vec env pool needs at least one environment")
+    if len({id(env) for env in envs}) != len(envs):
+        raise ValueError(
+            "pool members must be distinct objects; stepping one env "
+            "under two blocks would corrupt its state"
+        )
+    first = envs[0]
+    for env in envs[1:]:
+        if env.observation_dim != first.observation_dim:
+            raise ValueError("pool members must share the observation dimension")
+        if env.action_dim != first.action_dim:
+            raise ValueError("pool members must share the action dimension")
+    offsets = np.cumsum([0] + [env.num_users for env in envs])
+    return [slice(int(a), int(b)) for a, b in zip(offsets[:-1], offsets[1:])]
+
+
+class VecEnvPool(ShardableVecPool):
     """N homogeneous multi-user environments stacked on the user axis.
 
     The pool is itself a :class:`MultiUserEnv` whose ``num_users`` is the
@@ -143,29 +215,14 @@ class VecEnvPool(MultiUserEnv):
     """
 
     def __init__(self, envs: Sequence[MultiUserEnv], max_steps: Optional[int] = None):
-        if not envs:
-            raise ValueError("VecEnvPool needs at least one environment")
-        if len({id(env) for env in envs}) != len(envs):
-            raise ValueError(
-                "VecEnvPool members must be distinct objects; stepping one env "
-                "under two blocks would corrupt its state"
-            )
+        self.slices = validate_pool_members(envs)
         first = envs[0]
-        for env in envs[1:]:
-            if env.observation_dim != first.observation_dim:
-                raise ValueError("pool members must share the observation dimension")
-            if env.action_dim != first.action_dim:
-                raise ValueError("pool members must share the action dimension")
         self.envs = list(envs)
         self.max_steps = max_steps
-        offsets = np.cumsum([0] + [env.num_users for env in self.envs])
-        self.slices = [
-            slice(int(start), int(stop)) for start, stop in zip(offsets[:-1], offsets[1:])
-        ]
         # Duck-typed hook consumed by evaluate_policy / context-aware
         # policies without importing this module.
         self.group_slices = self.slices
-        self.num_users = int(offsets[-1])
+        self.num_users = int(self.slices[-1].stop)
         self.horizon = max(env.horizon for env in self.envs)
         self.observation_space = first.observation_space
         self.action_space = first.action_space
@@ -261,7 +318,7 @@ class VecEnvPool(MultiUserEnv):
         return self._states.copy(), rewards, dones, info
 
 
-def _as_block_rng(rng: RNGLike, pool: VecEnvPool) -> BlockRNG:
+def _as_block_rng(rng: RNGLike, pool: ShardableVecPool) -> BlockRNG:
     if isinstance(rng, BlockRNG):
         return rng
     if isinstance(rng, np.random.Generator):
@@ -273,11 +330,12 @@ def _as_block_rng(rng: RNGLike, pool: VecEnvPool) -> BlockRNG:
 
 
 def collect_segments_vec(
-    pool: Union[VecEnvPool, Sequence[MultiUserEnv]],
+    pool: Union[ShardableVecPool, Sequence[MultiUserEnv]],
     policy: ActorCriticBase,
     rng: RNGLike,
     max_steps: Optional[int] = None,
     extras_from_info: tuple[str, ...] = (),
+    overlap: Optional[bool] = None,
 ) -> List[RolloutSegment]:
     """Roll ``policy`` in every pool member at once; one act per timestep.
 
@@ -292,23 +350,43 @@ def collect_segments_vec(
     :class:`BlockRNG`. ``max_steps``, when given, overrides a prebuilt
     pool's configured ``max_steps``; when omitted the pool's own setting
     stands.
+
+    ``overlap`` selects the pipelined stepping mode: after each ``act``
+    the actions are dispatched via ``step_async`` and the collector does
+    its per-step recording (trajectory appends, buffer copies, bootstrap
+    bookkeeping) *while the pool steps* — hiding env latency behind
+    parent-side work. Requires a pool implementing ``step_async`` /
+    ``step_wait`` (:class:`repro.rl.workers.ShardedVecEnvPool`); the
+    default ``None`` enables it exactly when the pool supports it. The
+    overlapped path records the same numbers in the same order as the
+    synchronous one — only the copy timing differs.
     """
-    if not isinstance(pool, VecEnvPool):
+    if not isinstance(pool, ShardableVecPool):
         pool = VecEnvPool(pool, max_steps=max_steps)
     elif max_steps is not None:
         pool.max_steps = max_steps
+    async_capable = hasattr(pool, "step_async") and hasattr(pool, "step_wait")
+    if overlap is None:
+        overlap = async_capable
+    elif overlap and not async_capable:
+        raise ValueError(
+            "overlap=True needs a pool with step_async/step_wait "
+            f"(got {type(pool).__name__})"
+        )
     block_rng = _as_block_rng(rng, pool)
     with no_grad():
-        return _collect_impl(pool, policy, block_rng, extras_from_info)
+        return _collect_impl(pool, policy, block_rng, extras_from_info, overlap)
 
 
 def _collect_impl(
-    pool: VecEnvPool,
+    pool: ShardableVecPool,
     policy: ActorCriticBase,
     block_rng: BlockRNG,
     extras_from_info: tuple[str, ...],
+    overlap: bool = False,
 ) -> List[RolloutSegment]:
     states = pool.reset()
+    owns_states = True  # False while `states` aliases a pool buffer slot
     total = pool.num_users
     policy.start_rollout(total)
     if hasattr(policy, "set_rollout_groups"):
@@ -338,13 +416,25 @@ def _collect_impl(
         pending.clear()
 
         active_before = pool.active_mask
-        next_states, rewards, dones, info = pool.step(actions)
+        if overlap:
+            pool.step_async(actions)
+            # Overlap window: while the workers apply `actions`, record
+            # everything already in hand — including the copy of the
+            # previous obs slot, which the double buffering keeps valid
+            # (the in-flight step writes the *other* slot).
+            if not owns_states:
+                states = states.copy()
+            next_states, rewards, dones, info = pool.step_wait()
+            owns_states = False
+        else:
+            next_states, rewards, dones, info = pool.step(actions)
+            owns_states = True
 
         seq_states.append(states)
         seq_prev.append(prev_actions)
         seq_actions.append(actions)
-        seq_rewards.append(np.asarray(rewards, dtype=np.float64))
-        seq_dones.append(np.asarray(dones, dtype=np.float64))
+        seq_rewards.append(np.array(rewards, dtype=np.float64))
+        seq_dones.append(np.array(dones, dtype=np.float64))
         seq_values.append(values)
         seq_log_probs.append(log_probs)
         per_env_infos = info["per_env"]
@@ -389,7 +479,8 @@ def _collect_impl(
     stacked_extras = {key: np.stack(value) for key, value in seq_extras.items()}
 
     segments: List[RolloutSegment] = []
-    for index, env in enumerate(pool.envs):
+    group_ids = list(pool.group_id)
+    for index, gid in enumerate(group_ids):
         block = pool.slices[index]
         steps = lengths[index]
         segments.append(
@@ -402,7 +493,7 @@ def _collect_impl(
                 values=stacked["values"][:steps, block].copy(),
                 log_probs=stacked["log_probs"][:steps, block].copy(),
                 last_values=last_values[index],
-                group_id=env.group_id,
+                group_id=gid,
                 extras={
                     key: value[:steps, block].copy()
                     for key, value in stacked_extras.items()
@@ -413,7 +504,7 @@ def _collect_impl(
 
 
 def evaluate_policy_vec(
-    envs: Union[VecEnvPool, Sequence[MultiUserEnv]],
+    envs: Union[ShardableVecPool, Sequence[MultiUserEnv]],
     act_fn,
     episodes: int = 1,
     gamma: float = 1.0,
@@ -425,7 +516,7 @@ def evaluate_policy_vec(
     callable sees the stacked state matrix. Returns an array with one
     mean per-user return per member env.
     """
-    pool = envs if isinstance(envs, VecEnvPool) else VecEnvPool(envs)
+    pool = envs if isinstance(envs, ShardableVecPool) else VecEnvPool(envs)
     totals = np.zeros(pool.num_envs)
     for _ in range(episodes):
         if hasattr(act_fn, "reset"):

@@ -1,0 +1,581 @@
+"""Multi-process sharding for :class:`~repro.rl.vec.VecEnvPool`.
+
+PR 1's block-diagonal pool drives every city with one ``policy.act`` per
+timestep, but all env stepping still runs on one core. This module shards
+the member envs of a pool across N worker processes so env transitions
+run in parallel with each other — and, in the overlapped mode of
+:func:`~repro.rl.vec.collect_segments_vec`, in parallel with the parent's
+per-step recording work.
+
+Process model
+-------------
+- **Sharding**: member envs are partitioned into contiguous shards,
+  balanced by user count (ragged env sizes supported). Each worker
+  process owns one shard wrapped in its own in-process
+  :class:`~repro.rl.vec.VecEnvPool` — native block-diagonal steppers,
+  per-env done masking and step budgets all behave exactly as in the
+  single-process pool.
+- **Startup**: the member envs (their full state, including internal RNG
+  generators) are shipped to the workers as pickled construction specs —
+  via fork inheritance or the spawn pickling path. The parent keeps only
+  metadata (user counts, horizons, group ids).
+- **Shared memory**: observations, actions, rewards and dones live in
+  one ``multiprocessing.shared_memory`` block, double-buffered (two
+  slots, alternating per step). Workers write their shard's rows in
+  place; per-step pipe traffic is only the lightweight control message
+  and the info dicts.
+- **Overlap**: ``step_async`` writes the stacked actions into the
+  current slot and signals all workers; ``step_wait`` blocks for their
+  replies and returns *views* into that slot. Because consecutive steps
+  alternate slots, a view from step t stays valid while step t+1 is in
+  flight — the window the overlapped collector uses to copy step t's
+  observations into the trajectory while the envs already advance.
+
+Determinism contract
+--------------------
+Sharding is semantics-preserving **by construction**, for any shard
+layout and worker count:
+
+- each member env steps with its own internal RNG, and that RNG's state
+  travels with the env into the worker — the same draws happen in the
+  same order as in-process;
+- policy sampling noise is drawn in the parent through
+  :class:`~repro.rl.vec.BlockRNG`, whose per-env streams are pinned to
+  env identity (slice order), not to shard placement;
+- group context is computed per block via ``set_rollout_groups`` on the
+  parent's stacked batch, which is byte-identical to the in-process
+  stacked batch.
+
+Hence ``collect_segments_vec(ShardedVecEnvPool(envs, W), ...)`` is
+bit-identical to ``collect_segments_vec(VecEnvPool(envs), ...)`` — and
+therefore to the sequential per-env ``collect_segment`` loop — for every
+W. Enforced by ``tests/rl/test_workers.py`` and re-verified inside
+``benchmarks/perf_rollout.py`` before any timing is reported.
+
+Failure handling
+----------------
+Workers ignore SIGINT (the parent coordinates shutdown), crashes are
+detected by liveness-checked pipe polls (a dead worker raises
+:class:`WorkerCrashed` in the parent instead of hanging), env exceptions
+are forwarded as :class:`WorkerStepError` with their worker-side
+traceback — both close the pool before propagating — and the
+shared-memory segment is unlinked on ``close()``, on garbage collection
+and on interpreter exit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import signal
+import time
+import traceback
+import weakref
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..envs.base import MultiUserEnv
+from .vec import ShardableVecPool, VecEnvPool, validate_pool_members
+
+
+class WorkerCrashed(RuntimeError):
+    """A rollout worker process died instead of answering a command."""
+
+
+class WorkerStepError(RuntimeError):
+    """A rollout worker raised while executing a command (env bug etc.).
+
+    Carries the worker-side traceback. The pool is closed before this
+    propagates: after an env exception the worker's sub-pool state (and
+    the step protocol) is unreliable, so the pool refuses further use.
+    """
+
+
+def sharding_available(start_method: Optional[str] = None) -> bool:
+    """Whether this platform can run :class:`ShardedVecEnvPool`."""
+    methods = mp.get_all_start_methods()
+    if start_method is not None:
+        return start_method in methods
+    return "fork" in methods or "spawn" in methods
+
+
+def _default_start_method() -> str:
+    methods = mp.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def partition_contiguous(user_counts: Sequence[int], num_workers: int) -> List[slice]:
+    """Contiguous env-index shards, balanced by cumulative user count.
+
+    Every worker gets at least one env; the boundary after worker w sits
+    where the cumulative user count first reaches the w+1-th W-quantile,
+    so ragged env sizes spread evenly instead of by env count.
+    """
+    n = len(user_counts)
+    num_workers = max(1, min(num_workers, n))
+    cum = np.cumsum(np.asarray(user_counts, dtype=np.float64))
+    total = float(cum[-1])
+    bounds = [0]
+    for w in range(num_workers - 1):
+        cut = int(np.searchsorted(cum, total * (w + 1) / num_workers, side="left")) + 1
+        lo = bounds[-1] + 1                      # at least one env per shard
+        hi = n - (num_workers - 1 - w)           # leave one env per later shard
+        bounds.append(min(max(cut, lo), hi))
+    bounds.append(n)
+    return [slice(a, b) for a, b in zip(bounds[:-1], bounds[1:])]
+
+
+# ----------------------------------------------------------------------
+# Shared-memory layout: one segment, double-buffered arrays.
+# ----------------------------------------------------------------------
+class _Layout:
+    """Offsets of the double-buffered arrays inside one shm segment."""
+
+    def __init__(self, num_users: int, obs_dim: int, act_dim: int):
+        self.num_users = num_users
+        self.obs_dim = obs_dim
+        self.act_dim = act_dim
+        f8 = np.dtype(np.float64).itemsize
+        self.obs_off = 0
+        self.act_off = self.obs_off + 2 * num_users * obs_dim * f8
+        self.rew_off = self.act_off + 2 * num_users * act_dim * f8
+        self.done_off = self.rew_off + 2 * num_users * f8
+        self.size = self.done_off + 2 * num_users * 1  # bool, 1 byte
+
+    def views(self, buf) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        u, od, ad = self.num_users, self.obs_dim, self.act_dim
+        obs = np.ndarray((2, u, od), dtype=np.float64, buffer=buf, offset=self.obs_off)
+        act = np.ndarray((2, u, ad), dtype=np.float64, buffer=buf, offset=self.act_off)
+        rew = np.ndarray((2, u), dtype=np.float64, buffer=buf, offset=self.rew_off)
+        done = np.ndarray((2, u), dtype=np.bool_, buffer=buf, offset=self.done_off)
+        return obs, act, rew, done
+
+    def spec(self) -> Tuple[int, int, int]:
+        return (self.num_users, self.obs_dim, self.act_dim)
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without registering it for cleanup.
+
+    Only the parent owns the segment's lifetime. Python < 3.13 registers
+    every attach with the (fork-shared) resource tracker, which would
+    race the parent's unlink at worker exit — suppress the registration
+    instead of unregistering after the fact.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _worker_main(
+    conn,
+    shm_name: str,
+    layout_spec: Tuple[int, int, int],
+    rows: Tuple[int, int],
+    envs: List[MultiUserEnv],
+) -> None:
+    """Worker loop: serve reset/step/load/fetch/close over the pipe.
+
+    The shard is wrapped in an in-process :class:`VecEnvPool`, so done
+    masking, step budgets and native batch steppers behave exactly as in
+    the single-process pool. SIGINT is ignored — on Ctrl-C the parent
+    coordinates shutdown and reaps the workers.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    shm = _attach_untracked(shm_name)
+    try:
+        layout = _Layout(*layout_spec)
+        obs, act, rew, done = layout.views(shm.buf)
+        lo, hi = rows
+        pool = VecEnvPool(envs)
+        while True:
+            try:
+                command = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = command[0]
+            try:
+                if kind == "reset":
+                    pool.max_steps = command[1]
+                    obs[0, lo:hi] = pool.reset()
+                    conn.send(("ok",))
+                elif kind == "step":
+                    slot = command[1]
+                    states, rewards, dones, info = pool.step(act[slot, lo:hi].copy())
+                    obs[slot, lo:hi] = states
+                    rew[slot, lo:hi] = rewards
+                    done[slot, lo:hi] = dones
+                    conn.send(
+                        (
+                            "ok",
+                            info["per_env"],
+                            pool.active_mask.tolist(),
+                            pool.env_steps.tolist(),
+                        )
+                    )
+                elif kind == "load":
+                    pool = VecEnvPool(command[1])
+                    conn.send(("ok",))
+                elif kind == "fetch":
+                    conn.send(("ok", pool.envs))
+                elif kind == "close":
+                    conn.send(("ok",))
+                    break
+                else:  # pragma: no cover - protocol bug
+                    conn.send(("error", f"unknown command {kind!r}"))
+            except Exception:
+                try:
+                    conn.send(("error", traceback.format_exc()))
+                except (OSError, BrokenPipeError):  # parent already gone
+                    break
+    finally:
+        obs = act = rew = done = None
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - lingering views
+            pass
+        conn.close()
+
+
+def _cleanup(procs, conns, shm) -> None:
+    """Idempotent teardown shared by close(), GC and interpreter exit."""
+    for conn in conns:
+        try:
+            conn.send(("close",))
+        except (OSError, BrokenPipeError, ValueError):
+            pass
+    deadline = time.monotonic() + 2.0
+    for proc in procs:
+        proc.join(timeout=max(0.0, deadline - time.monotonic()))
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=1.0)
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:
+            pass
+    try:
+        shm.close()
+    except BufferError:
+        # Someone still holds a view into the segment; the memory is
+        # reclaimed when the last view dies. Unlinking below still
+        # removes the named segment (no leak in /dev/shm).
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+class ShardedVecEnvPool(ShardableVecPool):
+    """Member envs sharded across worker processes, one shm batch.
+
+    Drop-in for :class:`~repro.rl.vec.VecEnvPool` everywhere the
+    shardable-pool protocol is consumed (``collect_segments_vec``,
+    ``evaluate_policy_vec``, ``evaluate_policy``); additionally exposes
+    ``step_async`` / ``step_wait`` so the collector can overlap env
+    stepping with its own per-step work, ``load_envs`` to reuse the
+    worker processes for a fresh env set of identical layout (amortising
+    process startup across training iterations), and
+    ``fetch_member_envs`` to pull the advanced env states back into the
+    parent (training loops that reuse env objects across iterations stay
+    bit-identical to in-process collection).
+
+    ``num_workers`` is clamped to the number of envs; 0/1 workers still
+    run a (single) subprocess — use :class:`VecEnvPool` for the
+    in-process path. The pool is a context manager; ``close()`` is
+    idempotent and also runs on GC and interpreter exit.
+    """
+
+    def __init__(
+        self,
+        envs: Sequence[MultiUserEnv],
+        num_workers: int = 2,
+        max_steps: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ):
+        self.slices = validate_pool_members(envs)
+        first = envs[0]
+        method = start_method or _default_start_method()
+        if not sharding_available(method):
+            raise RuntimeError(f"start method {method!r} unavailable on this platform")
+
+        self._user_counts = [env.num_users for env in envs]
+        self.group_slices = self.slices
+        self.num_users = int(self.slices[-1].stop)
+        self.observation_space = first.observation_space
+        self.action_space = first.action_space
+        self.horizon = max(env.horizon for env in envs)
+        self.group_id = [env.group_id for env in envs]
+        self._horizons = [env.horizon for env in envs]
+        self.max_steps = max_steps
+
+        self._shards = partition_contiguous(self._user_counts, num_workers)
+        self._layout = _Layout(self.num_users, first.observation_dim, first.action_dim)
+        self._shm = shared_memory.SharedMemory(create=True, size=self._layout.size)
+        self._obs, self._act, self._rew, self._done = self._layout.views(self._shm.buf)
+
+        ctx = mp.get_context(method)
+        self._procs: List[Any] = []
+        self._conns: List[Any] = []
+        try:
+            for shard in self._shards:
+                rows = (self.slices[shard.start].start, self.slices[shard.stop - 1].stop)
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        child_conn,
+                        self._shm.name,
+                        self._layout.spec(),
+                        rows,
+                        list(envs[shard]),
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+        except Exception:
+            # A failed spawn (e.g. unpicklable envs under the spawn start
+            # method) must not leak the segment or the workers already up.
+            self._obs = self._act = self._rew = self._done = None
+            _cleanup(self._procs, self._conns, self._shm)
+            raise
+
+        self._active = np.zeros(len(envs), dtype=bool)
+        self._steps = np.zeros(len(envs), dtype=np.int64)
+        self._step_count = 0
+        self._pending_slot: Optional[int] = None
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self, _cleanup, self._procs, self._conns, self._shm
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_envs(self) -> int:
+        return len(self.slices)
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._procs)
+
+    @property
+    def shards(self) -> List[slice]:
+        """Env-index shard of each worker (copy)."""
+        return list(self._shards)
+
+    @property
+    def active_mask(self) -> np.ndarray:
+        return self._active.copy()
+
+    @property
+    def env_steps(self) -> np.ndarray:
+        return self._steps.copy()
+
+    @property
+    def all_done(self) -> bool:
+        return not self._active.any()
+
+    @property
+    def shared_memory_name(self) -> str:
+        return self._shm.name
+
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("pool is closed")
+
+    def _recv(self, worker: int):
+        """Liveness-checked receive: a dead worker raises instead of hanging.
+
+        Raises :class:`WorkerCrashed` (callers close the pool before
+        propagating it) or :class:`WorkerStepError` with the worker-side
+        traceback.
+        """
+        conn, proc = self._conns[worker], self._procs[worker]
+        try:
+            while not conn.poll(0.05):
+                if not proc.is_alive():
+                    raise WorkerCrashed(
+                        f"rollout worker {worker} (pid {proc.pid}) died with "
+                        f"exit code {proc.exitcode} before answering; the pool "
+                        "has been closed and its shared memory released"
+                    )
+            message = conn.recv()
+        except (EOFError, OSError) as error:
+            raise WorkerCrashed(
+                f"rollout worker {worker} (pid {proc.pid}) closed its pipe "
+                f"mid-command ({error!r}); the pool has been closed and its "
+                "shared memory released"
+            ) from None
+        if message[0] == "error":
+            raise WorkerStepError(
+                f"rollout worker {worker} raised:\n{message[1]}"
+            )
+        return message
+
+    def _send_all(self, commands: Sequence[Any]) -> None:
+        """Send one command per worker; a broken pipe closes the pool."""
+        for worker, (conn, command) in enumerate(zip(self._conns, commands)):
+            try:
+                conn.send(command)
+            except (OSError, BrokenPipeError) as error:
+                proc = self._procs[worker]
+                self.close()
+                raise WorkerCrashed(
+                    f"rollout worker {worker} (pid {proc.pid}) rejected a "
+                    f"command ({error!r}); the pool has been closed and its "
+                    "shared memory released"
+                ) from None
+
+    def _broadcast(self, command) -> List[Any]:
+        self._check_open()
+        self._send_all([command] * len(self._conns))
+        replies = []
+        try:
+            for worker in range(len(self._conns)):
+                replies.append(self._recv(worker))
+        except (WorkerCrashed, WorkerStepError):
+            self.close()
+            raise
+        return replies
+
+    # ------------------------------------------------------------------
+    def reset(self) -> np.ndarray:
+        self._broadcast(("reset", self.max_steps))
+        self._active[:] = True
+        self._steps[:] = 0
+        self._step_count = 0
+        self._pending_slot = None
+        return self._obs[0].copy()
+
+    def step_async(self, actions: np.ndarray) -> None:
+        self._check_open()
+        if self._pending_slot is not None:
+            raise RuntimeError("step_wait() must drain the previous step_async()")
+        actions = self._validate_actions(actions)
+        slot = self._step_count % 2
+        self._act[slot] = actions
+        self._send_all([("step", slot)] * len(self._conns))
+        self._pending_slot = slot
+        self._step_count += 1
+
+    def step_wait(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Dict[str, Any]]:
+        """Collect the in-flight step. Returns *views* into the current
+        slot buffers — valid until the second following ``step_async``
+        (slots alternate per step); copy before keeping longer."""
+        if self._pending_slot is None:
+            raise RuntimeError("step_wait() without a pending step_async()")
+        slot = self._pending_slot
+        infos: List[Optional[Dict[str, Any]]] = [None] * self.num_envs
+        try:
+            for worker, shard in enumerate(self._shards):
+                _, per_env, active, steps = self._recv(worker)
+                infos[shard] = per_env
+                self._active[shard] = active
+                self._steps[shard] = steps
+        except (WorkerCrashed, WorkerStepError):
+            # Either way the step protocol is desynchronised (later
+            # workers' replies are still queued, the failing worker's
+            # sub-pool state is unreliable) — tear the pool down rather
+            # than leave it half-stepped.
+            self.close()
+            raise
+        self._pending_slot = None
+        info = {"per_env": infos, "active": self._active.copy()}
+        return self._obs[slot], self._rew[slot], self._done[slot], info
+
+    def step(
+        self, actions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Dict[str, Any]]:
+        self.step_async(actions)
+        states, rewards, dones, info = self.step_wait()
+        return states.copy(), rewards.copy(), dones.copy(), info
+
+    # ------------------------------------------------------------------
+    def load_envs(self, envs: Sequence[MultiUserEnv]) -> None:
+        """Replace the member envs, reusing the worker processes.
+
+        The new envs must match the current layout exactly (same per-env
+        user counts and dims) so the shared buffers and shard boundaries
+        stay valid; each worker rebuilds its in-process sub-pool from the
+        pickled replacements. Call :meth:`reset` afterwards as usual.
+        """
+        envs = list(envs)
+        if [env.num_users for env in envs] != self._user_counts:
+            raise ValueError(
+                "load_envs needs the same per-env user counts as the current "
+                f"pool ({self._user_counts})"
+            )
+        first = envs[0]
+        if (
+            first.observation_dim != self._layout.obs_dim
+            or first.action_dim != self._layout.act_dim
+        ):
+            raise ValueError("load_envs needs matching observation/action dims")
+        if len({id(env) for env in envs}) != len(envs):
+            raise ValueError("load_envs members must be distinct objects")
+        self._check_open()
+        self._send_all([("load", list(envs[shard])) for shard in self._shards])
+        try:
+            for worker in range(len(self._conns)):
+                self._recv(worker)
+        except (WorkerCrashed, WorkerStepError):
+            self.close()
+            raise
+        self.group_id = [env.group_id for env in envs]
+        self._horizons = [env.horizon for env in envs]
+        self.horizon = max(self._horizons)
+        self._active[:] = False
+
+    def fetch_member_envs(self) -> List[MultiUserEnv]:
+        """Pull the worker-side env objects (their advanced state) back.
+
+        Training loops whose samplers hand out *shared* env objects rely
+        on state continuity across iterations (RNG streams, user gaps);
+        syncing the fetched state back into the parent's objects keeps
+        sharded collection bit-identical to in-process collection over a
+        whole training run.
+        """
+        replies = self._broadcast(("fetch",))
+        fetched: List[MultiUserEnv] = []
+        for reply in replies:
+            fetched.extend(reply[1])
+        return fetched
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the workers down and release the shared-memory segment."""
+        if self._closed:
+            return
+        self._closed = True
+        # Drop our buffer views so the segment's mmap can actually close.
+        self._obs = self._act = self._rew = self._done = None
+        self._finalizer.detach()
+        _cleanup(self._procs, self._conns, self._shm)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "ShardedVecEnvPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -12,7 +12,7 @@ trajectories τʳ collected under a behaviour policy πₑ. It is consumed by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -14,12 +14,11 @@ ensemble provides
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import replace
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..utils.seeding import make_rng
 from .dataset import TrajectoryDataset
 from .learner import SimulatorLearnerConfig, UserSimulator, train_user_simulator
 
@@ -87,7 +86,6 @@ def build_simulator_set(
     so the ensemble covers both global and per-city idiosyncrasies.
     """
     base_config = base_config or SimulatorLearnerConfig()
-    rng = make_rng(seed)
     members = []
     group_ids = dataset.group_ids
     for index in range(num_members):

@@ -8,7 +8,7 @@ reproducible and components do not share RNG state accidentally.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Union
+from typing import Optional, Union
 
 import numpy as np
 

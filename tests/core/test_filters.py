@@ -35,7 +35,6 @@ def make_segment(steps=4, n=3, ds=13, da=2, seed=0):
 def dpr_setup():
     world = DPRWorld(DPRConfig(num_cities=2, drivers_per_city=12, horizon=10, seed=31))
     dataset = collect_dpr_dataset(world, episodes=2)
-    config = SimulatorLearnerConfig(hidden_sizes=(32, 32), epochs=30)
     members = [
         train_user_simulator(
             dataset.subsample_users(0.8, seed=i),

@@ -1,12 +1,10 @@
 """Tests for the Sim2Rec policy wiring and the Table II configs."""
 
 import numpy as np
-import pytest
 
 from repro.core import (
     SADAE,
     SADAEConfig,
-    Sim2RecConfig,
     Sim2RecPolicy,
     build_sim2rec_policy,
     dpr_paper_config,

@@ -1,7 +1,6 @@
 """Tests for the DPR world: featurizer, ground-truth dynamics, logging."""
 
 import numpy as np
-import pytest
 
 from repro.envs import (
     BehaviorPolicy,

@@ -10,7 +10,6 @@ from repro.envs import (
     DPRWorld,
 )
 from repro.eval import (
-    ABTestResult,
     KLDProbe,
     ProbeConfig,
     build_probe_dataset,

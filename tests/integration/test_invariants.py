@@ -49,7 +49,6 @@ class TestGAEProperties:
     @settings(max_examples=25, deadline=None)
     def test_zero_reward_perfect_value_zero_advantage(self, steps, lam, seed):
         """If rewards are zero and V ≡ 0 everywhere, advantages are zero."""
-        rng = np.random.default_rng(seed)
         rewards = np.zeros((steps, 2))
         values = np.zeros((steps, 2))
         dones = np.zeros((steps, 2))

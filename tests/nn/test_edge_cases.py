@@ -1,7 +1,6 @@
 """Edge-case and numerical-robustness tests for the nn substrate."""
 
 import numpy as np
-import pytest
 
 from repro import nn
 

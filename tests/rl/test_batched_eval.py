@@ -12,7 +12,6 @@ buffers (lengths 1, T and anything between land in separate buckets).
 import numpy as np
 import pytest
 
-from repro import nn
 from repro.core import build_sim2rec_policy, dpr_small_config
 from repro.envs import DPRConfig, DPRWorld
 from repro.rl import (

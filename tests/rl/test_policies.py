@@ -1,7 +1,6 @@
 """Tests for MLP and recurrent actor-critic policies."""
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.rl import MLPActorCritic, RecurrentActorCritic, RolloutSegment

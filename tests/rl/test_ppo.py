@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.envs import LTSConfig, LTSEnv, evaluate_policy, oracle_constant_policy_return
+from repro.envs import LTSConfig, LTSEnv, evaluate_policy
 from repro.envs.base import MultiUserEnv
 from repro.envs.spaces import Box
 from repro.rl import (
@@ -64,6 +64,27 @@ class TestPPOMechanics:
         for key in ("policy_loss", "value_loss", "entropy", "clip_frac", "learning_rate"):
             assert key in stats
 
+    def test_update_is_reproducible_across_instances(self):
+        """Identical buffer contents give identical updates, even through
+        distinct segment objects: minibatch shuffles are seeded by buffer
+        position, not object identity (the id()-seeded shuffle made every
+        run's optimisation trajectory unique)."""
+
+        def run():
+            rng = np.random.default_rng(0)
+            env = TargetActionEnv()
+            policy = MLPActorCritic(2, 1, rng, hidden_sizes=(8,))
+            ppo = PPO(policy, PPOConfig(update_epochs=2, minibatches_per_segment=2))
+            buffer = RolloutBuffer()
+            for _ in range(2):
+                buffer.add(collect_segment(env, policy, rng))
+            buffer.finalize(0.99, 0.95)
+            ppo.update(buffer)
+            return [param.data.copy() for param in policy.parameters()]
+
+        for a, b in zip(run(), run()):
+            np.testing.assert_array_equal(a, b)
+
     def test_update_changes_parameters(self):
         rng = np.random.default_rng(0)
         env = TargetActionEnv()
@@ -95,7 +116,6 @@ class TestPPOMechanics:
         from repro import nn
 
         rng = np.random.default_rng(0)
-        env = TargetActionEnv()
         policy = MLPActorCritic(2, 1, rng, hidden_sizes=(8,))
         extra = nn.Parameter(np.zeros(3))
         ppo = PPO(policy, PPOConfig(update_epochs=1), extra_parameters=[extra])

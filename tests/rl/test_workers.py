@@ -1,0 +1,395 @@
+"""Multi-process sharded rollouts: bitwise equivalence + failure paths.
+
+The contract under test (see :mod:`repro.rl.workers`): collecting through
+a :class:`ShardedVecEnvPool` is **bit-identical** to the sequential
+``collect_segment`` loop — and hence to the in-process ``VecEnvPool`` —
+for any shard count and layout, because env RNG state travels with the
+pickled envs and policy noise streams are pinned to env identity, not to
+placement. Plus the operational guarantees: a crashed worker raises
+instead of hanging, worker counts degrade gracefully, and shared memory
+never leaks.
+"""
+
+import os
+import signal
+import sys
+
+import numpy as np
+import pytest
+
+from repro.envs import DPRConfig, DPRWorld, LTSConfig, LTSEnv, evaluate_policy
+from repro.rl import (
+    MLPActorCritic,
+    RecurrentActorCritic,
+    ShardedVecEnvPool,
+    VecEnvPool,
+    WorkerCrashed,
+    WorkerStepError,
+    collect_segment,
+    collect_segments_vec,
+    evaluate_policy_vec,
+    sharding_available,
+)
+from repro.rl.workers import partition_contiguous
+
+pytestmark = pytest.mark.skipif(
+    not sharding_available(), reason="platform has no multiprocessing start method"
+)
+
+SEGMENT_FIELDS = (
+    "states",
+    "prev_actions",
+    "actions",
+    "rewards",
+    "dones",
+    "values",
+    "log_probs",
+    "last_values",
+)
+
+
+def make_world(**kwargs) -> DPRWorld:
+    defaults = dict(num_cities=5, drivers_per_city=7, horizon=6, seed=3)
+    defaults.update(kwargs)
+    return DPRWorld(DPRConfig(**defaults))
+
+
+def make_ragged_lts_envs():
+    """Envs with *different* user counts (and hence ragged shard blocks)."""
+    sizes = [(3, 0.0), (9, 2.0), (5, 4.0), (7, 6.0), (4, 8.0)]
+    return [
+        LTSEnv(LTSConfig(num_users=k, horizon=6, omega_g=g, seed=10 + i))
+        for i, (k, g) in enumerate(sizes)
+    ]
+
+
+def assert_segments_identical(seq, vec):
+    assert len(seq) == len(vec)
+    for s, v in zip(seq, vec):
+        assert s.group_id == v.group_id
+        for name in SEGMENT_FIELDS:
+            a, b = getattr(s, name), getattr(v, name)
+            assert a.shape == b.shape, (name, a.shape, b.shape)
+            np.testing.assert_array_equal(a, b, err_msg=name)
+        assert set(s.extras) == set(v.extras)
+        for key in s.extras:
+            np.testing.assert_array_equal(s.extras[key], v.extras[key], err_msg=key)
+
+
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("num_workers", [1, 2, 4])
+    def test_sharded_equals_sequential(self, num_workers):
+        """The acceptance case: shard counts {1, 2, 4}, bitwise equality."""
+        world = make_world()
+        policy = RecurrentActorCritic(
+            13, 2, np.random.default_rng(0), lstm_hidden=16, head_hidden=(32,)
+        )
+        seq = [
+            collect_segment(env, policy, np.random.default_rng(100 + i))
+            for i, env in enumerate(world.make_all_city_envs())
+        ]
+        with ShardedVecEnvPool(world.make_all_city_envs(), num_workers=num_workers) as pool:
+            vec = collect_segments_vec(
+                pool, policy, [np.random.default_rng(100 + i) for i in range(5)]
+            )
+        assert_segments_identical(seq, vec)
+
+    @pytest.mark.parametrize("num_workers", [1, 2, 4])
+    def test_ragged_env_sizes(self, num_workers):
+        """User-count-balanced contiguous shards over ragged env sizes."""
+        policy = RecurrentActorCritic(
+            2, 1, np.random.default_rng(1), lstm_hidden=8, head_hidden=(16,)
+        )
+        seq = [
+            collect_segment(env, policy, np.random.default_rng(40 + i))
+            for i, env in enumerate(make_ragged_lts_envs())
+        ]
+        with ShardedVecEnvPool(make_ragged_lts_envs(), num_workers=num_workers) as pool:
+            vec = collect_segments_vec(
+                pool, policy, [np.random.default_rng(40 + i) for i in range(5)]
+            )
+        assert_segments_identical(seq, vec)
+
+    def test_truncation_and_extras(self):
+        world = make_world()
+        policy = MLPActorCritic(13, 2, np.random.default_rng(2), hidden_sizes=(16,))
+        rngs = lambda: [np.random.default_rng(70 + i) for i in range(5)]  # noqa: E731
+        seq = [
+            collect_segment(
+                env, policy, rng, max_steps=4, extras_from_info=("orders", "cost")
+            )
+            for env, rng in zip(world.make_all_city_envs(), rngs())
+        ]
+        with ShardedVecEnvPool(world.make_all_city_envs(), num_workers=2) as pool:
+            vec = collect_segments_vec(
+                pool, policy, rngs(), max_steps=4, extras_from_info=("orders", "cost")
+            )
+        assert_segments_identical(seq, vec)
+        assert vec[0].horizon == 4
+
+    def test_overlap_off_matches_overlap_on(self):
+        """overlap=False (synchronous stepping) records the same numbers."""
+        world = make_world(num_cities=4)
+        policy = RecurrentActorCritic(
+            13, 2, np.random.default_rng(3), lstm_hidden=16, head_hidden=(32,)
+        )
+        rngs = lambda: [np.random.default_rng(200 + i) for i in range(4)]  # noqa: E731
+        with ShardedVecEnvPool(world.make_all_city_envs(), num_workers=2) as pool:
+            on = collect_segments_vec(pool, policy, rngs(), overlap=True)
+        with ShardedVecEnvPool(world.make_all_city_envs(), num_workers=2) as pool:
+            off = collect_segments_vec(pool, policy, rngs(), overlap=False)
+        assert_segments_identical(on, off)
+
+    def test_overlap_requires_async_pool(self):
+        world = make_world(num_cities=2)
+        policy = MLPActorCritic(13, 2, np.random.default_rng(4), hidden_sizes=(8,))
+        pool = VecEnvPool(world.make_all_city_envs())
+        with pytest.raises(ValueError, match="step_async"):
+            collect_segments_vec(
+                pool, policy, np.random.default_rng(0), overlap=True
+            )
+
+    def test_multi_episode_rng_continuity(self):
+        """Back-to-back episodes on one pool keep every env stream aligned."""
+        policy = RecurrentActorCritic(
+            13, 2, np.random.default_rng(5), lstm_hidden=16, head_hidden=(32,)
+        )
+        envs_seq = make_world().make_all_city_envs()
+        rngs_seq = [np.random.default_rng(50 + i) for i in range(5)]
+        rngs_vec = [np.random.default_rng(50 + i) for i in range(5)]
+        with ShardedVecEnvPool(make_world().make_all_city_envs(), num_workers=2) as pool:
+            for _ in range(2):
+                seq = [
+                    collect_segment(e, policy, r) for e, r in zip(envs_seq, rngs_seq)
+                ]
+                vec = collect_segments_vec(pool, policy, rngs_vec)
+                assert_segments_identical(seq, vec)
+
+
+class TestPoolProtocol:
+    def test_pool_is_a_multi_user_env(self):
+        world = make_world(num_cities=4, drivers_per_city=10)
+        with ShardedVecEnvPool(world.make_all_city_envs(), num_workers=2) as pool:
+            assert pool.num_users == 40
+            assert pool.observation_dim == 13
+            assert pool.group_id == [0, 1, 2, 3]
+            states = pool.reset()
+            assert states.shape == (40, 13)
+            next_states, rewards, dones, info = pool.step(np.full((40, 2), 0.5))
+            assert rewards.shape == (40,)
+            assert len(info["per_env"]) == 4
+            assert next_states.base is None  # step() hands back copies
+
+    def test_evaluate_policy_through_pool(self):
+        """The pool satisfies the plain MultiUserEnv protocol end to end."""
+        world = make_world(num_cities=3)
+        policy = RecurrentActorCritic(
+            13, 2, np.random.default_rng(6), lstm_hidden=16, head_hidden=(32,)
+        )
+        sequential = evaluate_policy_vec(
+            world.make_all_city_envs(),
+            policy.as_act_fn(np.random.default_rng(0)),
+            episodes=1,
+        )
+        with ShardedVecEnvPool(world.make_all_city_envs(), num_workers=2) as pool:
+            pooled = evaluate_policy(
+                pool, policy.as_act_fn(np.random.default_rng(0)), episodes=1
+            )
+        weights = np.array([env.num_users for env in world.make_all_city_envs()])
+        assert pooled == pytest.approx(
+            float(np.sum(sequential * weights) / weights.sum())
+        )
+
+    def test_workers_clamped_to_env_count(self):
+        world = make_world(num_cities=3)
+        with ShardedVecEnvPool(world.make_all_city_envs(), num_workers=8) as pool:
+            assert pool.num_workers == 3
+            pool.reset()
+            pool.step(np.zeros((pool.num_users, 2)))
+
+    def test_rejects_duplicates_and_dim_mismatch(self):
+        world = make_world(num_cities=2)
+        env = world.make_city_env(0)
+        with pytest.raises(ValueError, match="distinct"):
+            ShardedVecEnvPool([env, env], num_workers=2)
+        lts = LTSEnv(LTSConfig(num_users=5, horizon=4, seed=0))
+        with pytest.raises(ValueError, match="observation dimension"):
+            ShardedVecEnvPool([world.make_city_env(0), lts], num_workers=2)
+
+    def test_partition_contiguous_balances_users(self):
+        shards = partition_contiguous([3, 9, 5, 7, 4], 2)
+        assert shards == [slice(0, 3), slice(3, 5)]  # 17 vs 11 users
+        shards = partition_contiguous([10, 1, 1, 1, 1], 3)
+        assert shards[0] == slice(0, 1)  # the heavy env gets its own shard
+        assert [s.stop for s in shards][-1] == 5
+        # every worker keeps at least one env even under extreme skew
+        assert all(s.stop > s.start for s in partition_contiguous([100, 1, 1], 3))
+
+    def test_load_envs_reuses_workers(self):
+        world_a, world_b = make_world(seed=3), make_world(seed=99)
+        policy = RecurrentActorCritic(
+            13, 2, np.random.default_rng(7), lstm_hidden=16, head_hidden=(32,)
+        )
+        rngs = lambda: [np.random.default_rng(60 + i) for i in range(5)]  # noqa: E731
+        seq = [
+            collect_segment(env, policy, rng)
+            for env, rng in zip(world_b.make_all_city_envs(), rngs())
+        ]
+        with ShardedVecEnvPool(world_a.make_all_city_envs(), num_workers=2) as pool:
+            collect_segments_vec(pool, policy, [np.random.default_rng(i) for i in range(5)])
+            pids = [proc.pid for proc in pool._procs]
+            pool.load_envs(world_b.make_all_city_envs())
+            assert [proc.pid for proc in pool._procs] == pids  # same processes
+            vec = collect_segments_vec(pool, policy, rngs())
+        assert_segments_identical(seq, vec)
+
+    def test_load_envs_rejects_layout_mismatch(self):
+        with ShardedVecEnvPool(make_world().make_all_city_envs(), num_workers=2) as pool:
+            with pytest.raises(ValueError, match="user counts"):
+                pool.load_envs(make_world(drivers_per_city=9).make_all_city_envs())
+
+    def test_fetch_member_envs_returns_advanced_state(self):
+        """Worker-side env state (RNG streams) round-trips to the parent."""
+        policy = RecurrentActorCritic(
+            13, 2, np.random.default_rng(8), lstm_hidden=16, head_hidden=(32,)
+        )
+        reference = make_world().make_all_city_envs()
+        for i, env in enumerate(reference):
+            collect_segment(env, policy, np.random.default_rng(80 + i))
+        parents = make_world().make_all_city_envs()
+        with ShardedVecEnvPool(parents, num_workers=2) as pool:
+            collect_segments_vec(
+                pool, policy, [np.random.default_rng(80 + i) for i in range(5)]
+            )
+            fetched = pool.fetch_member_envs()
+        for mine, theirs in zip(parents, fetched):
+            vars(mine).update(vars(theirs))
+        # a further sequential episode matches envs that never left process
+        for i, (ref, mine) in enumerate(zip(reference, parents)):
+            a = collect_segment(ref, policy, np.random.default_rng(90 + i))
+            b = collect_segment(mine, policy, np.random.default_rng(90 + i))
+            np.testing.assert_array_equal(a.states, b.states)
+            np.testing.assert_array_equal(a.rewards, b.rewards)
+
+
+def shm_segment_exists(name: str):
+    """Whether the named POSIX shm segment exists; None when the platform
+    doesn't expose segments as files (macOS) — callers skip the assert."""
+    if not sys.platform.startswith("linux"):
+        return None
+    return os.path.exists(f"/dev/shm/{name.lstrip('/')}")
+
+
+class _ExplodingEnv(LTSEnv):
+    """Raises from step() on command — exercises error forwarding."""
+
+    def __init__(self, *args, explode_at=2, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.explode_at = explode_at
+        self._step_calls = 0
+
+    def step(self, actions):
+        self._step_calls += 1
+        if self._step_calls >= self.explode_at:
+            raise RuntimeError("boom from the worker side")
+        return super().step(actions)
+
+
+class TestFailurePaths:
+    def test_worker_crash_raises_instead_of_hanging(self):
+        world = make_world(num_cities=4)
+        pool = ShardedVecEnvPool(world.make_all_city_envs(), num_workers=2)
+        try:
+            pool.reset()
+            os.kill(pool._procs[1].pid, signal.SIGKILL)
+            with pytest.raises(WorkerCrashed, match="worker 1"):
+                pool.step(np.zeros((pool.num_users, 2)))
+            assert pool.closed  # crash tears the pool down
+            # shared memory is gone even though close() ran via the crash path
+            assert shm_segment_exists(pool.shared_memory_name) is not True
+        finally:
+            pool.close()  # idempotent
+
+    def test_env_exception_forwarded_with_traceback(self):
+        envs = [
+            _ExplodingEnv(LTSConfig(num_users=3, horizon=6, seed=i), explode_at=2)
+            for i in range(2)
+        ]
+        # only meaningful under fork (local classes don't survive spawn pickling)
+        if not sharding_available("fork"):
+            pytest.skip("needs fork start method")
+        with ShardedVecEnvPool(envs, num_workers=2, start_method="fork") as pool:
+            pool.reset()
+            actions = np.zeros((pool.num_users, 1))
+            pool.step(actions)
+            with pytest.raises(WorkerStepError, match="boom from the worker side"):
+                pool.step(actions)
+            # the step protocol is desynchronised after an env error, so
+            # the pool refuses further use rather than stepping half-blind
+            assert pool.closed
+
+    def test_close_unlinks_shared_memory(self):
+        world = make_world(num_cities=2)
+        pool = ShardedVecEnvPool(world.make_all_city_envs(), num_workers=2)
+        name = pool.shared_memory_name
+        assert shm_segment_exists(name) is not False
+        pool.close()
+        assert shm_segment_exists(name) is not True
+        pool.close()  # double close is a no-op
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.reset()
+
+    def test_terminated_workers_still_clean_up(self):
+        """SIGTERM'd workers (the Ctrl-C path) leave no segment behind."""
+        world = make_world(num_cities=2)
+        pool = ShardedVecEnvPool(world.make_all_city_envs(), num_workers=2)
+        name = pool.shared_memory_name
+        for proc in pool._procs:
+            proc.terminate()
+        pool.close()
+        assert shm_segment_exists(name) is not True
+
+
+class TestTrainerIntegration:
+    def _make_trainer(self, workers: int):
+        from repro.core import Sim2RecLTSTrainer, build_sim2rec_policy, lts_small_config
+        from repro.envs import make_lts_task
+
+        config = lts_small_config(seed=0)
+        config.rollout_workers = workers
+        config.segments_per_iteration = 3
+        task = make_lts_task("LTS3", num_users=8, horizon=6, seed=0)
+        policy = build_sim2rec_policy(2, 1, config)
+        return Sim2RecLTSTrainer(policy, task, config)
+
+    def test_trainer_collect_bitwise_matches_in_process(self):
+        """rollout_workers=2 reproduces the in-process run across multiple
+        iterations — the fetch/sync path keeps the shared task envs'
+        state continuity intact."""
+        base = self._make_trainer(workers=1)
+        sharded = self._make_trainer(workers=2)
+        try:
+            for _ in range(2):
+                buffer_a, rewards_a = base.collect()
+                buffer_b, rewards_b = sharded.collect()
+                assert rewards_a == rewards_b
+                for seg_a, seg_b in zip(buffer_a.segments, buffer_b.segments):
+                    for name in SEGMENT_FIELDS:
+                        np.testing.assert_array_equal(
+                            getattr(seg_a, name), getattr(seg_b, name), err_msg=name
+                        )
+            assert sharded._worker_pool is not None  # pool reused, not rebuilt
+        finally:
+            base.close()
+            sharded.close()
+        assert sharded._worker_pool is None
+
+    def test_rollout_workers_degrade_on_single_env_batches(self):
+        trainer = self._make_trainer(workers=4)
+        trainer.config.segments_per_iteration = 1
+        try:
+            buffer, _ = trainer.collect()
+            assert len(buffer) == 1
+            assert trainer._worker_pool is None  # single-env batch stays in-process
+        finally:
+            trainer.close()

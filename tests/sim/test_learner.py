@@ -79,7 +79,6 @@ class TestTraining:
         assert accuracy > 0.9
 
     def test_training_improves_likelihood(self, dpr_data):
-        base = SimulatorLearnerConfig(hidden_sizes=(32, 32), seed=0)
         untrained_cfg = SimulatorLearnerConfig(hidden_sizes=(32, 32), epochs=0, seed=0)
         untrained = train_user_simulator(dpr_data, untrained_cfg)
         trained_cfg = SimulatorLearnerConfig(hidden_sizes=(32, 32), epochs=30, seed=0)

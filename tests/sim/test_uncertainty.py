@@ -110,7 +110,6 @@ class TestPenaltyIntegration:
         from repro.rl import RolloutSegment
 
         states, actions = inputs
-        rng = np.random.default_rng(2)
         segment = RolloutSegment(
             states=np.stack([states[:5]] * 3),
             prev_actions=np.stack([actions[:5]] * 3),

@@ -1,0 +1,125 @@
+"""The CI bench-regression gate: floor comparisons, tolerance, CPU gating."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench_regression", ROOT / ".github" / "check_bench_regression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def rollout_payload(speedup=2.5, worker_speedup=2.0, cpu_count=4, equivalent=True):
+    return {
+        "cpu_count": cpu_count,
+        "scenarios": [
+            {
+                "name": "smoke_cross_city",
+                "speedup": speedup,
+                "equivalent": equivalent,
+                "workers": [
+                    {
+                        "num_workers": 1,
+                        "speedup_vs_sequential": 1.0,
+                        "equivalent": equivalent,
+                    },
+                    {
+                        "num_workers": 2,
+                        "speedup_vs_sequential": worker_speedup,
+                        "equivalent": equivalent,
+                    },
+                ],
+            }
+        ],
+    }
+
+
+BASELINE = {
+    "scenarios": {"smoke_cross_city": {"min_speedup": 1.6}},
+    "workers": {"2": {"min_speedup_vs_sequential": 1.3, "min_cpus": 2}},
+}
+
+
+class TestCheckPayload:
+    def test_passes_when_floors_hold(self, gate):
+        failures = gate.check_payload(rollout_payload(), BASELINE, 0.8, "rollout")
+        assert failures == []
+
+    def test_fails_on_scenario_regression(self, gate):
+        failures = gate.check_payload(
+            rollout_payload(speedup=1.1), BASELINE, 0.8, "rollout"
+        )
+        assert any("smoke_cross_city" in f and "1.1" in f for f in failures)
+
+    def test_tolerance_band_absorbs_jitter(self, gate):
+        # floor 1.6 x tolerance 0.8 = 1.28: 1.3 passes, 1.2 fails
+        assert gate.check_payload(rollout_payload(speedup=1.3), BASELINE, 0.8, "r") == []
+        assert gate.check_payload(rollout_payload(speedup=1.2), BASELINE, 0.8, "r")
+
+    def test_fails_on_worker_regression(self, gate):
+        failures = gate.check_payload(
+            rollout_payload(worker_speedup=0.9), BASELINE, 0.8, "rollout"
+        )
+        assert any("workers=2" in f for f in failures)
+
+    def test_worker_floor_skipped_on_single_core(self, gate, capsys):
+        failures = gate.check_payload(
+            rollout_payload(worker_speedup=0.5, cpu_count=1), BASELINE, 0.8, "rollout"
+        )
+        assert failures == []
+        assert "skip" in capsys.readouterr().out
+
+    def test_fails_when_equivalence_not_verified(self, gate):
+        failures = gate.check_payload(
+            rollout_payload(equivalent=False), BASELINE, 0.8, "rollout"
+        )
+        assert any("equivalence" in f for f in failures)
+
+    def test_fails_on_missing_scenario(self, gate):
+        failures = gate.check_payload(
+            {"cpu_count": 4, "scenarios": []}, BASELINE, 0.8, "rollout"
+        )
+        assert any("missing" in f for f in failures)
+
+
+class TestRun:
+    def write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_run_with_committed_baselines_shape(self, gate, tmp_path):
+        """The committed baselines file parses and gates a healthy artifact."""
+        baselines_path = ROOT / ".github" / "bench_baselines.json"
+        baselines = json.loads(baselines_path.read_text())
+        assert "rollout" in baselines and "train" in baselines
+        rollout = self.write(tmp_path, "r.json", rollout_payload())
+        train = self.write(
+            tmp_path,
+            "t.json",
+            {
+                "cpu_count": 4,
+                "scenarios": [
+                    {"name": "smoke_ppo", "speedup": 3.5, "equivalent": True},
+                    {"name": "smoke_sadae", "speedup": 1.5, "equivalent": True},
+                ],
+            },
+        )
+        assert gate.run(rollout, train, baselines_path) == 0
+
+    def test_run_fails_on_missing_artifact(self, gate, tmp_path):
+        rollout = self.write(tmp_path, "r.json", rollout_payload())
+        assert (
+            gate.run(rollout, tmp_path / "absent.json", ROOT / ".github" / "bench_baselines.json")
+            == 1
+        )

@@ -118,7 +118,6 @@ class TestRewardScaler:
         scaler = RewardScaler(gamma=1.0)
         scaler.scale(np.ones(2), np.zeros(2))
         scaler.scale(np.ones(2), np.ones(2))  # episode ends
-        returns_after_done = scaler._returns.copy()
         scaler.scale(np.ones(2), np.zeros(2))
         np.testing.assert_allclose(scaler._returns, 1.0)
 
