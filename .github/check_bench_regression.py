@@ -16,6 +16,15 @@ and exits non-zero on regression. Semantics:
   machine has fewer than ``min_cpus`` cores: multi-process stepping
   cannot beat a single core, and the JSON records ``cpu_count`` exactly
   so this gate can tell a slow runner from a slow commit;
+- mode-sweep floors (``mode_sweep`` section, keyed by mode name) gate
+  the head-to-head numbers of the collection-mode sweep — e.g.
+  ``shard_parallel``'s ``min_speedup_vs_sharded`` enforces that full
+  rollouts in the workers beat step-only sharding whenever the runner
+  actually has cores (same ``min_cpus`` skip). A floor's optional
+  ``num_workers`` restricts it to the sweep records at that worker
+  count (a workers=1 or oversubscribed run is not expected to clear a
+  multi-worker floor). Equivalence flags on mode records are enforced
+  unconditionally: bit-identity does not depend on core count;
 - baselines are keyed by bench mode (``smoke`` for the CI artifacts,
   ``full`` for the committed dev-box artifacts), so the same gate checks
   whichever artifact it is handed.
@@ -95,6 +104,54 @@ def check_payload(payload: dict, baseline: dict, tolerance: float, label: str) -
                         f"speedup_vs_sequential {measured} < floor {floor} x "
                         f"tolerance {tolerance} = {floor * tolerance:.3f}"
                     )
+
+    mode_floors = baseline.get("mode_sweep", {})
+    if mode_floors:
+        sweeps = {}
+        for scenario in scenarios.values():
+            for record in scenario.get("mode_sweep", []):
+                # Bit-equivalence holds on any machine: enforce the flag
+                # on every swept record regardless of core count.
+                if record.get("equivalent") is not True:
+                    failures.append(
+                        f"{label}/{scenario['name']}/mode={record.get('mode')}: "
+                        "equivalence flag is not true"
+                    )
+                sweeps.setdefault(record.get("mode"), []).append(
+                    (scenario["name"], record)
+                )
+        for mode, floors in mode_floors.items():
+            min_cpus = floors.get("min_cpus", 2)
+            if cpu_count < min_cpus:
+                print(
+                    f"skip {label}/mode={mode}: bench ran on {cpu_count} "
+                    f"CPU(s), floor needs >= {min_cpus}"
+                )
+                continue
+            records = sweeps.get(mode)
+            workers = floors.get("num_workers")
+            if workers is not None and records:
+                records = [
+                    (name, record)
+                    for name, record in records
+                    if record.get("num_workers") == workers
+                ]
+            at = f"mode={mode}" + (f"/workers={workers}" if workers else "")
+            if not records:
+                failures.append(f"{label}/{at}: missing from the mode sweep")
+                continue
+            for metric, floor in floors.items():
+                if not metric.startswith("min_") or metric == "min_cpus":
+                    continue
+                key = metric[len("min_"):]
+                for scenario_name, record in records:
+                    measured = record.get(key)
+                    if measured is None or measured < floor * tolerance:
+                        failures.append(
+                            f"{label}/{scenario_name}/{at}: "
+                            f"{key} {measured} < floor {floor} x "
+                            f"tolerance {tolerance} = {floor * tolerance:.3f}"
+                        )
     return failures
 
 

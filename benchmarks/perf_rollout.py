@@ -1,17 +1,29 @@
-"""Rollout-engine microbenchmark: sequential vs batched vs sharded collection.
+"""Rollout-engine microbenchmark: the full collection-mode sweep.
 
-Times ``collect_segment`` looped city by city against
-``collect_segments_vec`` over a :class:`VecEnvPool` (one ``policy.act``
-per timestep for all cities, block-diagonal env stepping, no-grad fast
-path), then sweeps :class:`ShardedVecEnvPool` worker counts (multi-process
-env stepping with overlapped collection). Every timed path is first
-verified **bit-identical** to the sequential baseline; results go to
-``BENCH_rollout.json`` so speedups are tracked across PRs (and gated in
-CI by ``.github/check_bench_regression.py``).
+Times every rollout mode against the sequential per-city baseline:
 
-Worker-count speedups scale with physical cores: on a 1-CPU container the
-sweep records ~1x (the JSON carries ``cpu_count`` so the CI gate only
-enforces worker floors on multi-core runners).
+- ``vectorized`` — one ``policy.act`` per timestep for all cities over an
+  in-process :class:`VecEnvPool` (block-diagonal env stepping, no-grad
+  fast path);
+- ``sharded`` — step-only worker sharding (:class:`ShardedVecEnvPool` as
+  a step server with overlapped collection; policy forward in the
+  parent), swept over worker counts;
+- ``shard_parallel`` — full rollouts in the workers: policy replicas per
+  shard (``sync_policy`` + ``collect_rollouts``), so the whole
+  act → step → record loop parallelises, swept over the same counts.
+
+Every timed path is first proven **bit-identical** to the sequential
+baseline through the same parity harness the test suite runs
+(:mod:`repro.rl.parity` — the bench re-implements nothing); results go
+to ``BENCH_rollout.json`` so speedups are tracked across PRs (and gated
+in CI by ``.github/check_bench_regression.py``).
+
+Worker speedups scale with physical cores: on a 1-CPU container both
+sharded modes record ~1x or below (the JSON carries ``cpu_count`` so the
+CI gate only enforces worker and mode floors on multi-core runners).
+``shard_parallel`` is the one expected to beat ``sharded`` whenever
+cores exist, because it parallelises the policy forward (the 80–95 % of
+collection time the step server leaves on the parent).
 
 Not a pytest module — run directly::
 
@@ -42,9 +54,11 @@ from repro.rl import (
     ShardedVecEnvPool,
     VecEnvPool,
     collect_segment,
+    collect_segments_sequential,
     collect_segments_vec,
     sharding_available,
 )
+from repro.rl.parity import assert_segments_identical
 
 
 def make_policy(state_dim: int, action_dim: int) -> RecurrentActorCritic:
@@ -57,22 +71,8 @@ def make_policy(state_dim: int, action_dim: int) -> RecurrentActorCritic:
     )
 
 
-SEGMENT_FIELDS = ("states", "actions", "rewards", "values", "log_probs", "last_values")
-
-
-def collect_sequential(world: DPRWorld, policy, seed: int):
-    return [
-        collect_segment(env, policy, np.random.default_rng(seed + i))
-        for i, env in enumerate(world.make_all_city_envs())
-    ]
-
-
-def assert_identical(seq, vec, label: str) -> None:
-    """The timed paths must agree bit for bit before we trust the clock."""
-    for s, v in zip(seq, vec):
-        for name in SEGMENT_FIELDS:
-            if not np.array_equal(getattr(s, name), getattr(v, name)):
-                raise AssertionError(f"{label}: sequential mismatch in {name}")
+def make_rngs(world: DPRWorld, seed: int):
+    return [np.random.default_rng(seed + i) for i in range(world.num_cities)]
 
 
 def bench_scenario(name: str, config: DPRConfig, repeats: int) -> dict:
@@ -80,15 +80,17 @@ def bench_scenario(name: str, config: DPRConfig, repeats: int) -> dict:
     envs_seq = world.make_all_city_envs()
     pool = VecEnvPool(world.make_all_city_envs())
     policy = make_policy(13, 2)
-    rngs = [np.random.default_rng(1000 + i) for i in range(world.num_cities)]
+    rngs = make_rngs(world, 1000)
 
-    seq_ref = collect_sequential(world, policy, seed=7)
-    vec_ref = collect_segments_vec(
-        world.make_all_city_envs(),
-        policy,
-        [np.random.default_rng(7 + i) for i in range(world.num_cities)],
+    # Pre-timing equivalence gate: the parity harness from the test
+    # suite, not a bench-local reimplementation.
+    seq_ref = collect_segments_sequential(
+        world.make_all_city_envs(), policy, make_rngs(world, 7)
     )
-    assert_identical(seq_ref, vec_ref, name)
+    vec_ref = collect_segments_vec(
+        world.make_all_city_envs(), policy, make_rngs(world, 7)
+    )
+    assert_segments_identical(seq_ref, vec_ref, label=f"{name}/vectorized")
     collect_segments_vec(pool, policy, rngs)  # warmup
 
     seq_times, vec_times = [], []
@@ -122,69 +124,143 @@ def bench_scenario(name: str, config: DPRConfig, repeats: int) -> dict:
     return result
 
 
-def bench_worker_sweep(
+def _time_sharded(pool, policy, rngs, repeats: int) -> float:
+    """Steady-state step-server collection (pool warm, workers resident)."""
+    collect_segments_vec(pool, policy, rngs)  # warmup
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        collect_segments_vec(pool, policy, rngs)
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def _time_shard_parallel(pool, policy, rngs, repeats: int) -> float:
+    """Steady-state full-rollout iteration: param broadcast + collection.
+
+    The timed unit includes ``sync_policy`` because a training iteration
+    pays it every time (fresh parameters); after the first broadcast it
+    is the delta-free state-archive path, which is the steady state.
+    """
+    pool.sync_policy(policy)
+    pool.collect_rollouts(rngs)  # warmup (structure already shipped)
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        pool.sync_policy(policy)
+        pool.collect_rollouts(rngs)
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def bench_mode_sweep(
     name: str,
     config: DPRConfig,
     worker_counts: tuple,
     repeats: int,
     sequential_s: float,
     vectorized_s: float,
-) -> list:
-    """Time sharded collection per worker count; verify bitwise first.
+) -> dict:
+    """Time both sharded modes per worker count; verify bitwise first.
 
-    Speedups are reported against both baselines: the sequential
-    per-city loop (the end-to-end win a training run sees) and the
-    single-process vectorized pool (isolates what moving env stepping
-    off the parent buys — bounded by the env-step fraction of collection
-    time, so expect modest numbers on policy-bound workloads and < 1x on
-    single-core machines where IPC serialises). Throughput is stacked
-    user-steps per second.
+    Returns ``{"workers": [...], "mode_sweep": [...]}``: the ``workers``
+    list keeps the step-server records the existing CI floors gate, and
+    ``mode_sweep`` adds one record per (mode, worker count) including the
+    head-to-head ``speedup_vs_sharded`` of shard-parallel collection.
+    Speedups are against the sequential per-city loop (the end-to-end
+    win a training run sees) and the single-process vectorized pool;
+    expect < 1x on single-core machines where IPC serialises.
+    Throughput is stacked user-steps per second.
     """
     world = DPRWorld(config)
     policy = make_policy(13, 2)
     total_steps = config.num_cities * config.drivers_per_city * config.horizon
-    seq_ref = collect_sequential(world, policy, seed=7)
-    records = []
+    seq_ref = collect_segments_sequential(
+        world.make_all_city_envs(), policy, make_rngs(world, 7)
+    )
+    worker_records = []
+    mode_records = [
+        {
+            "mode": "sequential",
+            "num_workers": 0,
+            "time_s": round(sequential_s, 6),
+            "speedup_vs_sequential": 1.0,
+            "throughput_user_steps_per_s": round(total_steps / sequential_s, 1),
+            "equivalent": True,
+        },
+        {
+            "mode": "vectorized",
+            "num_workers": 0,
+            "time_s": round(vectorized_s, 6),
+            "speedup_vs_sequential": round(sequential_s / vectorized_s, 3),
+            "throughput_user_steps_per_s": round(total_steps / vectorized_s, 1),
+            "equivalent": True,
+        },
+    ]
     for workers in worker_counts:
         if not sharding_available():
             print(f"[{name}] workers={workers}: sharding unavailable, skipped")
             continue
-        pool = ShardedVecEnvPool(world.make_all_city_envs(), num_workers=workers)
-        try:
-            # Re-verify the acceptance contract inside the bench: sharded
-            # segments bitwise-identical to sequential for this layout.
-            sharded = collect_segments_vec(
-                pool,
-                policy,
-                [np.random.default_rng(7 + i) for i in range(world.num_cities)],
+        sharded_s = None
+        for mode in ("sharded", "shard_parallel"):
+            pool = ShardedVecEnvPool(world.make_all_city_envs(), num_workers=workers)
+            try:
+                # The acceptance contract, re-proven inside the bench for
+                # this exact layout before the clock starts.
+                if mode == "sharded":
+                    collected = collect_segments_vec(
+                        pool, policy, make_rngs(world, 7)
+                    )
+                else:
+                    pool.sync_policy(policy)
+                    collected = pool.collect_rollouts(make_rngs(world, 7))
+                assert_segments_identical(
+                    seq_ref, collected, label=f"{name}/{mode}/workers={workers}"
+                )
+                rngs = make_rngs(world, 1000)
+                if mode == "sharded":
+                    best = _time_sharded(pool, policy, rngs, repeats)
+                else:
+                    best = _time_shard_parallel(pool, policy, rngs, repeats)
+            finally:
+                pool.close()
+            record = {
+                "mode": mode,
+                "num_workers": pool.num_workers,
+                "time_s": round(best, 6),
+                "speedup_vs_sequential": round(sequential_s / best, 3),
+                "speedup_vs_vectorized": round(vectorized_s / best, 3),
+                "throughput_user_steps_per_s": round(total_steps / best, 1),
+                "equivalent": True,
+            }
+            if mode == "sharded":
+                sharded_s = best
+                worker_records.append(
+                    {
+                        "num_workers": pool.num_workers,
+                        "sharded_s": round(best, 6),
+                        "speedup_vs_sequential": record["speedup_vs_sequential"],
+                        "speedup_vs_vectorized": record["speedup_vs_vectorized"],
+                        "throughput_user_steps_per_s": record[
+                            "throughput_user_steps_per_s"
+                        ],
+                        "equivalent": True,
+                    }
+                )
+            else:
+                record["speedup_vs_sharded"] = round(sharded_s / best, 3)
+            mode_records.append(record)
+            extra = (
+                f", {record['speedup_vs_sharded']:.2f}x vs sharded"
+                if mode == "shard_parallel"
+                else ""
             )
-            assert_identical(seq_ref, sharded, f"{name}/workers={workers}")
-            rngs = [np.random.default_rng(1000 + i) for i in range(world.num_cities)]
-            collect_segments_vec(pool, policy, rngs)  # warmup
-            times = []
-            for _ in range(repeats):
-                start = time.perf_counter()
-                collect_segments_vec(pool, policy, rngs)
-                times.append(time.perf_counter() - start)
-        finally:
-            pool.close()
-        best = min(times)
-        record = {
-            "num_workers": pool.num_workers,
-            "sharded_s": round(best, 6),
-            "speedup_vs_sequential": round(sequential_s / best, 3),
-            "speedup_vs_vectorized": round(vectorized_s / best, 3),
-            "throughput_user_steps_per_s": round(total_steps / best, 1),
-            "equivalent": True,
-        }
-        records.append(record)
-        print(
-            f"[{name}] workers={pool.num_workers}: {best:.3f}s "
-            f"-> {record['speedup_vs_sequential']:.2f}x vs sequential, "
-            f"{record['speedup_vs_vectorized']:.2f}x vs vectorized "
-            f"({record['throughput_user_steps_per_s']:.0f} user-steps/s)"
-        )
-    return records
+            print(
+                f"[{name}] {mode} workers={pool.num_workers}: {best:.3f}s "
+                f"-> {record['speedup_vs_sequential']:.2f}x vs sequential{extra} "
+                f"({record['throughput_user_steps_per_s']:.0f} user-steps/s)"
+            )
+    return {"workers": worker_records, "mode_sweep": mode_records}
 
 
 def main() -> None:
@@ -195,7 +271,7 @@ def main() -> None:
         "--workers",
         type=str,
         default=None,
-        help="comma-separated worker counts for the sharded sweep (default 1,2,4)",
+        help="comma-separated worker counts for the sharded sweeps (default 1,2,4)",
     )
     parser.add_argument(
         "--output",
@@ -230,13 +306,15 @@ def main() -> None:
     for name, config in scenarios:
         result = bench_scenario(name, config, repeats)
         if name in sweep_scenarios:
-            result["workers"] = bench_worker_sweep(
-                name,
-                config,
-                worker_counts,
-                repeats,
-                result["sequential_s"],
-                result["vectorized_s"],
+            result.update(
+                bench_mode_sweep(
+                    name,
+                    config,
+                    worker_counts,
+                    repeats,
+                    result["sequential_s"],
+                    result["vectorized_s"],
+                )
             )
         results.append(result)
     payload = {

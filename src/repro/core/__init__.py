@@ -1,6 +1,7 @@
 """The Sim2Rec core: SADAE, context-aware policy, filters, Algorithm 1."""
 
 from .config import (
+    ROLLOUT_MODES,
     Sim2RecConfig,
     dpr_paper_config,
     dpr_small_config,
@@ -27,6 +28,7 @@ from .trainer import (
 
 __all__ = [
     "PolicyTrainer",
+    "ROLLOUT_MODES",
     "SADAE",
     "SADAEConfig",
     "Sim2RecConfig",

@@ -11,8 +11,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
+from ..rl.parity import ROLLOUT_MODES
 from ..rl.ppo import PPOConfig
 from .sadae import SADAEConfig
+
+# Re-exported here for config consumers: the rollout collection modes
+# accepted by Sim2RecConfig.rollout_mode. All four are contractually
+# bit-identical for matched per-env noise streams (repro.rl.parity owns
+# the canonical tuple and the harness that proves it); they differ only
+# in throughput.
+__all__ = ["ROLLOUT_MODES", "Sim2RecConfig", "dpr_paper_config", "dpr_small_config", "lts_paper_config", "lts_small_config"]
 
 
 @dataclass
@@ -38,17 +46,29 @@ class Sim2RecConfig:
     # --- PPO (Eq. 4) -----------------------------------------------------
     ppo: PPOConfig = field(default_factory=PPOConfig)
     segments_per_iteration: int = 2
-    # Collect every iteration's segments through one VecEnvPool (one
-    # policy act per timestep for all sampled simulators) instead of
-    # rolling them out one by one. Same per-env dynamics; only the layout
-    # of the policy-noise streams differs (per-env spawned streams).
+    # How each iteration's segments are collected; one of ROLLOUT_MODES
+    # ("sequential" / "vectorized" / "sharded" / "shard_parallel") or
+    # None to derive the mode from the two legacy knobs below:
+    #   vectorized_rollouts=False            -> "sequential"
+    #   rollout_workers <= 1                 -> "vectorized"
+    #   rollout_workers  > 1                 -> "shard_parallel"
+    # "sharded" (workers step envs, the parent runs the policy) remains
+    # available explicitly; "shard_parallel" additionally runs a policy
+    # replica inside every worker so the whole act->step->record loop
+    # parallelises. All modes are bit-identical for a fixed config seed
+    # up to the sequential mode's noise-stream layout (the pooled modes
+    # spawn one child stream per env; "sequential" threads one stream
+    # through every env in sampling order).
+    rollout_mode: Optional[str] = None
+    # Legacy knob: False forces the sequential path when rollout_mode is
+    # None. Prefer rollout_mode="sequential".
     vectorized_rollouts: bool = True
-    # Shard each iteration's pooled rollouts across this many worker
-    # processes (repro.rl.workers.ShardedVecEnvPool) with overlapped
-    # stepping; bit-identical to the in-process pool for any value.
-    # 1 = in-process; auto-degrades to in-process when a rollout batch
-    # has a single env or the platform offers no multiprocessing start
-    # method. Worker processes are reused across iterations.
+    # Worker-process count for the sharded modes
+    # (repro.rl.workers.ShardedVecEnvPool); bit-identical to the
+    # in-process pool for any value. <= 1 = in-process; auto-degrades to
+    # in-process when a rollout batch has a single env or the platform
+    # offers no multiprocessing start method. Worker processes are
+    # reused across iterations.
     rollout_workers: int = 1
 
     # --- simulator-error countermeasures (Sec. IV-C) --------------------
@@ -62,6 +82,19 @@ class Sim2RecConfig:
     exec_tolerance: float = 0.02
 
     seed: int = 0
+
+    def resolved_rollout_mode(self) -> str:
+        """The effective collection mode (see :attr:`rollout_mode`)."""
+        mode = self.rollout_mode
+        if mode is None:
+            if not self.vectorized_rollouts:
+                return "sequential"
+            return "shard_parallel" if self.rollout_workers > 1 else "vectorized"
+        if mode not in ROLLOUT_MODES:
+            raise ValueError(
+                f"rollout_mode {mode!r} not in {ROLLOUT_MODES} (or None for auto)"
+            )
+        return mode
 
     def ablate_prediction_error_handling(self) -> "Sim2RecConfig":
         """Sim2Rec-PE: drop the uncertainty penalty and the T_c truncation."""

@@ -16,7 +16,7 @@ actually needs, exactly as the paper prescribes.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -60,6 +60,25 @@ class Sim2RecPolicy(RecurrentActorCritic):
         self._eval_rng = np.random.default_rng(0)
 
     # ------------------------------------------------------------------
+    # replica synchronisation
+    # ------------------------------------------------------------------
+    def extra_state(self) -> Dict[str, np.ndarray]:
+        """SADAE normaliser statistics ride along with the param broadcast.
+
+        The input/state/action standardisation arrays are plain buffers
+        (not Parameters), yet :meth:`_rollout_context` reads them on
+        every act — a shard-parallel replica that missed them would
+        embed with stale statistics and silently diverge bit-wise.
+        """
+        return {f"sadae_norm.{k}": v for k, v in self.sadae.normalizer_state().items()}
+
+    def load_extra_state(self, state: Dict[str, np.ndarray]) -> None:
+        prefix = "sadae_norm."
+        self.sadae.load_normalizer_state(
+            {k[len(prefix):]: v for k, v in state.items() if k.startswith(prefix)}
+        )
+
+    # ------------------------------------------------------------------
     # context hooks
     # ------------------------------------------------------------------
     def _rollout_context(self, states: np.ndarray, prev_actions: np.ndarray) -> np.ndarray:
@@ -67,6 +86,12 @@ class Sim2RecPolicy(RecurrentActorCritic):
         # stacked batch holds several groups (one block per env), so the
         # SADAE posterior product must run per block — mixing users across
         # cities would change every number.
+        #
+        # Shard-parallel ordering note: rollout-time υ is the posterior
+        # *mean* (`sadae.embed` draws no noise), so computing blocks on
+        # different workers cannot reorder any υ-draw stream; the sampled
+        # υ path (`_segment_context` with `_eval_rng`) runs only during
+        # parent-side PPO evaluation, segment by segment, in order.
         groups = self._rollout_groups or (slice(0, states.shape[0]),)
         context = np.empty((states.shape[0], self.context_dim))
         for block in groups:

@@ -17,6 +17,8 @@ environment sampler). :class:`Sim2RecLTSTrainer` and
 
 from __future__ import annotations
 
+import pickle
+import warnings
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -111,16 +113,35 @@ class PolicyTrainer:
         # worker-side state is synced back after each collection. Fresh-
         # env samplers (DPR) opt out to skip the transfer.
         self._sync_worker_envs = True
+        # shard_parallel needs the policy itself to cross the process
+        # boundary once; a policy that cannot be pickled (externally
+        # attached loggers, lambdas, ...) degrades to step-server
+        # sharding instead of failing the run (set on first failure).
+        self._replica_unpicklable = False
 
     def close(self) -> None:
-        """Release the rollout worker processes (idempotent)."""
-        if self._worker_pool is not None:
-            self._worker_pool.close()
-            self._worker_pool = None
-            self._worker_pool_key = None
+        """Release the rollout worker processes (idempotent, exception-safe).
+
+        The cached pool reference is dropped *before* its ``close()``
+        runs, so a teardown that raises (e.g. a worker that already
+        crashed) still leaves the trainer in the no-pool state and a
+        second ``close()`` is always a no-op.
+        """
+        pool, self._worker_pool = self._worker_pool, None
+        self._worker_pool_key = None
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "PolicyTrainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # Worker-pool plumbing ----------------------------------------------
     def _effective_workers(self, batch_size: int) -> int:
+        if self.config.resolved_rollout_mode() not in ("sharded", "shard_parallel"):
+            return 1
         workers = min(self.config.rollout_workers, batch_size)
         if workers <= 1 or not sharding_available():
             return 1  # in-process VecEnvPool path
@@ -133,9 +154,17 @@ class PolicyTrainer:
             envs[0].observation_dim,
             envs[0].action_dim,
         )
+        if self._worker_pool is not None and self._worker_pool.closed:
+            # A crash (WorkerCrashed / WorkerStepError / StaleReplicaError)
+            # closes the pool behind our back; drop the stale handle
+            # instead of feeding load_envs to dead workers.
+            self.close()
         if self._worker_pool is not None and key == self._worker_pool_key:
             self._worker_pool.load_envs(envs)
             return self._worker_pool
+        # Layout or worker count changed since the last collect: the old
+        # pool (processes + shared memory) must go before a new one
+        # replaces it.
         self.close()
         self._worker_pool = ShardedVecEnvPool(envs, num_workers=workers)
         self._worker_pool_key = key
@@ -144,16 +173,54 @@ class PolicyTrainer:
     def _collect_pooled(
         self, envs: List[MultiUserEnv], streams: List[np.random.Generator]
     ) -> List[RolloutSegment]:
-        """One pooled rollout round: sharded across workers when configured."""
+        """One pooled rollout round, dispatched on the resolved mode."""
         workers = self._effective_workers(len(envs))
         if workers <= 1:
+            if self._worker_pool is not None:
+                # rollout_workers (or the mode) changed to an in-process
+                # setting between collect() calls: the cached sharded
+                # pool would otherwise leak its worker processes.
+                self.close()
             return collect_segments_vec(
                 envs, self.policy, streams, max_steps=self.config.truncate_horizon
             )
         pool = self._sharded_pool(envs, workers)
-        segments = collect_segments_vec(
-            pool, self.policy, streams, max_steps=self.config.truncate_horizon
+        replicas = (
+            self.config.resolved_rollout_mode() == "shard_parallel"
+            and not self._replica_unpicklable
         )
+        if replicas:
+            # Full rollouts in the workers: broadcast this iteration's
+            # policy parameters once, then every shard runs its own
+            # act->step->record loop against its replica.
+            try:
+                pool.sync_policy(self.policy)
+            except (TypeError, AttributeError, pickle.PicklingError) as error:
+                if pool.replica_version != 0 or self.config.rollout_mode is not None:
+                    # A previously-syncable policy failing is a real bug,
+                    # and an *explicitly requested* shard_parallel mode
+                    # must be honoured or fail loudly — only the derived
+                    # default degrades.
+                    raise
+                warnings.warn(
+                    f"policy cannot be shipped to rollout workers ({error!r}); "
+                    "degrading to step-server sharding (rollout_mode='sharded') "
+                    "for the rest of this run",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                # Pickling fails before anything reaches a pipe, so the
+                # already-built pool is untouched and usable as-is.
+                self._replica_unpicklable = True
+                replicas = False
+        if replicas:
+            segments = pool.collect_rollouts(
+                streams, max_steps=self.config.truncate_horizon
+            )
+        else:
+            segments = collect_segments_vec(
+                pool, self.policy, streams, max_steps=self.config.truncate_horizon
+            )
         if self._sync_worker_envs:
             # Pull the advanced env state (RNG streams, episode state)
             # back into the parent's objects: samplers that reuse envs
@@ -173,22 +240,23 @@ class PolicyTrainer:
     def collect(self) -> Tuple[RolloutBuffer, List[float]]:
         """Sample simulators and roll the policy out in each (Alg. 1 l. 4–6).
 
-        With ``config.vectorized_rollouts`` the iteration's simulators are
-        sampled up front and driven together through a
-        :class:`~repro.rl.vec.VecEnvPool` — one ``policy.act`` per
-        timestep for the whole cross-city batch. Environments that cannot
-        share a pool (duplicate objects from samplers that reuse env
-        instances, or mismatched state/action dims) fall back to
-        additional pool rounds or the sequential path. With
-        ``config.rollout_workers > 1`` each pooled round is sharded
-        across reusable worker processes
-        (:class:`~repro.rl.workers.ShardedVecEnvPool`) with overlapped
-        stepping — bit-identical segments either way.
+        The collection path follows ``config.resolved_rollout_mode()``:
+        ``"sequential"`` rolls simulators one at a time; the pooled modes
+        sample the iteration's simulators up front and drive them
+        together through a :class:`~repro.rl.vec.VecEnvPool`
+        (``"vectorized"``), a step-server
+        :class:`~repro.rl.workers.ShardedVecEnvPool` with overlapped
+        stepping (``"sharded"``), or worker-side policy replicas running
+        the entire collection loop per shard (``"shard_parallel"``) —
+        bit-identical segments in every pooled mode. Environments that
+        cannot share a pool (duplicate objects from samplers that reuse
+        env instances, or mismatched state/action dims) fall back to
+        additional pool rounds or the sequential path.
         """
         config = self.config
         buffer = RolloutBuffer()
         raw_rewards: List[float] = []
-        if not config.vectorized_rollouts or self._sequential_collect:
+        if config.resolved_rollout_mode() == "sequential" or self._sequential_collect:
             for _ in range(config.segments_per_iteration):
                 env = self.env_sampler(self.rng)
                 segment = collect_segment(

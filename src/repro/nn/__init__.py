@@ -20,7 +20,7 @@ from .layers import ACTIVATIONS, Embedding, LayerNorm, Linear, MLP, get_activati
 from .module import Module, Parameter
 from .optim import Adam, LinearLRSchedule, Optimizer, SGD, clip_grad_norm
 from .recurrent import GRUCell, LSTM, LSTMCell
-from .serialization import load_module, save_module
+from .serialization import load_module, save_module, state_from_bytes, state_to_bytes
 from .tensor import (
     Tensor,
     affine,
@@ -71,6 +71,8 @@ __all__ = [
     "save_module",
     "softmax",
     "stack",
+    "state_from_bytes",
+    "state_to_bytes",
     "tile_rows",
     "where",
 ]

@@ -1,9 +1,20 @@
-"""Save / load module parameters as ``.npz`` archives."""
+"""Save / load module parameters as ``.npz`` archives.
+
+Two transports share the same archive format:
+
+- :func:`save_module` / :func:`load_module` — on-disk checkpoints;
+- :func:`state_to_bytes` / :func:`state_from_bytes` — in-memory archives
+  used for the per-iteration policy-parameter broadcast to rollout
+  workers (:meth:`repro.rl.workers.ShardedVecEnvPool.sync_policy`).
+  The byte payload is a plain npz (no pickled objects), so a replica
+  that round-trips through it reproduces the source arrays bit for bit.
+"""
 
 from __future__ import annotations
 
+import io
 import os
-from typing import Union
+from typing import Dict, Union
 
 import numpy as np
 
@@ -24,3 +35,22 @@ def load_module(module: Module, path: PathLike) -> None:
     with np.load(path) as archive:
         state = {key: archive[key] for key in archive.files}
     module.load_state_dict(state)
+
+
+def state_to_bytes(state: Dict[str, np.ndarray]) -> bytes:
+    """Serialise a name → array mapping to an in-memory npz archive.
+
+    Values round-trip losslessly through :func:`state_from_bytes`; no
+    pickling is involved, so the payload is safe to ship across process
+    boundaries and its size is a faithful measure of the parameter
+    volume being broadcast.
+    """
+    buffer = io.BytesIO()
+    np.savez(buffer, **{key: np.asarray(value) for key, value in state.items()})
+    return buffer.getvalue()
+
+
+def state_from_bytes(payload: bytes) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`state_to_bytes`."""
+    with np.load(io.BytesIO(payload), allow_pickle=False) as archive:
+        return {key: archive[key] for key in archive.files}

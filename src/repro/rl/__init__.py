@@ -4,20 +4,29 @@ from .buffer import RolloutBuffer, RolloutSegment
 from .gae import compute_gae, valid_step_mask
 from .policies import ActorCriticBase, MLPActorCritic, RecurrentActorCritic
 from .ppo import PPO, PPOConfig
-from .runner import collect_segment
+from .runner import collect_segment, collect_segments_sequential
 from .vec import (
     BlockRNG,
     ShardableVecPool,
     VecEnvPool,
+    assemble_segments,
     collect_segments_vec,
     evaluate_policy_vec,
     split_rng,
 )
 from .workers import (
     ShardedVecEnvPool,
+    StaleReplicaError,
     WorkerCrashed,
     WorkerStepError,
+    collect_segments_shard_parallel,
     sharding_available,
+)
+from .parity import (
+    ROLLOUT_MODES,
+    assert_segments_identical,
+    collect_rollout_mode,
+    verify_rollout_parity,
 )
 
 __all__ = [
@@ -26,19 +35,27 @@ __all__ = [
     "MLPActorCritic",
     "PPO",
     "PPOConfig",
+    "ROLLOUT_MODES",
     "RecurrentActorCritic",
     "RolloutBuffer",
     "RolloutSegment",
     "ShardableVecPool",
     "ShardedVecEnvPool",
+    "StaleReplicaError",
     "VecEnvPool",
     "WorkerCrashed",
     "WorkerStepError",
+    "assemble_segments",
+    "assert_segments_identical",
+    "collect_rollout_mode",
     "collect_segment",
+    "collect_segments_sequential",
+    "collect_segments_shard_parallel",
     "collect_segments_vec",
     "compute_gae",
     "evaluate_policy_vec",
     "sharding_available",
     "split_rng",
     "valid_step_mask",
+    "verify_rollout_parity",
 ]

@@ -22,7 +22,7 @@ Both expose the same rollout/update interface consumed by
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -60,6 +60,46 @@ class ActorCriticBase(nn.Module):
         deterministic: bool = False,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # replica synchronisation (shard-parallel rollout workers)
+    # ------------------------------------------------------------------
+    def extra_state(self) -> Dict[str, np.ndarray]:
+        """Non-parameter arrays a rollout replica needs to act faithfully.
+
+        ``state_dict`` only covers :class:`~repro.nn.module.Parameter`
+        tensors; policies whose forward pass also reads plain-array
+        buffers (e.g. the SADAE input normaliser of
+        :class:`~repro.core.policy.Sim2RecPolicy`) override this so the
+        per-iteration parameter broadcast carries them too. Values must
+        be plain numpy arrays (the broadcast is pickle-free).
+        """
+        return {}
+
+    def load_extra_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`extra_state` (no-op by default)."""
+
+    def replica_state(self) -> Dict[str, np.ndarray]:
+        """Everything a worker-side replica must load each iteration.
+
+        One flat name → array mapping: ``param.*`` entries are the
+        ``state_dict`` and ``extra.*`` entries the :meth:`extra_state`
+        buffers. Serialised with :func:`repro.nn.state_to_bytes` for the
+        delta-free broadcast; loading it via :meth:`load_replica_state`
+        makes the replica's forward pass bit-identical to the source
+        policy's (same bytes in every weight and buffer).
+        """
+        state = {f"param.{k}": v for k, v in self.state_dict().items()}
+        for key, value in self.extra_state().items():
+            state[f"extra.{key}"] = np.asarray(value)
+        return state
+
+    def load_replica_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Load a :meth:`replica_state` mapping into this policy."""
+        params = {k[len("param."):]: v for k, v in state.items() if k.startswith("param.")}
+        extra = {k[len("extra."):]: v for k, v in state.items() if k.startswith("extra.")}
+        self.load_state_dict(params)
+        self.load_extra_state(extra)
 
     def evaluate_segment(
         self, segment: RolloutSegment, user_idx: np.ndarray

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -27,6 +27,29 @@ def collect_segment(
     """
     with no_grad():
         return _collect_segment_impl(env, policy, rng, max_steps, extras_from_info)
+
+
+def collect_segments_sequential(
+    envs: Sequence[MultiUserEnv],
+    policy: ActorCriticBase,
+    rngs: Sequence[np.random.Generator],
+    max_steps: Optional[int] = None,
+    extras_from_info: tuple[str, ...] = (),
+) -> List[RolloutSegment]:
+    """Roll ``policy`` out env by env — the canonical reference loop.
+
+    This is the semantics every batched/sharded collection mode must
+    bit-reproduce (see :mod:`repro.rl.parity`); each env consumes its own
+    policy-noise generator, exactly one per env, in env order.
+    """
+    if len(rngs) != len(envs):
+        raise ValueError(f"expected {len(envs)} generators, got {len(rngs)}")
+    return [
+        collect_segment(
+            env, policy, rng, max_steps=max_steps, extras_from_info=extras_from_info
+        )
+        for env, rng in zip(envs, rngs)
+    ]
 
 
 def _collect_segment_impl(

@@ -477,11 +477,45 @@ def _collect_impl(
         "log_probs": np.stack(seq_log_probs),
     }
     stacked_extras = {key: np.stack(value) for key, value in seq_extras.items()}
+    return assemble_segments(
+        stacked, stacked_extras, lengths, last_values, pool.slices, pool.group_id
+    )
 
+
+TRAJECTORY_FIELDS = (
+    "states",
+    "prev_actions",
+    "actions",
+    "rewards",
+    "dones",
+    "values",
+    "log_probs",
+)
+
+
+def assemble_segments(
+    stacked: Dict[str, np.ndarray],
+    stacked_extras: Dict[str, np.ndarray],
+    lengths: Sequence[Optional[int]],
+    last_values: Sequence[Optional[np.ndarray]],
+    slices: Sequence[slice],
+    group_ids: Sequence[Any],
+) -> List[RolloutSegment]:
+    """Slice per-env :class:`RolloutSegment` objects out of stacked arrays.
+
+    ``stacked`` holds one time-major ``[T, total_users, ...]`` array per
+    :data:`TRAJECTORY_FIELDS` entry; env ``k`` owns user rows
+    ``slices[k]`` and its first ``lengths[k]`` timesteps (rows past an
+    env's own end are ignored — they may be unwritten scratch, e.g. the
+    shared-memory trajectory buffers of shard-parallel collection).
+    Shared by the in-process collector (:func:`collect_segments_vec`) and
+    the shard-parallel parent
+    (:meth:`repro.rl.workers.ShardedVecEnvPool.collect_rollouts`), so
+    both paths cut and copy segments with exactly the same code.
+    """
     segments: List[RolloutSegment] = []
-    group_ids = list(pool.group_id)
     for index, gid in enumerate(group_ids):
-        block = pool.slices[index]
+        block = slices[index]
         steps = lengths[index]
         segments.append(
             RolloutSegment(
@@ -492,7 +526,7 @@ def _collect_impl(
                 dones=stacked["dones"][:steps, block].copy(),
                 values=stacked["values"][:steps, block].copy(),
                 log_probs=stacked["log_probs"][:steps, block].copy(),
-                last_values=last_values[index],
+                last_values=np.array(last_values[index], dtype=np.float64),
                 group_id=gid,
                 extras={
                     key: value[:steps, block].copy()

@@ -2,10 +2,21 @@
 
 PR 1's block-diagonal pool drives every city with one ``policy.act`` per
 timestep, but all env stepping still runs on one core. This module shards
-the member envs of a pool across N worker processes so env transitions
-run in parallel with each other — and, in the overlapped mode of
-:func:`~repro.rl.vec.collect_segments_vec`, in parallel with the parent's
-per-step recording work.
+the member envs of a pool across N worker processes, in two modes:
+
+- **step-server mode** (PR 3): workers run env transitions only; the
+  policy forward stays in the parent, optionally overlapped with the
+  parent's per-step recording work via ``step_async`` / ``step_wait``.
+  Speedup is bounded by the env-step fraction of collection time.
+- **shard-parallel full rollouts** (this PR): the parent broadcasts a
+  policy replica to every worker (:meth:`ShardedVecEnvPool.sync_policy`,
+  version-stamped, delta-free ``state_dict`` sync through
+  :mod:`repro.nn.serialization`), and
+  :meth:`ShardedVecEnvPool.collect_rollouts` moves the entire
+  act → step → record inner loop into the workers — each shard rolls its
+  own envs with its own policy replica and writes finished trajectory
+  arrays into a shared-memory block, so the *whole* collection
+  parallelises, not just env stepping.
 
 Process model
 -------------
@@ -23,42 +34,62 @@ Process model
   one ``multiprocessing.shared_memory`` block, double-buffered (two
   slots, alternating per step). Workers write their shard's rows in
   place; per-step pipe traffic is only the lightweight control message
-  and the info dicts.
-- **Overlap**: ``step_async`` writes the stacked actions into the
-  current slot and signals all workers; ``step_wait`` blocks for their
-  replies and returns *views* into that slot. Because consecutive steps
-  alternate slots, a view from step t stays valid while step t+1 is in
-  flight — the window the overlapped collector uses to copy step t's
-  observations into the trajectory while the envs already advance.
+  and the info dicts. Full rollouts use a second, time-major trajectory
+  segment (states/prev_actions/actions/rewards/dones/values/log_probs
+  ``[T, total_users, ...]`` plus bootstrap values ``[total_users]``),
+  sized to the longest member budget and grown on demand; per-rollout
+  pipe traffic is one command and one reply per worker.
+- **Param mailbox**: ``sync_policy`` ships the policy object once
+  (structure + weights) and thereafter only the serialized
+  ``replica_state`` archive (full parameters every time — delta-free, so
+  a worker can never be a partial update behind). Every broadcast bumps
+  a version stamp; every ``collect_rollouts`` command carries the stamp
+  it expects, and a worker whose replica is stale answers with a
+  distinct reply that raises :class:`StaleReplicaError` in the parent
+  instead of silently rolling out old weights.
 
 Determinism contract
 --------------------
 Sharding is semantics-preserving **by construction**, for any shard
-layout and worker count:
+layout and worker count, in both modes:
 
 - each member env steps with its own internal RNG, and that RNG's state
   travels with the env into the worker — the same draws happen in the
   same order as in-process;
-- policy sampling noise is drawn in the parent through
+- policy sampling noise is drawn through
   :class:`~repro.rl.vec.BlockRNG`, whose per-env streams are pinned to
-  env identity (slice order), not to shard placement;
-- group context is computed per block via ``set_rollout_groups`` on the
-  parent's stacked batch, which is byte-identical to the in-process
-  stacked batch.
+  env identity (slice order), not to shard placement. In step-server
+  mode the parent draws; in shard-parallel mode each worker draws from
+  exactly the generators of its own envs (shipped with the command,
+  advanced states returned), so every env consumes the same stream
+  either way;
+- group context is computed per block via ``set_rollout_groups`` —
+  on the parent's stacked batch in step-server mode, on the shard-local
+  stacked batch in the workers — and a block's rows never mix with
+  another env's;
+- replica forwards equal parent forwards row for row: the nn engine's
+  row-stable matmul contract makes a forward over a shard's rows
+  bit-identical to the same rows of the full stacked forward, and the
+  replica's weights are byte-equal to the parent's (npz round-trip).
 
-Hence ``collect_segments_vec(ShardedVecEnvPool(envs, W), ...)`` is
-bit-identical to ``collect_segments_vec(VecEnvPool(envs), ...)`` — and
-therefore to the sequential per-env ``collect_segment`` loop — for every
-W. Enforced by ``tests/rl/test_workers.py`` and re-verified inside
-``benchmarks/perf_rollout.py`` before any timing is reported.
+Hence ``collect_segments_vec(ShardedVecEnvPool(envs, W), ...)`` *and*
+``ShardedVecEnvPool(envs, W).collect_rollouts(...)`` are bit-identical
+to ``collect_segments_vec(VecEnvPool(envs), ...)`` — and therefore to
+the sequential per-env ``collect_segment`` loop — for every W. Enforced
+by ``tests/rl/test_rollout_parity.py`` (one harness over all modes) and
+re-verified inside ``benchmarks/perf_rollout.py`` before any timing is
+reported.
 
 Failure handling
 ----------------
 Workers ignore SIGINT (the parent coordinates shutdown), crashes are
 detected by liveness-checked pipe polls (a dead worker raises
-:class:`WorkerCrashed` in the parent instead of hanging), env exceptions
-are forwarded as :class:`WorkerStepError` with their worker-side
-traceback — both close the pool before propagating — and the
+:class:`WorkerCrashed` in the parent instead of hanging, including mid
+param-broadcast), env exceptions are forwarded as
+:class:`WorkerStepError` with their worker-side traceback, stale
+replicas raise :class:`StaleReplicaError` — each closes the pool before
+propagating — an oversized ``replica_state`` raises ``ValueError``
+before anything is sent (the pool stays usable), and every
 shared-memory segment is unlinked on ``close()``, on garbage collection
 and on interpreter exit.
 """
@@ -71,12 +102,24 @@ import time
 import traceback
 import weakref
 from multiprocessing import shared_memory
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..envs.base import MultiUserEnv
-from .vec import ShardableVecPool, VecEnvPool, validate_pool_members
+from ..nn.serialization import state_from_bytes, state_to_bytes
+from .buffer import RolloutSegment
+from .policies import ActorCriticBase
+from .vec import (
+    RNGLike,
+    BlockRNG,
+    ShardableVecPool,
+    VecEnvPool,
+    assemble_segments,
+    collect_segments_vec,
+    split_rng,
+    validate_pool_members,
+)
 
 
 class WorkerCrashed(RuntimeError):
@@ -90,6 +133,22 @@ class WorkerStepError(RuntimeError):
     propagates: after an env exception the worker's sub-pool state (and
     the step protocol) is unreliable, so the pool refuses further use.
     """
+
+
+class StaleReplicaError(RuntimeError):
+    """A worker's policy replica version differs from the one requested.
+
+    Raised by :meth:`ShardedVecEnvPool.collect_rollouts` when a worker
+    reports a replica version stamp other than the one the parent's last
+    :meth:`~ShardedVecEnvPool.sync_policy` established — rolling out
+    with silently-stale weights would corrupt training, so the pool is
+    closed before this propagates.
+    """
+
+
+#: Worker-side errors that invalidate the pool (protocol desync or
+#: unreliable worker state) — callers close before propagating them.
+_POOL_ERRORS = (WorkerCrashed, WorkerStepError, StaleReplicaError)
 
 
 def sharding_available(start_method: Optional[str] = None) -> bool:
@@ -155,6 +214,45 @@ class _Layout:
         return (self.num_users, self.obs_dim, self.act_dim)
 
 
+class _TrajLayout:
+    """Offsets of the time-major trajectory arrays inside one shm segment.
+
+    One ``[T, total_users, ...]`` array per
+    :data:`repro.rl.vec.TRAJECTORY_FIELDS` entry plus the ``[total_users]``
+    bootstrap values; each worker writes its shard's user rows for its
+    envs' own step counts, the parent slices per-env segments back out.
+    """
+
+    def __init__(self, horizon: int, num_users: int, obs_dim: int, act_dim: int):
+        self.horizon = horizon
+        self.num_users = num_users
+        self.obs_dim = obs_dim
+        self.act_dim = act_dim
+        f8 = np.dtype(np.float64).itemsize
+        per_user = obs_dim + 2 * act_dim + 4  # states + prev/actions + 4 scalars
+        self.size = (horizon * num_users * per_user + num_users) * f8
+
+    def views(self, buf) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+        t, u, od, ad = self.horizon, self.num_users, self.obs_dim, self.act_dim
+        f8 = np.dtype(np.float64).itemsize
+        offset = 0
+        stacked: Dict[str, np.ndarray] = {}
+        for field, dim in (
+            ("states", od),
+            ("prev_actions", ad),
+            ("actions", ad),
+            ("rewards", 0),
+            ("dones", 0),
+            ("values", 0),
+            ("log_probs", 0),
+        ):
+            shape = (t, u, dim) if dim else (t, u)
+            stacked[field] = np.ndarray(shape, dtype=np.float64, buffer=buf, offset=offset)
+            offset += int(np.prod(shape)) * f8
+        last_values = np.ndarray((u,), dtype=np.float64, buffer=buf, offset=offset)
+        return stacked, last_values
+
+
 def _attach_untracked(name: str) -> shared_memory.SharedMemory:
     """Attach to an existing segment without registering it for cleanup.
 
@@ -183,15 +281,25 @@ def _worker_main(
     rows: Tuple[int, int],
     envs: List[MultiUserEnv],
 ) -> None:
-    """Worker loop: serve reset/step/load/fetch/close over the pipe.
+    """Worker loop: serve reset/step/replica/rollout/load/fetch/close.
 
     The shard is wrapped in an in-process :class:`VecEnvPool`, so done
     masking, step budgets and native batch steppers behave exactly as in
-    the single-process pool. SIGINT is ignored — on Ctrl-C the parent
-    coordinates shutdown and reaps the workers.
+    the single-process pool. The ``replica`` command is the param
+    mailbox (policy structure once, then version-stamped state archives)
+    and ``rollout`` runs the full act → step → record loop for the shard
+    through :func:`~repro.rl.vec.collect_segments_vec` — the same
+    collector the parent would run, just over the shard's rows. SIGINT
+    is ignored — on Ctrl-C the parent coordinates shutdown and reaps the
+    workers.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     shm = _attach_untracked(shm_name)
+    traj_shm: Optional[shared_memory.SharedMemory] = None
+    traj_views: Optional[Tuple[Dict[str, np.ndarray], np.ndarray]] = None
+    traj_name: Optional[str] = None
+    replica: Optional[ActorCriticBase] = None
+    replica_version = 0
     try:
         layout = _Layout(*layout_spec)
         obs, act, rew, done = layout.views(shm.buf)
@@ -222,6 +330,57 @@ def _worker_main(
                             pool.env_steps.tolist(),
                         )
                     )
+                elif kind == "replica":
+                    payload = command[1]
+                    if payload["policy"] is not None:
+                        replica = payload["policy"]
+                    elif replica is None:
+                        raise RuntimeError(
+                            "received a state-only policy broadcast before any "
+                            "policy structure"
+                        )
+                    else:
+                        _load_replica_bytes(replica, payload["state"])
+                    replica_version = payload["version"]
+                    conn.send(("ok", replica_version))
+                elif kind == "rollout":
+                    payload = command[1]
+                    if replica is None or payload["version"] != replica_version:
+                        conn.send(("stale", replica_version, payload["version"]))
+                        continue
+                    name, capacity = payload["traj"]
+                    if traj_name != name:
+                        traj_views = None
+                        if traj_shm is not None:
+                            traj_shm.close()
+                        traj_shm = _attach_untracked(name)
+                        traj_name = name
+                        traj_layout = _TrajLayout(capacity, *layout_spec)
+                        traj_views = traj_layout.views(traj_shm.buf)
+                    stacked, last_values = traj_views
+                    rngs = payload["rngs"]
+                    pool.max_steps = payload["max_steps"]
+                    segments = collect_segments_vec(
+                        pool,
+                        replica,
+                        rngs,
+                        extras_from_info=payload["extras"],
+                        overlap=False,
+                    )
+                    for segment, local in zip(segments, pool.slices):
+                        block = slice(lo + local.start, lo + local.stop)
+                        steps = segment.horizon
+                        for field in stacked:
+                            stacked[field][:steps, block] = getattr(segment, field)
+                        last_values[block] = segment.last_values
+                    conn.send(
+                        (
+                            "ok",
+                            [segment.horizon for segment in segments],
+                            [segment.extras for segment in segments],
+                            [rng.bit_generator.state for rng in rngs],
+                        )
+                    )
                 elif kind == "load":
                     pool = VecEnvPool(command[1])
                     conn.send(("ok",))
@@ -238,16 +397,44 @@ def _worker_main(
                 except (OSError, BrokenPipeError):  # parent already gone
                     break
     finally:
-        obs = act = rew = done = None
-        try:
-            shm.close()
-        except BufferError:  # pragma: no cover - lingering views
-            pass
+        obs = act = rew = done = traj_views = None
+        for segment in (shm, traj_shm):
+            if segment is None:
+                continue
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - lingering views
+                pass
         conn.close()
 
 
-def _cleanup(procs, conns, shm) -> None:
-    """Idempotent teardown shared by close(), GC and interpreter exit."""
+def _replica_state(policy: ActorCriticBase) -> Dict[str, np.ndarray]:
+    """A policy's full replica state (params + extra buffers), flat."""
+    if hasattr(policy, "replica_state"):
+        return policy.replica_state()
+    # plain Module: parameters only
+    return {f"param.{key}": value for key, value in policy.state_dict().items()}
+
+
+def _load_replica_bytes(replica: ActorCriticBase, payload: bytes) -> None:
+    """Load a serialized replica-state archive into a worker's replica."""
+    state = state_from_bytes(payload)
+    if hasattr(replica, "load_replica_state"):
+        replica.load_replica_state(state)
+    else:
+        replica.load_state_dict(
+            {k[len("param."):]: v for k, v in state.items() if k.startswith("param.")}
+        )
+
+
+def _cleanup(procs, conns, shms) -> None:
+    """Idempotent teardown shared by close(), GC and interpreter exit.
+
+    ``shms`` is the pool's *mutable* segment list — the trajectory
+    segment of full-rollout mode is allocated (and possibly regrown)
+    after the finalizer is registered, so the finalizer holds the list,
+    not a snapshot of it.
+    """
     for conn in conns:
         try:
             conn.send(("close",))
@@ -265,17 +452,18 @@ def _cleanup(procs, conns, shm) -> None:
             conn.close()
         except OSError:
             pass
-    try:
-        shm.close()
-    except BufferError:
-        # Someone still holds a view into the segment; the memory is
-        # reclaimed when the last view dies. Unlinking below still
-        # removes the named segment (no leak in /dev/shm).
-        pass
-    try:
-        shm.unlink()
-    except FileNotFoundError:
-        pass
+    for shm in shms:
+        try:
+            shm.close()
+        except BufferError:
+            # Someone still holds a view into the segment; the memory is
+            # reclaimed when the last view dies. Unlinking below still
+            # removes the named segment (no leak in /dev/shm).
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
 
 
 class ShardedVecEnvPool(ShardableVecPool):
@@ -285,17 +473,22 @@ class ShardedVecEnvPool(ShardableVecPool):
     shardable-pool protocol is consumed (``collect_segments_vec``,
     ``evaluate_policy_vec``, ``evaluate_policy``); additionally exposes
     ``step_async`` / ``step_wait`` so the collector can overlap env
-    stepping with its own per-step work, ``load_envs`` to reuse the
-    worker processes for a fresh env set of identical layout (amortising
-    process startup across training iterations), and
+    stepping with its own per-step work, the shard-parallel full-rollout
+    pair :meth:`sync_policy` / :meth:`collect_rollouts` (policy replicas
+    act in the workers; see the module docstring), ``load_envs`` to
+    reuse the worker processes for a fresh env set of identical layout
+    (amortising process startup across training iterations), and
     ``fetch_member_envs`` to pull the advanced env states back into the
     parent (training loops that reuse env objects across iterations stay
     bit-identical to in-process collection).
 
     ``num_workers`` is clamped to the number of envs; 0/1 workers still
     run a (single) subprocess — use :class:`VecEnvPool` for the
-    in-process path. The pool is a context manager; ``close()`` is
-    idempotent and also runs on GC and interpreter exit.
+    in-process path. ``max_param_bytes`` bounds the serialized policy
+    state a single :meth:`sync_policy` broadcast may ship (a guard
+    against accidentally pushing a giant model through the pipes every
+    iteration). The pool is a context manager; ``close()`` is idempotent
+    and also runs on GC and interpreter exit.
     """
 
     def __init__(
@@ -304,6 +497,7 @@ class ShardedVecEnvPool(ShardableVecPool):
         num_workers: int = 2,
         max_steps: Optional[int] = None,
         start_method: Optional[str] = None,
+        max_param_bytes: int = 256 * 1024 * 1024,
     ):
         self.slices = validate_pool_members(envs)
         first = envs[0]
@@ -325,6 +519,16 @@ class ShardedVecEnvPool(ShardableVecPool):
         self._layout = _Layout(self.num_users, first.observation_dim, first.action_dim)
         self._shm = shared_memory.SharedMemory(create=True, size=self._layout.size)
         self._obs, self._act, self._rew, self._done = self._layout.views(self._shm.buf)
+        # Mutable segment list shared with the finalizer: the trajectory
+        # segment joins it lazily on the first collect_rollouts().
+        self._shm_segments: List[shared_memory.SharedMemory] = [self._shm]
+        self._traj_shm: Optional[shared_memory.SharedMemory] = None
+        self._traj_capacity = 0
+        self._traj_stacked: Optional[Dict[str, np.ndarray]] = None
+        self._traj_last: Optional[np.ndarray] = None
+        self.max_param_bytes = int(max_param_bytes)
+        self._replica_version = 0
+        self._replica_signature: Optional[tuple] = None
 
         ctx = mp.get_context(method)
         self._procs: List[Any] = []
@@ -352,7 +556,7 @@ class ShardedVecEnvPool(ShardableVecPool):
             # A failed spawn (e.g. unpicklable envs under the spawn start
             # method) must not leak the segment or the workers already up.
             self._obs = self._act = self._rew = self._done = None
-            _cleanup(self._procs, self._conns, self._shm)
+            _cleanup(self._procs, self._conns, self._shm_segments)
             raise
 
         self._active = np.zeros(len(envs), dtype=bool)
@@ -361,7 +565,7 @@ class ShardedVecEnvPool(ShardableVecPool):
         self._pending_slot: Optional[int] = None
         self._closed = False
         self._finalizer = weakref.finalize(
-            self, _cleanup, self._procs, self._conns, self._shm
+            self, _cleanup, self._procs, self._conns, self._shm_segments
         )
 
     # ------------------------------------------------------------------
@@ -426,6 +630,13 @@ class ShardedVecEnvPool(ShardableVecPool):
             raise WorkerStepError(
                 f"rollout worker {worker} raised:\n{message[1]}"
             )
+        if message[0] == "stale":
+            raise StaleReplicaError(
+                f"rollout worker {worker} holds policy replica version "
+                f"{message[1]} but the parent requested {message[2]}; "
+                "sync_policy() and the collect must not be interleaved with "
+                "another broadcast — the pool has been closed"
+            )
         return message
 
     def _send_all(self, commands: Sequence[Any]) -> None:
@@ -449,7 +660,7 @@ class ShardedVecEnvPool(ShardableVecPool):
         try:
             for worker in range(len(self._conns)):
                 replies.append(self._recv(worker))
-        except (WorkerCrashed, WorkerStepError):
+        except _POOL_ERRORS:
             self.close()
             raise
         return replies
@@ -490,7 +701,7 @@ class ShardedVecEnvPool(ShardableVecPool):
                 infos[shard] = per_env
                 self._active[shard] = active
                 self._steps[shard] = steps
-        except (WorkerCrashed, WorkerStepError):
+        except _POOL_ERRORS:
             # Either way the step protocol is desynchronised (later
             # workers' replies are still queued, the failing worker's
             # sub-pool state is unreliable) — tear the pool down rather
@@ -507,6 +718,174 @@ class ShardedVecEnvPool(ShardableVecPool):
         self.step_async(actions)
         states, rewards, dones, info = self.step_wait()
         return states.copy(), rewards.copy(), dones.copy(), info
+
+    # ------------------------------------------------------------------
+    # shard-parallel full rollouts: replica sync + worker-side collection
+    # ------------------------------------------------------------------
+    @property
+    def replica_version(self) -> int:
+        """Version stamp of the last successful :meth:`sync_policy` (0 = none)."""
+        return self._replica_version
+
+    def sync_policy(self, policy: ActorCriticBase) -> int:
+        """Broadcast ``policy`` to every worker; returns the version stamp.
+
+        The first broadcast (or any broadcast after the replica *shape*
+        changed) ships the pickled policy object; subsequent broadcasts
+        ship only the serialized ``replica_state`` archive — the full
+        parameter set every time, so a replica can never be a partial
+        delta behind the parent. Raises ``ValueError`` before anything
+        is sent when the archive exceeds ``max_param_bytes`` (the pool
+        stays open and usable), and the usual pool errors
+        (:class:`WorkerCrashed` / :class:`WorkerStepError`) when a
+        worker dies or rejects the broadcast mid-way (the pool is closed
+        first — no hang, shared memory unlinked).
+        """
+        self._check_open()
+        state = _replica_state(policy)
+        payload = state_to_bytes(state)
+        if len(payload) > self.max_param_bytes:
+            raise ValueError(
+                f"policy replica state is {len(payload)} bytes, over this "
+                f"pool's max_param_bytes={self.max_param_bytes}; raise the "
+                "limit if broadcasting a model this large every iteration is "
+                "intentional"
+            )
+        signature = tuple(sorted((key, value.shape) for key, value in state.items()))
+        version = self._replica_version + 1
+        if signature == self._replica_signature:
+            command = ("replica", {"policy": None, "state": payload, "version": version})
+        else:  # structure changed (or first sync): ship the object itself
+            command = ("replica", {"policy": policy, "state": None, "version": version})
+        self._broadcast(command)
+        self._replica_version = version
+        self._replica_signature = signature
+        return version
+
+    def _ensure_traj(self, capacity: int) -> str:
+        """Allocate (or grow) the shared trajectory segment; returns its name."""
+        if self._traj_shm is None or capacity > self._traj_capacity:
+            if self._traj_shm is not None:
+                self._traj_stacked = self._traj_last = None
+                stale = self._traj_shm
+                self._shm_segments.remove(stale)
+                try:
+                    stale.close()
+                except BufferError:  # pragma: no cover - lingering views
+                    pass
+                try:
+                    stale.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+            layout = _TrajLayout(capacity, *self._layout.spec())
+            self._traj_shm = shared_memory.SharedMemory(create=True, size=layout.size)
+            self._shm_segments.append(self._traj_shm)
+            self._traj_capacity = capacity
+            self._traj_stacked, self._traj_last = layout.views(self._traj_shm.buf)
+        return self._traj_shm.name
+
+    def _as_env_rngs(
+        self, rng: RNGLike
+    ) -> Tuple[List[np.random.Generator], Optional[List[np.random.Generator]]]:
+        """Per-env generators plus the caller-owned objects to sync back.
+
+        Mirrors :func:`repro.rl.vec._as_block_rng`: a single generator is
+        split into per-env child streams (the children are transient, so
+        nothing is synced back — exactly the vectorized-path semantics);
+        an explicit sequence or a :class:`~repro.rl.vec.BlockRNG` hands
+        over caller-owned generators whose advanced states are copied
+        back after collection, preserving multi-episode stream
+        continuity.
+        """
+        if isinstance(rng, BlockRNG):
+            rngs = list(rng.rngs)
+            owners: Optional[List[np.random.Generator]] = rngs
+        elif isinstance(rng, np.random.Generator):
+            rngs = split_rng(rng, self.num_envs)
+            owners = None
+        else:
+            rngs = list(rng)
+            owners = rngs
+        if len(rngs) != self.num_envs:
+            raise ValueError(f"expected {self.num_envs} generators, got {len(rngs)}")
+        return rngs, owners
+
+    def collect_rollouts(
+        self,
+        rng: RNGLike,
+        max_steps: Optional[int] = None,
+        extras_from_info: Tuple[str, ...] = (),
+    ) -> List[RolloutSegment]:
+        """Run the full act → step → record loop inside every worker.
+
+        Each worker rolls its shard with its policy replica (one
+        :func:`~repro.rl.vec.collect_segments_vec` over the shard-local
+        sub-pool), writes the finished trajectory arrays into the shared
+        trajectory segment, and replies with per-env lengths, extras and
+        advanced RNG states; the parent then cuts per-env
+        :class:`~repro.rl.buffer.RolloutSegment` objects out of the
+        shared arrays via :func:`~repro.rl.vec.assemble_segments`.
+        Bit-identical to the step-server and in-process paths (module
+        docstring); requires a prior :meth:`sync_policy`.
+        """
+        self._check_open()
+        if self._pending_slot is not None:
+            raise RuntimeError("collect_rollouts() during an in-flight step_async()")
+        if self._replica_version == 0:
+            raise RuntimeError(
+                "collect_rollouts() needs a policy replica: call sync_policy() first"
+            )
+        if max_steps is None:
+            max_steps = self.max_steps
+        rngs, owners = self._as_env_rngs(rng)
+        capacity = max(max_steps or horizon for horizon in self._horizons)
+        traj_name = self._ensure_traj(capacity)
+        commands = []
+        for shard in self._shards:
+            commands.append(
+                (
+                    "rollout",
+                    {
+                        "version": self._replica_version,
+                        "traj": (traj_name, self._traj_capacity),
+                        "max_steps": max_steps,
+                        "extras": tuple(extras_from_info),
+                        "rngs": rngs[shard.start : shard.stop],
+                    },
+                )
+            )
+        self._send_all(commands)
+        lengths: List[Optional[int]] = [None] * self.num_envs
+        extras_per_env: List[Optional[Dict[str, np.ndarray]]] = [None] * self.num_envs
+        try:
+            for worker, shard in enumerate(self._shards):
+                _, shard_lengths, shard_extras, shard_states = self._recv(worker)
+                for offset, env_index in enumerate(range(shard.start, shard.stop)):
+                    lengths[env_index] = int(shard_lengths[offset])
+                    extras_per_env[env_index] = shard_extras[offset]
+                    if owners is not None:
+                        owners[env_index].bit_generator.state = shard_states[offset]
+        except _POOL_ERRORS:
+            self.close()
+            raise
+        self._steps[:] = lengths
+        self._active[:] = False
+        last_values = [self._traj_last[block] for block in self.slices]
+        segments = assemble_segments(
+            self._traj_stacked,
+            {},
+            lengths,
+            last_values,
+            self.slices,
+            self.group_id,
+        )
+        if extras_from_info:
+            # Workers return extras already cut per env (the arrays their
+            # shard-local collector produced); attach them directly — the
+            # parent owns the unpickled copies, no restacking needed.
+            for segment, extras in zip(segments, extras_per_env):
+                segment.extras = {key: extras[key] for key in extras_from_info}
+        return segments
 
     # ------------------------------------------------------------------
     def load_envs(self, envs: Sequence[MultiUserEnv]) -> None:
@@ -536,7 +915,7 @@ class ShardedVecEnvPool(ShardableVecPool):
         try:
             for worker in range(len(self._conns)):
                 self._recv(worker)
-        except (WorkerCrashed, WorkerStepError):
+        except _POOL_ERRORS:
             self.close()
             raise
         self.group_id = [env.group_id for env in envs]
@@ -561,14 +940,15 @@ class ShardedVecEnvPool(ShardableVecPool):
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the workers down and release the shared-memory segment."""
+        """Shut the workers down and release every shared-memory segment."""
         if self._closed:
             return
         self._closed = True
-        # Drop our buffer views so the segment's mmap can actually close.
+        # Drop our buffer views so the segments' mmaps can actually close.
         self._obs = self._act = self._rew = self._done = None
+        self._traj_stacked = self._traj_last = None
         self._finalizer.detach()
-        _cleanup(self._procs, self._conns, self._shm)
+        _cleanup(self._procs, self._conns, self._shm_segments)
 
     @property
     def closed(self) -> bool:
@@ -579,3 +959,32 @@ class ShardedVecEnvPool(ShardableVecPool):
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def collect_segments_shard_parallel(
+    pool: Union[ShardedVecEnvPool, Sequence[MultiUserEnv]],
+    policy: ActorCriticBase,
+    rng: RNGLike,
+    num_workers: int = 2,
+    max_steps: Optional[int] = None,
+    extras_from_info: Tuple[str, ...] = (),
+) -> List[RolloutSegment]:
+    """One-shot shard-parallel collection: sync the policy, roll, assemble.
+
+    The full-rollout counterpart of
+    :func:`~repro.rl.vec.collect_segments_vec`: given a prebuilt
+    :class:`ShardedVecEnvPool` it broadcasts ``policy`` and collects in
+    the workers (reuse the pool across iterations to amortise process
+    startup and the structure broadcast); given a plain env sequence it
+    builds a throwaway pool, collects once and closes it.
+    """
+    if isinstance(pool, ShardedVecEnvPool):
+        pool.sync_policy(policy)
+        return pool.collect_rollouts(
+            rng, max_steps=max_steps, extras_from_info=extras_from_info
+        )
+    with ShardedVecEnvPool(pool, num_workers=num_workers) as owned:
+        owned.sync_policy(policy)
+        return owned.collect_rollouts(
+            rng, max_steps=max_steps, extras_from_info=extras_from_info
+        )

@@ -1,0 +1,247 @@
+"""Cross-mode rollout parity: one harness, every collection path.
+
+The single source of truth for rollout equivalence (replacing the
+per-mode equivalence tests that used to be duplicated across
+``test_vec.py`` and ``test_workers.py``): every collection mode —
+``vectorized``, ``sharded`` (step server) and ``shard_parallel`` (policy
+replicas in the workers) — must produce **bitwise-identical** segments
+to the sequential per-env ``collect_segment`` loop, across shard counts
+{1, 2, 4}, ragged env sizes, heterogeneous horizons, truncation, extras,
+and MLP / Recurrent / Sim2Rec policies. The harness itself lives in
+:mod:`repro.rl.parity` so ``benchmarks/perf_rollout.py`` runs the exact
+same check before timing anything.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Sim2RecLTSTrainer,
+    build_sim2rec_policy,
+    dpr_small_config,
+    lts_small_config,
+)
+from repro.envs import DPRConfig, DPRWorld, LTSConfig, LTSEnv, make_lts_task
+from repro.rl import (
+    ROLLOUT_MODES,
+    MLPActorCritic,
+    RecurrentActorCritic,
+    ShardedVecEnvPool,
+    VecEnvPool,
+    assert_segments_identical,
+    collect_rollout_mode,
+    collect_segments_sequential,
+    sharding_available,
+)
+from repro.rl.parity import SEGMENT_FIELDS, SHARDED_MODES
+
+needs_sharding = pytest.mark.skipif(
+    not sharding_available(), reason="platform has no multiprocessing start method"
+)
+
+# (mode, worker count): the full grid the acceptance criteria name.
+MODE_GRID = [("vectorized", 0)] + [
+    (mode, workers) for mode in SHARDED_MODES for workers in (1, 2, 4)
+]
+
+
+def _grid_id(case):
+    mode, workers = case
+    return mode if not workers else f"{mode}-w{workers}"
+
+
+# ----------------------------------------------------------------------
+# Env-set factories: fresh envs per call, same seeds -> same initial state.
+# ----------------------------------------------------------------------
+def make_dpr_envs():
+    world = DPRWorld(DPRConfig(num_cities=5, drivers_per_city=7, horizon=6, seed=3))
+    return world.make_all_city_envs()
+
+
+def make_ragged_lts_envs():
+    """Envs with *different* user counts (ragged shard blocks)."""
+    sizes = [(3, 0.0), (9, 2.0), (5, 4.0), (7, 6.0), (4, 8.0)]
+    return [
+        LTSEnv(LTSConfig(num_users=k, horizon=6, omega_g=g, seed=10 + i))
+        for i, (k, g) in enumerate(sizes)
+    ]
+
+
+def make_hetero_horizon_envs():
+    """Members that leave the pool at their own horizon (3 / 8 / 6)."""
+    world = DPRWorld(DPRConfig(num_cities=3, drivers_per_city=6, horizon=8, seed=9))
+    envs = world.make_all_city_envs()
+    envs[0].horizon = 3
+    envs[2].horizon = 6
+    return envs
+
+
+ENV_SETS = {
+    "dpr": (make_dpr_envs, 13, 2),
+    "ragged_lts": (make_ragged_lts_envs, 2, 1),
+    "hetero_horizons": (make_hetero_horizon_envs, 13, 2),
+}
+
+
+def make_policy(kind: str, state_dim: int, action_dim: int):
+    if kind == "mlp":
+        return MLPActorCritic(
+            state_dim, action_dim, np.random.default_rng(1), hidden_sizes=(16,)
+        )
+    if kind == "recurrent":
+        return RecurrentActorCritic(
+            state_dim, action_dim, np.random.default_rng(0),
+            lstm_hidden=16, head_hidden=(32,),
+        )
+    if kind == "gru":
+        return RecurrentActorCritic(
+            state_dim, action_dim, np.random.default_rng(2),
+            lstm_hidden=16, head_hidden=(32,), cell="gru",
+        )
+    if kind == "sim2rec":
+        return build_sim2rec_policy(state_dim, action_dim, dpr_small_config(seed=0))
+    raise ValueError(kind)
+
+
+def rngs_for(count: int, seed: int):
+    return [np.random.default_rng(seed + i) for i in range(count)]
+
+
+def collect_reference(make_envs, policy, seed, **kwargs):
+    envs = make_envs()
+    return collect_segments_sequential(envs, policy, rngs_for(len(envs), seed), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# The acceptance grid: mode x shard count x env layout x policy family.
+# ----------------------------------------------------------------------
+@needs_sharding
+@pytest.mark.parametrize("policy_kind", ["mlp", "recurrent"])
+@pytest.mark.parametrize("env_set", sorted(ENV_SETS))
+@pytest.mark.parametrize("case", MODE_GRID, ids=_grid_id)
+class TestModeParity:
+    def test_bitwise_matches_sequential(self, case, env_set, policy_kind):
+        mode, workers = case
+        make_envs, state_dim, action_dim = ENV_SETS[env_set]
+        policy = make_policy(policy_kind, state_dim, action_dim)
+        reference = collect_reference(make_envs, policy, seed=100)
+        envs = make_envs()
+        collected = collect_rollout_mode(
+            mode, envs, policy, rngs_for(len(envs), 100), num_workers=workers or 2
+        )
+        assert_segments_identical(
+            reference, collected, label=f"{env_set}/{policy_kind}/{_grid_id(case)}"
+        )
+
+
+@needs_sharding
+@pytest.mark.parametrize("mode", ROLLOUT_MODES[1:])
+class TestFeatureParity:
+    def test_truncation_and_extras(self, mode):
+        """max_steps truncation + info-dict extras survive every mode."""
+        policy = make_policy("mlp", 13, 2)
+        kwargs = dict(max_steps=4, extras_from_info=("orders", "cost"))
+        reference = collect_reference(make_dpr_envs, policy, seed=70, **kwargs)
+        envs = make_dpr_envs()
+        collected = collect_rollout_mode(
+            mode, envs, policy, rngs_for(len(envs), 70), num_workers=2, **kwargs
+        )
+        assert_segments_identical(reference, collected, label=f"extras/{mode}")
+        assert collected[0].horizon == 4
+        assert set(collected[0].extras) == {"orders", "cost"}
+
+    def test_sim2rec_policy_with_fitted_normalizer(self, mode):
+        """SADAE context policies: υ per block + normaliser buffers in sync.
+
+        The normaliser statistics are plain arrays outside state_dict —
+        exactly what the shard-parallel ``extra_state`` broadcast must
+        carry; a replica embedding with default statistics would diverge
+        in the first act call.
+        """
+        policy = make_policy("sim2rec", 13, 2)
+        rng = np.random.default_rng(5)
+        sets = [(rng.normal(size=(20, 13)), rng.random((20, 2))) for _ in range(4)]
+        policy.sadae.fit_normalizer(sets)
+        reference = collect_reference(make_dpr_envs, policy, seed=200, max_steps=4)
+        envs = make_dpr_envs()
+        collected = collect_rollout_mode(
+            mode, envs, policy, rngs_for(len(envs), 200), num_workers=2, max_steps=4
+        )
+        assert_segments_identical(reference, collected, label=f"sim2rec/{mode}")
+
+
+@needs_sharding
+class TestContinuityParity:
+    @pytest.mark.parametrize("mode", ("vectorized",) + SHARDED_MODES)
+    def test_multi_episode_rng_continuity(self, mode):
+        """Back-to-back episodes on one persistent pool keep every env
+        stream and every env's internal RNG aligned with the sequential
+        loop — for shard_parallel this exercises the advanced-generator
+        write-back and the repeat (state-bytes) policy broadcast."""
+        policy = make_policy("recurrent", 13, 2)
+        envs_seq = make_dpr_envs()
+        rngs_seq = rngs_for(5, 50)
+        rngs_par = rngs_for(5, 50)
+        if mode == "vectorized":
+            pool = VecEnvPool(make_dpr_envs())
+        else:
+            pool = ShardedVecEnvPool(make_dpr_envs(), num_workers=2)
+        try:
+            for episode in range(2):
+                reference = collect_segments_sequential(envs_seq, policy, rngs_seq)
+                collected = collect_rollout_mode(
+                    mode, [], policy, rngs_par, pool=pool
+                )
+                assert_segments_identical(
+                    reference, collected, label=f"continuity/{mode}/ep{episode}"
+                )
+        finally:
+            if mode != "vectorized":
+                pool.close()
+
+    def test_gru_policy_odd_block_sizes(self):
+        """7 drivers/city blocks that do not align with BLAS kernel
+        chunking — the regression case for the value-head gemv fix, now
+        swept across every mode at once."""
+        policy = make_policy("gru", 13, 2)
+        reference = collect_reference(make_dpr_envs, policy, seed=300)
+        for mode in ROLLOUT_MODES[1:]:
+            envs = make_dpr_envs()
+            collected = collect_rollout_mode(
+                mode, envs, policy, rngs_for(len(envs), 300), num_workers=2
+            )
+            assert_segments_identical(reference, collected, label=f"gru/{mode}")
+
+
+@needs_sharding
+class TestTrainerModeParity:
+    """config.rollout_mode end to end: pooled modes reproduce each other."""
+
+    def _make_trainer(self, mode):
+        config = lts_small_config(seed=0)
+        config.rollout_mode = mode
+        config.rollout_workers = 2
+        config.segments_per_iteration = 3
+        task = make_lts_task("LTS3", num_users=8, horizon=6, seed=0)
+        policy = build_sim2rec_policy(2, 1, config)
+        return Sim2RecLTSTrainer(policy, task, config)
+
+    @pytest.mark.parametrize("mode", ["sharded", "shard_parallel"])
+    def test_trainer_collect_matches_vectorized(self, mode):
+        with self._make_trainer("vectorized") as base, self._make_trainer(mode) as other:
+            for _ in range(2):
+                buffer_a, rewards_a = base.collect()
+                buffer_b, rewards_b = other.collect()
+                assert rewards_a == rewards_b
+                for seg_a, seg_b in zip(buffer_a.segments, buffer_b.segments):
+                    for name in SEGMENT_FIELDS:
+                        np.testing.assert_array_equal(
+                            getattr(seg_a, name), getattr(seg_b, name), err_msg=name
+                        )
+            assert other._worker_pool is not None  # pool reused, not rebuilt
+
+    def test_sequential_mode_uses_no_pool(self):
+        with self._make_trainer("sequential") as trainer:
+            buffer, rewards = trainer.collect()
+            assert len(buffer) == 3
+            assert trainer._worker_pool is None

@@ -1,11 +1,10 @@
-"""Vectorized rollout engine: seeded equivalence with the sequential path.
+"""VecEnvPool protocol, BlockRNG streams and trainer pooling behaviour.
 
-The contract under test (see :mod:`repro.rl.vec`): collecting all cities
-through a :class:`VecEnvPool` with one ``policy.act`` per timestep yields
-per-city :class:`RolloutSegment` objects *bit-identical* to looping
-``collect_segment`` city by city, provided each city keeps its own
-policy-noise stream and the same policy instance (same weight buffers)
-drives both paths.
+The sequential-equivalence contract itself (vectorized collection is
+bit-identical to looping ``collect_segment``) is enforced by the
+cross-mode parity suite in ``test_rollout_parity.py`` — this module
+keeps the pool-protocol, stream-isolation and trainer-integration tests
+that are specific to the in-process :class:`VecEnvPool`.
 """
 
 import numpy as np
@@ -15,24 +14,13 @@ from repro.core import build_sim2rec_policy, dpr_small_config
 from repro.envs import DPRConfig, DPRWorld, evaluate_policy
 from repro.rl import (
     BlockRNG,
-    MLPActorCritic,
     RecurrentActorCritic,
     VecEnvPool,
     collect_segment,
     collect_segments_vec,
     evaluate_policy_vec,
 )
-
-SEGMENT_FIELDS = (
-    "states",
-    "prev_actions",
-    "actions",
-    "rewards",
-    "dones",
-    "values",
-    "log_probs",
-    "last_values",
-)
+from repro.rl.parity import assert_segments_identical
 
 
 def make_world(**kwargs) -> DPRWorld:
@@ -41,116 +29,23 @@ def make_world(**kwargs) -> DPRWorld:
     return DPRWorld(DPRConfig(**defaults))
 
 
-def assert_segments_identical(seq, vec):
-    assert len(seq) == len(vec)
-    for s, v in zip(seq, vec):
-        assert s.group_id == v.group_id
-        for name in SEGMENT_FIELDS:
-            a, b = getattr(s, name), getattr(v, name)
-            assert a.shape == b.shape, (name, a.shape, b.shape)
-            np.testing.assert_array_equal(a, b, err_msg=name)
-        assert set(s.extras) == set(v.extras)
-        for key in s.extras:
-            np.testing.assert_array_equal(s.extras[key], v.extras[key], err_msg=key)
-
-
-def collect_both(world, policy, max_steps=None, extras=(), seed=100):
-    n = world.num_cities
-    rngs_seq = [np.random.default_rng(seed + i) for i in range(n)]
-    rngs_vec = [np.random.default_rng(seed + i) for i in range(n)]
-    seq = [
-        collect_segment(env, policy, rng, max_steps=max_steps, extras_from_info=extras)
-        for env, rng in zip(world.make_all_city_envs(), rngs_seq)
-    ]
-    vec = collect_segments_vec(
-        world.make_all_city_envs(),
-        policy,
-        rngs_vec,
-        max_steps=max_steps,
-        extras_from_info=extras,
-    )
-    return seq, vec
-
-
-class TestCollectEquivalence:
-    def test_recurrent_policy_full_horizon(self):
-        world = make_world()
-        policy = RecurrentActorCritic(
-            13, 2, np.random.default_rng(0), lstm_hidden=16, head_hidden=(32,)
-        )
-        assert_segments_identical(*collect_both(world, policy))
-
-    def test_sim2rec_policy_with_truncation_and_extras(self):
-        """The acceptance case: SADAE context policy over DPRWorld city
-        envs, truncated (so last_values bootstraps mid-episode), with
-        extras stacked from the env info dicts."""
-        world = make_world()
-        policy = build_sim2rec_policy(13, 2, dpr_small_config(seed=0))
-        seq, vec = collect_both(
-            world, policy, max_steps=4, extras=("orders", "cost")
-        )
-        assert_segments_identical(seq, vec)
-        assert seq[0].horizon == 4  # truncated below env horizon
-        assert set(seq[0].extras) == {"orders", "cost"}
-
-    def test_mlp_policy(self):
-        world = make_world()
-        policy = MLPActorCritic(13, 2, np.random.default_rng(1), hidden_sizes=(16,))
-        assert_segments_identical(*collect_both(world, policy, max_steps=3))
-
-    def test_gru_policy_odd_block_sizes(self):
-        # 7 drivers/city: blocks that do not align with BLAS kernel
-        # chunking — the regression case for the value-head gemv fix.
-        world = make_world(num_cities=5, drivers_per_city=7, horizon=5, seed=11)
-        policy = RecurrentActorCritic(
-            13, 2, np.random.default_rng(2), lstm_hidden=16, head_hidden=(32,), cell="gru"
-        )
-        assert_segments_identical(*collect_both(world, policy))
-
+class TestCollectEdgeCases:
     def test_many_city_batch(self):
         # Large stacked batch (200 users): exercises the BLAS kernel
-        # regimes where narrow-head matmuls were batch-size dependent.
+        # regimes where narrow-head matmuls were batch-size dependent —
+        # bigger than the parity suite's layouts, so it stays here.
         world = make_world(num_cities=20, drivers_per_city=10, horizon=5, seed=21)
         policy = RecurrentActorCritic(
             13, 2, np.random.default_rng(6), lstm_hidden=32, head_hidden=(64,)
         )
-        assert_segments_identical(*collect_both(world, policy, seed=400))
-
-    def test_multi_episode_rng_continuity(self):
-        """Back-to-back episodes on the same envs keep every stream aligned."""
-        world = make_world()
-        policy = RecurrentActorCritic(
-            13, 2, np.random.default_rng(3), lstm_hidden=16, head_hidden=(32,)
-        )
-        envs_seq = world.make_all_city_envs()
-        envs_vec = world.make_all_city_envs()
-        rngs_seq = [np.random.default_rng(50 + i) for i in range(4)]
-        rngs_vec = [np.random.default_rng(50 + i) for i in range(4)]
-        pool = VecEnvPool(envs_vec)
-        for _ in range(2):
-            seq = [collect_segment(e, policy, r) for e, r in zip(envs_seq, rngs_seq)]
-            vec = collect_segments_vec(pool, policy, rngs_vec)
-            assert_segments_identical(seq, vec)
-
-    def test_heterogeneous_horizons_truncate_per_env(self):
-        """Per-env done masking: members leave the pool at their own
-        horizon; each segment is cut and bootstrapped at its own end."""
-        config = DPRConfig(num_cities=3, drivers_per_city=6, horizon=8, seed=9)
-        world = DPRWorld(config)
-        envs_seq = world.make_all_city_envs()
-        envs_vec = world.make_all_city_envs()
-        for envs in (envs_seq, envs_vec):
-            envs[0].horizon = 3
-            envs[2].horizon = 6
-        policy = RecurrentActorCritic(
-            13, 2, np.random.default_rng(4), lstm_hidden=16, head_hidden=(32,)
-        )
-        rngs_seq = [np.random.default_rng(70 + i) for i in range(3)]
-        rngs_vec = [np.random.default_rng(70 + i) for i in range(3)]
-        seq = [collect_segment(e, policy, r) for e, r in zip(envs_seq, rngs_seq)]
-        vec = collect_segments_vec(envs_vec, policy, rngs_vec)
-        assert [s.horizon for s in vec] == [3, 8, 6]
-        assert_segments_identical(seq, vec)
+        rngs_seq = [np.random.default_rng(400 + i) for i in range(20)]
+        rngs_vec = [np.random.default_rng(400 + i) for i in range(20)]
+        seq = [
+            collect_segment(env, policy, rng)
+            for env, rng in zip(world.make_all_city_envs(), rngs_seq)
+        ]
+        vec = collect_segments_vec(world.make_all_city_envs(), policy, rngs_vec)
+        assert_segments_identical(seq, vec, label="many_city_batch")
 
 
 class TestVecEnvPool:

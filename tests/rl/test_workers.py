@@ -1,13 +1,13 @@
-"""Multi-process sharded rollouts: bitwise equivalence + failure paths.
+"""Sharded worker pools: protocol, param sync and failure paths.
 
-The contract under test (see :mod:`repro.rl.workers`): collecting through
-a :class:`ShardedVecEnvPool` is **bit-identical** to the sequential
-``collect_segment`` loop — and hence to the in-process ``VecEnvPool`` —
-for any shard count and layout, because env RNG state travels with the
-pickled envs and policy noise streams are pinned to env identity, not to
-placement. Plus the operational guarantees: a crashed worker raises
-instead of hanging, worker counts degrade gracefully, and shared memory
-never leaks.
+The bitwise-equivalence contract (sharded and shard-parallel collection
+reproduce the sequential ``collect_segment`` loop for any shard layout)
+is enforced by the cross-mode parity suite in ``test_rollout_parity.py``.
+This module keeps what is specific to the worker machinery: the pool
+protocol (shm views, load/fetch, worker clamping), the policy-replica
+mailbox (version stamps, oversized broadcasts, structure changes) and
+the operational guarantees — a crashed worker raises instead of hanging,
+stale replicas are refused, and shared memory never leaks.
 """
 
 import os
@@ -22,29 +22,21 @@ from repro.rl import (
     MLPActorCritic,
     RecurrentActorCritic,
     ShardedVecEnvPool,
+    StaleReplicaError,
     VecEnvPool,
     WorkerCrashed,
     WorkerStepError,
     collect_segment,
+    collect_segments_shard_parallel,
     collect_segments_vec,
     evaluate_policy_vec,
     sharding_available,
 )
+from repro.rl.parity import SEGMENT_FIELDS, assert_segments_identical
 from repro.rl.workers import partition_contiguous
 
 pytestmark = pytest.mark.skipif(
     not sharding_available(), reason="platform has no multiprocessing start method"
-)
-
-SEGMENT_FIELDS = (
-    "states",
-    "prev_actions",
-    "actions",
-    "rewards",
-    "dones",
-    "values",
-    "log_probs",
-    "last_values",
 )
 
 
@@ -54,91 +46,23 @@ def make_world(**kwargs) -> DPRWorld:
     return DPRWorld(DPRConfig(**defaults))
 
 
-def make_ragged_lts_envs():
-    """Envs with *different* user counts (and hence ragged shard blocks)."""
-    sizes = [(3, 0.0), (9, 2.0), (5, 4.0), (7, 6.0), (4, 8.0)]
-    return [
-        LTSEnv(LTSConfig(num_users=k, horizon=6, omega_g=g, seed=10 + i))
-        for i, (k, g) in enumerate(sizes)
-    ]
+def make_policy(**kwargs):
+    defaults = dict(lstm_hidden=16, head_hidden=(32,))
+    defaults.update(kwargs)
+    return RecurrentActorCritic(13, 2, np.random.default_rng(0), **defaults)
 
 
-def assert_segments_identical(seq, vec):
-    assert len(seq) == len(vec)
-    for s, v in zip(seq, vec):
-        assert s.group_id == v.group_id
-        for name in SEGMENT_FIELDS:
-            a, b = getattr(s, name), getattr(v, name)
-            assert a.shape == b.shape, (name, a.shape, b.shape)
-            np.testing.assert_array_equal(a, b, err_msg=name)
-        assert set(s.extras) == set(v.extras)
-        for key in s.extras:
-            np.testing.assert_array_equal(s.extras[key], v.extras[key], err_msg=key)
-
-
-class TestShardedEquivalence:
-    @pytest.mark.parametrize("num_workers", [1, 2, 4])
-    def test_sharded_equals_sequential(self, num_workers):
-        """The acceptance case: shard counts {1, 2, 4}, bitwise equality."""
-        world = make_world()
-        policy = RecurrentActorCritic(
-            13, 2, np.random.default_rng(0), lstm_hidden=16, head_hidden=(32,)
-        )
-        seq = [
-            collect_segment(env, policy, np.random.default_rng(100 + i))
-            for i, env in enumerate(world.make_all_city_envs())
-        ]
-        with ShardedVecEnvPool(world.make_all_city_envs(), num_workers=num_workers) as pool:
-            vec = collect_segments_vec(
-                pool, policy, [np.random.default_rng(100 + i) for i in range(5)]
-            )
-        assert_segments_identical(seq, vec)
-
-    @pytest.mark.parametrize("num_workers", [1, 2, 4])
-    def test_ragged_env_sizes(self, num_workers):
-        """User-count-balanced contiguous shards over ragged env sizes."""
-        policy = RecurrentActorCritic(
-            2, 1, np.random.default_rng(1), lstm_hidden=8, head_hidden=(16,)
-        )
-        seq = [
-            collect_segment(env, policy, np.random.default_rng(40 + i))
-            for i, env in enumerate(make_ragged_lts_envs())
-        ]
-        with ShardedVecEnvPool(make_ragged_lts_envs(), num_workers=num_workers) as pool:
-            vec = collect_segments_vec(
-                pool, policy, [np.random.default_rng(40 + i) for i in range(5)]
-            )
-        assert_segments_identical(seq, vec)
-
-    def test_truncation_and_extras(self):
-        world = make_world()
-        policy = MLPActorCritic(13, 2, np.random.default_rng(2), hidden_sizes=(16,))
-        rngs = lambda: [np.random.default_rng(70 + i) for i in range(5)]  # noqa: E731
-        seq = [
-            collect_segment(
-                env, policy, rng, max_steps=4, extras_from_info=("orders", "cost")
-            )
-            for env, rng in zip(world.make_all_city_envs(), rngs())
-        ]
-        with ShardedVecEnvPool(world.make_all_city_envs(), num_workers=2) as pool:
-            vec = collect_segments_vec(
-                pool, policy, rngs(), max_steps=4, extras_from_info=("orders", "cost")
-            )
-        assert_segments_identical(seq, vec)
-        assert vec[0].horizon == 4
-
+class TestOverlapProtocol:
     def test_overlap_off_matches_overlap_on(self):
         """overlap=False (synchronous stepping) records the same numbers."""
         world = make_world(num_cities=4)
-        policy = RecurrentActorCritic(
-            13, 2, np.random.default_rng(3), lstm_hidden=16, head_hidden=(32,)
-        )
+        policy = make_policy()
         rngs = lambda: [np.random.default_rng(200 + i) for i in range(4)]  # noqa: E731
         with ShardedVecEnvPool(world.make_all_city_envs(), num_workers=2) as pool:
             on = collect_segments_vec(pool, policy, rngs(), overlap=True)
         with ShardedVecEnvPool(world.make_all_city_envs(), num_workers=2) as pool:
             off = collect_segments_vec(pool, policy, rngs(), overlap=False)
-        assert_segments_identical(on, off)
+        assert_segments_identical(on, off, label="overlap")
 
     def test_overlap_requires_async_pool(self):
         world = make_world(num_cities=2)
@@ -148,22 +72,6 @@ class TestShardedEquivalence:
             collect_segments_vec(
                 pool, policy, np.random.default_rng(0), overlap=True
             )
-
-    def test_multi_episode_rng_continuity(self):
-        """Back-to-back episodes on one pool keep every env stream aligned."""
-        policy = RecurrentActorCritic(
-            13, 2, np.random.default_rng(5), lstm_hidden=16, head_hidden=(32,)
-        )
-        envs_seq = make_world().make_all_city_envs()
-        rngs_seq = [np.random.default_rng(50 + i) for i in range(5)]
-        rngs_vec = [np.random.default_rng(50 + i) for i in range(5)]
-        with ShardedVecEnvPool(make_world().make_all_city_envs(), num_workers=2) as pool:
-            for _ in range(2):
-                seq = [
-                    collect_segment(e, policy, r) for e, r in zip(envs_seq, rngs_seq)
-                ]
-                vec = collect_segments_vec(pool, policy, rngs_vec)
-                assert_segments_identical(seq, vec)
 
 
 class TestPoolProtocol:
@@ -295,6 +203,97 @@ class _ExplodingEnv(LTSEnv):
         return super().step(actions)
 
 
+class TestParamSyncFailures:
+    """Failure injection for the policy-replica broadcast protocol."""
+
+    def test_crash_mid_broadcast_raises_and_unlinks(self):
+        """A worker SIGKILLed before answering sync_policy: the broadcast
+        raises WorkerCrashed instead of hanging, the pool closes, shm
+        is released."""
+        pool = ShardedVecEnvPool(make_world().make_all_city_envs(), num_workers=2)
+        try:
+            os.kill(pool._procs[1].pid, signal.SIGKILL)
+            with pytest.raises(WorkerCrashed, match="worker 1"):
+                pool.sync_policy(make_policy())
+            assert pool.closed
+            assert shm_segment_exists(pool.shared_memory_name) is not True
+        finally:
+            pool.close()  # idempotent
+
+    def test_stale_version_stamp_raises_cleanly(self):
+        """A collect whose stamp disagrees with the workers' replica
+        version must refuse to roll out old weights: StaleReplicaError,
+        no hang, pool closed, shared memory unlinked."""
+        pool = ShardedVecEnvPool(make_world().make_all_city_envs(), num_workers=2)
+        try:
+            pool.sync_policy(make_policy())
+            pool._replica_version += 1  # desync the stamp
+            with pytest.raises(StaleReplicaError, match="version 1"):
+                pool.collect_rollouts([np.random.default_rng(i) for i in range(5)])
+            assert pool.closed
+            assert shm_segment_exists(pool.shared_memory_name) is not True
+        finally:
+            pool.close()
+
+    def test_collect_before_sync_raises_and_pool_survives(self):
+        with ShardedVecEnvPool(make_world().make_all_city_envs(), num_workers=2) as pool:
+            with pytest.raises(RuntimeError, match="sync_policy"):
+                pool.collect_rollouts([np.random.default_rng(i) for i in range(5)])
+            # parent-side validation only: the pool is still fully usable
+            assert not pool.closed
+            pool.sync_policy(make_policy())
+            segments = pool.collect_rollouts(
+                [np.random.default_rng(i) for i in range(5)]
+            )
+            assert len(segments) == 5
+
+    def test_oversized_state_dict_raises_before_sending(self):
+        """An over-limit replica_state raises ValueError without touching
+        the workers; the pool stays open, and close() leaves no segment."""
+        pool = ShardedVecEnvPool(
+            make_world().make_all_city_envs(), num_workers=2, max_param_bytes=1024
+        )
+        try:
+            with pytest.raises(ValueError, match="max_param_bytes"):
+                pool.sync_policy(make_policy())
+            assert not pool.closed
+            assert pool.replica_version == 0  # nothing was broadcast
+            # still usable as a step server despite the refused broadcast
+            pool.reset()
+            pool.step(np.zeros((pool.num_users, 2)))
+        finally:
+            pool.close()
+        assert shm_segment_exists(pool.shared_memory_name) is not True
+
+    def test_structure_change_ships_fresh_replica(self):
+        """Re-syncing a differently-shaped policy falls back to the full
+        object broadcast (state-only archives cannot change structure)."""
+        small = make_policy()
+        large = make_policy(lstm_hidden=32)
+        rngs = lambda: [np.random.default_rng(500 + i) for i in range(5)]  # noqa: E731
+        reference = [
+            collect_segment(env, large, rng)
+            for env, rng in zip(make_world().make_all_city_envs(), rngs())
+        ]
+        with ShardedVecEnvPool(make_world().make_all_city_envs(), num_workers=2) as pool:
+            assert pool.sync_policy(small) == 1
+            assert pool.sync_policy(large) == 2  # structure change: version 2
+            collected = pool.collect_rollouts(rngs())
+        assert_segments_identical(reference, collected, label="structure_change")
+
+    def test_one_shot_convenience_builds_and_closes_pool(self):
+        policy = make_policy()
+        rngs = lambda: [np.random.default_rng(600 + i) for i in range(5)]  # noqa: E731
+        reference = [
+            collect_segment(env, policy, rng)
+            for env, rng in zip(make_world().make_all_city_envs(), rngs())
+        ]
+        collected = collect_segments_shard_parallel(
+            make_world().make_all_city_envs(), policy, rngs(), num_workers=2
+        )
+        assert_segments_identical(reference, collected, label="one_shot")
+
+
 class TestFailurePaths:
     def test_worker_crash_raises_instead_of_hanging(self):
         world = make_world(num_cities=4)
@@ -383,6 +382,35 @@ class TestTrainerIntegration:
             base.close()
             sharded.close()
         assert sharded._worker_pool is None
+
+    def test_unpicklable_policy_degrades_to_step_server(self):
+        """A policy that cannot cross the process boundary (externally
+        attached lambdas etc.) must not break the *derived* default for
+        rollout_workers > 1: the trainer warns once and falls back to
+        step-server sharding, which never ships the policy."""
+        trainer = self._make_trainer(workers=2)
+        trainer.policy._attached_hook = lambda x: x  # unpicklable member
+        try:
+            with pytest.warns(RuntimeWarning, match="step-server"):
+                buffer, _ = trainer.collect()
+            assert len(buffer) == 3
+            buffer, _ = trainer.collect()  # second collect: no new warning path
+            assert trainer._replica_unpicklable
+            assert trainer._worker_pool is not None  # still sharded, as step server
+        finally:
+            trainer.close()
+
+    def test_unpicklable_policy_fails_loudly_when_mode_explicit(self):
+        """An *explicitly requested* shard_parallel mode is honoured or
+        fails — never silently downgraded."""
+        trainer = self._make_trainer(workers=2)
+        trainer.config.rollout_mode = "shard_parallel"
+        trainer.policy._attached_hook = lambda x: x
+        try:
+            with pytest.raises((TypeError, AttributeError)):
+                trainer.collect()
+        finally:
+            trainer.close()
 
     def test_rollout_workers_degrade_on_single_env_batches(self):
         trainer = self._make_trainer(workers=4)

@@ -19,34 +19,61 @@ def gate():
     return module
 
 
-def rollout_payload(speedup=2.5, worker_speedup=2.0, cpu_count=4, equivalent=True):
-    return {
-        "cpu_count": cpu_count,
-        "scenarios": [
+def rollout_payload(
+    speedup=2.5,
+    worker_speedup=2.0,
+    cpu_count=4,
+    equivalent=True,
+    shard_parallel_vs_sharded=1.6,
+    mode_equivalent=True,
+    with_mode_sweep=True,
+):
+    scenario = {
+        "name": "smoke_cross_city",
+        "speedup": speedup,
+        "equivalent": equivalent,
+        "workers": [
             {
-                "name": "smoke_cross_city",
-                "speedup": speedup,
+                "num_workers": 1,
+                "speedup_vs_sequential": 1.0,
                 "equivalent": equivalent,
-                "workers": [
-                    {
-                        "num_workers": 1,
-                        "speedup_vs_sequential": 1.0,
-                        "equivalent": equivalent,
-                    },
-                    {
-                        "num_workers": 2,
-                        "speedup_vs_sequential": worker_speedup,
-                        "equivalent": equivalent,
-                    },
-                ],
-            }
+            },
+            {
+                "num_workers": 2,
+                "speedup_vs_sequential": worker_speedup,
+                "equivalent": equivalent,
+            },
         ],
     }
+    if with_mode_sweep:
+        scenario["mode_sweep"] = [
+            {
+                "mode": "sharded",
+                "num_workers": 2,
+                "speedup_vs_sequential": worker_speedup,
+                "equivalent": mode_equivalent,
+            },
+            {
+                "mode": "shard_parallel",
+                "num_workers": 2,
+                "speedup_vs_sequential": worker_speedup * shard_parallel_vs_sharded,
+                "speedup_vs_sharded": shard_parallel_vs_sharded,
+                "equivalent": mode_equivalent,
+            },
+        ]
+    return {"cpu_count": cpu_count, "scenarios": [scenario]}
 
 
 BASELINE = {
     "scenarios": {"smoke_cross_city": {"min_speedup": 1.6}},
     "workers": {"2": {"min_speedup_vs_sequential": 1.3, "min_cpus": 2}},
+    "mode_sweep": {
+        "shard_parallel": {
+            "num_workers": 2,
+            "min_speedup_vs_sharded": 1.25,
+            "min_cpus": 2,
+        }
+    },
 }
 
 
@@ -90,6 +117,71 @@ class TestCheckPayload:
             {"cpu_count": 4, "scenarios": []}, BASELINE, 0.8, "rollout"
         )
         assert any("missing" in f for f in failures)
+
+
+class TestModeSweepFloors:
+    def test_passes_when_shard_parallel_beats_sharded(self, gate):
+        assert gate.check_payload(rollout_payload(), BASELINE, 0.8, "rollout") == []
+
+    def test_fails_when_shard_parallel_regresses(self, gate):
+        # floor 1.25 x tolerance 0.8 = 1.0: a 0.9x head-to-head fails
+        failures = gate.check_payload(
+            rollout_payload(shard_parallel_vs_sharded=0.9), BASELINE, 0.8, "rollout"
+        )
+        assert any("mode=shard_parallel" in f and "0.9" in f for f in failures)
+
+    def test_mode_floor_skipped_on_single_core(self, gate, capsys):
+        failures = gate.check_payload(
+            rollout_payload(shard_parallel_vs_sharded=0.5, worker_speedup=2.0, cpu_count=1),
+            BASELINE,
+            0.8,
+            "rollout",
+        )
+        assert failures == []
+        assert "skip rollout/mode=shard_parallel" in capsys.readouterr().out
+
+    def test_mode_equivalence_enforced_even_on_single_core(self, gate):
+        """Bit-identity does not depend on cores: a false equivalence flag
+        in the mode sweep fails the gate on any machine."""
+        failures = gate.check_payload(
+            rollout_payload(mode_equivalent=False, cpu_count=1),
+            BASELINE,
+            0.8,
+            "rollout",
+        )
+        assert any("mode=sharded" in f and "equivalence" in f for f in failures)
+        assert any("mode=shard_parallel" in f and "equivalence" in f for f in failures)
+
+    def test_fails_when_mode_missing_from_sweep(self, gate):
+        failures = gate.check_payload(
+            rollout_payload(with_mode_sweep=False), BASELINE, 0.8, "rollout"
+        )
+        assert any("mode=shard_parallel" in f and "missing" in f for f in failures)
+
+    def test_floor_applies_only_to_its_worker_count(self, gate):
+        """A sweep also carrying workers=1 and oversubscribed workers=4
+        records (which structurally cannot clear a 2-worker floor) must
+        still pass when the workers=2 record does."""
+        payload = rollout_payload()
+        payload["scenarios"][0]["mode_sweep"].extend(
+            [
+                {
+                    "mode": "shard_parallel",
+                    "num_workers": 1,
+                    "speedup_vs_sequential": 2.0,
+                    "speedup_vs_sharded": 1.02,
+                    "equivalent": True,
+                },
+                {
+                    "mode": "shard_parallel",
+                    "num_workers": 4,
+                    "speedup_vs_sequential": 1.8,
+                    "speedup_vs_sharded": 0.9,
+                    "equivalent": True,
+                },
+            ]
+        )
+        assert gate.check_payload(payload, BASELINE, 0.8, "rollout") == []
 
 
 class TestRun:
