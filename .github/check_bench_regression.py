@@ -25,6 +25,12 @@ and exits non-zero on regression. Semantics:
   count (a workers=1 or oversubscribed run is not expected to clear a
   multi-worker floor). Equivalence flags on mode records are enforced
   unconditionally: bit-identity does not depend on core count;
+- scenario-sweep floors (``scenario_sweep`` section, keyed by case name)
+  gate the registry-driven scenario cases (``repro.scenarios`` families
+  driven through the vectorized engine, including the ≥200-env SlateRec
+  large-scale case). They are ``min_speedup`` floors on the vectorized-
+  vs-sequential ratio; equivalence flags on every swept record are
+  enforced unconditionally (bit-identity is machine-independent);
 - baselines are keyed by bench mode (``smoke`` for the CI artifacts,
   ``full`` for the committed dev-box artifacts), so the same gate checks
   whichever artifact it is handed.
@@ -152,6 +158,34 @@ def check_payload(payload: dict, baseline: dict, tolerance: float, label: str) -
                             f"{key} {measured} < floor {floor} x "
                             f"tolerance {tolerance} = {floor * tolerance:.3f}"
                         )
+
+    sweep_floors = baseline.get("scenario_sweep", {})
+    sweep_records = payload.get("scenario_sweep", [])
+    if sweep_floors or sweep_records:
+        by_name = {}
+        for record in sweep_records:
+            # Scenario cases verify bit-equivalence before timing on any
+            # machine: the flag is enforced regardless of core count.
+            if record.get("equivalent") is not True:
+                failures.append(
+                    f"{label}/scenario_sweep/{record.get('name')}: "
+                    "equivalence flag is not true"
+                )
+            by_name[record.get("name")] = record
+        for name, floors in sweep_floors.items():
+            record = by_name.get(name)
+            if record is None:
+                failures.append(
+                    f"{label}/scenario_sweep/{name}: missing from the scenario sweep"
+                )
+                continue
+            floor = floors["min_speedup"]
+            measured = record.get("speedup")
+            if measured is None or measured < floor * tolerance:
+                failures.append(
+                    f"{label}/scenario_sweep/{name}: speedup {measured} < "
+                    f"floor {floor} x tolerance {tolerance} = {floor * tolerance:.3f}"
+                )
     return failures
 
 

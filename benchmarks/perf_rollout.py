@@ -10,7 +10,11 @@ Times every rollout mode against the sequential per-city baseline:
   parent), swept over worker counts;
 - ``shard_parallel`` — full rollouts in the workers: policy replicas per
   shard (``sync_policy`` + ``collect_rollouts``), so the whole
-  act → step → record loop parallelises, swept over the same counts.
+  act → step → record loop parallelises, swept over the same counts;
+- ``scenario_sweep`` — registry-driven scenario cases: every
+  ``repro.scenarios`` family built from a pure config dict and driven
+  through the vectorized engine, including a hundreds-of-envs SlateRec
+  large-scale case (the workload the scenario subsystem exists for).
 
 Every timed path is first proven **bit-identical** to the sequential
 baseline through the same parity harness the test suite runs
@@ -59,6 +63,7 @@ from repro.rl import (
     sharding_available,
 )
 from repro.rl.parity import assert_segments_identical
+from repro.scenarios import make_scenario
 
 
 def make_policy(state_dim: int, action_dim: int) -> RecurrentActorCritic:
@@ -140,16 +145,25 @@ def _time_shard_parallel(pool, policy, rngs, repeats: int) -> float:
 
     The timed unit includes ``sync_policy`` because a training iteration
     pays it every time (fresh parameters); after the first broadcast it
-    is the delta-free state-archive path, which is the steady state.
+    is the delta-free state-archive path, which is the steady state. An
+    *unchanged* policy is skipped outright since the no-resend
+    optimisation, so each repeat nudges one weight first — the timed
+    broadcast is the real one a post-update iteration pays.
     """
     pool.sync_policy(policy)
     pool.collect_rollouts(rngs)  # warmup (structure already shipped)
     times = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        pool.sync_policy(policy)
-        pool.collect_rollouts(rngs)
-        times.append(time.perf_counter() - start)
+    param = policy.parameters()[0]
+    original = param.data.copy()
+    try:
+        for _ in range(repeats):
+            param.data += 1e-12
+            start = time.perf_counter()
+            pool.sync_policy(policy)
+            pool.collect_rollouts(rngs)
+            times.append(time.perf_counter() - start)
+    finally:
+        param.data[:] = original  # the shared policy must stay bit-exact
     return min(times)
 
 
@@ -263,6 +277,109 @@ def bench_mode_sweep(
     return {"workers": worker_records, "mode_sweep": mode_records}
 
 
+# Registry-driven scenario cases: pure config dicts resolved through
+# repro.scenarios.make_scenario — the bench never hand-wires a family.
+# The large-scale slate case (240 envs) is the headline workload the
+# scenario subsystem targets; its floor is committed in
+# .github/bench_baselines.json.
+SCENARIO_CASES = {
+    "smoke": [
+        (
+            "scenario_slate",
+            {"family": "slate", "num_envs": 12, "num_users": 6, "horizon": 6,
+             "slate_size": 3, "seed": 0},
+        ),
+        (
+            "scenario_lts",
+            {"family": "lts", "task": "LTS2", "num_users": 8, "horizon": 8, "seed": 0},
+        ),
+    ],
+    "full": [
+        (
+            "scenario_slate_wide",
+            {"family": "slate", "num_envs": 48, "num_users": 10, "horizon": 20,
+             "slate_size": 5, "seed": 0},
+        ),
+        (
+            "scenario_slate_large_240",
+            {"family": "slate", "num_envs": 240, "num_users": 8, "horizon": 12,
+             "slate_size": 5, "seed": 0},
+        ),
+        (
+            "scenario_lts_tasks",
+            {"family": "lts", "task": "LTS3", "num_users": 25, "horizon": 20, "seed": 0},
+        ),
+        (
+            "scenario_dpr_cities",
+            {"family": "dpr", "num_cities": 24, "drivers_per_city": 10, "horizon": 15,
+             "seed": 0},
+        ),
+    ],
+}
+
+
+def bench_scenario_sweep(cases, repeats: int) -> list:
+    """Time every registry scenario case: sequential vs vectorized.
+
+    Each case builds its training population twice from the same spec
+    (fresh envs per path), proves the vectorized collection bit-identical
+    to the sequential loop through the parity harness, then times both.
+    Throughput is stacked user-steps per second.
+    """
+    records = []
+    for name, spec in cases:
+        scenario = make_scenario(spec)
+        policy = make_policy(scenario.state_dim, scenario.action_dim)
+        count = scenario.num_train_envs
+
+        def rngs(seed):
+            return [np.random.default_rng(seed + i) for i in range(count)]
+
+        seq_ref = collect_segments_sequential(
+            scenario.make_train_envs(), policy, rngs(7)
+        )
+        vec_ref = collect_segments_vec(scenario.make_train_envs(), policy, rngs(7))
+        assert_segments_identical(seq_ref, vec_ref, label=f"{name}/vectorized")
+
+        envs_seq = scenario.make_train_envs()
+        pool = VecEnvPool(scenario.make_train_envs())
+        streams = rngs(1000)
+        collect_segments_vec(pool, policy, streams)  # warmup
+        case_repeats = max(1, repeats if count < 100 else repeats // 2)
+        seq_times, vec_times = [], []
+        for _ in range(case_repeats):
+            start = time.perf_counter()
+            for env, rng in zip(envs_seq, streams):
+                collect_segment(env, policy, rng)
+            seq_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            collect_segments_vec(pool, policy, streams)
+            vec_times.append(time.perf_counter() - start)
+
+        sequential, vectorized = min(seq_times), min(vec_times)
+        total_users = pool.num_users
+        horizon = pool.horizon
+        record = {
+            "name": name,
+            "spec": scenario.spec.to_dict(),
+            "num_envs": count,
+            "total_users": total_users,
+            "horizon": horizon,
+            "sequential_s": round(sequential, 6),
+            "vectorized_s": round(vectorized, 6),
+            "speedup": round(sequential / vectorized, 3),
+            "throughput_user_steps_per_s": round(total_users * horizon / vectorized, 1),
+            "equivalent": True,
+        }
+        records.append(record)
+        print(
+            f"[{name}] {count} envs x {total_users // count} users "
+            f"({scenario.spec.family}), T={horizon}: seq={sequential:.3f}s "
+            f"vec={vectorized:.3f}s -> {record['speedup']:.2f}x"
+        )
+    return records
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true", help="tiny CI-sized run")
@@ -317,6 +434,9 @@ def main() -> None:
                 )
             )
         results.append(result)
+    scenario_sweep = bench_scenario_sweep(
+        SCENARIO_CASES["smoke" if args.smoke else "full"], repeats
+    )
     payload = {
         "benchmark": "perf_rollout",
         "mode": "smoke" if args.smoke else "full",
@@ -326,6 +446,7 @@ def main() -> None:
         "numpy": np.__version__,
         "cpu_count": os.cpu_count(),
         "scenarios": results,
+        "scenario_sweep": scenario_sweep,
         "headline_speedup": max(r["speedup"] for r in results),
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")

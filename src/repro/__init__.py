@@ -10,9 +10,10 @@ policy with error-guarding filters.
 Subpackages
 -----------
 ``repro.nn``        numpy autodiff + neural-network substrate
-``repro.envs``      LTS (RecSim Choc/Kale) and DPR (ride-hailing) worlds
+``repro.envs``      LTS (RecSim Choc/Kale), DPR (ride-hailing) and SlateRec worlds
 ``repro.sim``       data-driven user-simulator learning and ensembles
 ``repro.rl``        PPO / GAE / rollout machinery
+``repro.scenarios`` registry-driven environment families (specs → populations)
 ``repro.core``      the Sim2Rec contribution (SADAE, extractor, trainer)
 ``repro.baselines`` DR-OSI, DR-UNI, DIRECT, WideDeep, DeepFM
 ``repro.eval``      KDE/KLD, PCA, clustering, intervention tests, probes

@@ -7,6 +7,7 @@ from .config import (
     dpr_small_config,
     lts_paper_config,
     lts_small_config,
+    scenario_small_config,
 )
 from .filters import (
     TrendFilterResult,
@@ -47,5 +48,6 @@ __all__ = [
     "intervention_response",
     "lts_paper_config",
     "lts_small_config",
+    "scenario_small_config",
     "train_sadae",
 ]

@@ -9,7 +9,7 @@ examples and benches use.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..rl.parity import ROLLOUT_MODES
 from ..rl.ppo import PPOConfig
@@ -20,7 +20,15 @@ from .sadae import SADAEConfig
 # bit-identical for matched per-env noise streams (repro.rl.parity owns
 # the canonical tuple and the harness that proves it); they differ only
 # in throughput.
-__all__ = ["ROLLOUT_MODES", "Sim2RecConfig", "dpr_paper_config", "dpr_small_config", "lts_paper_config", "lts_small_config"]
+__all__ = [
+    "ROLLOUT_MODES",
+    "Sim2RecConfig",
+    "dpr_paper_config",
+    "dpr_small_config",
+    "lts_paper_config",
+    "lts_small_config",
+    "scenario_small_config",
+]
 
 
 @dataclass
@@ -70,6 +78,14 @@ class Sim2RecConfig:
     # offers no multiprocessing start method. Worker processes are
     # reused across iterations.
     rollout_workers: int = 1
+
+    # --- scenario (registry-driven environment family) ------------------
+    # A registered-family config dict resolved by repro.scenarios, e.g.
+    # {"family": "slate", "num_envs": 48, "num_users": 10}. Consumed by
+    # repro.scenarios.trainer_from_config and the
+    # `python -m repro.scenarios train` CLI; the Sim2Rec*Trainer classes
+    # ignore it (their environments are passed explicitly).
+    scenario: Optional[Dict[str, Any]] = None
 
     # --- simulator-error countermeasures (Sec. IV-C) --------------------
     truncate_horizon: Optional[int] = None   # T_c; None = full episodes
@@ -182,6 +198,43 @@ def lts_small_config(seed: int = 0) -> Sim2RecConfig:
             seed=seed,
         ),
         sadae_pretrain_epochs=40,
+        ppo=PPOConfig(
+            learning_rate=1e-3,
+            gamma=0.99,
+            update_epochs=3,
+            minibatches_per_segment=2,
+        ),
+        use_uncertainty_penalty=False,
+        use_trend_filter=False,
+        use_exec_filter=False,
+        seed=seed,
+    )
+
+
+def scenario_small_config(seed: int = 0) -> Sim2RecConfig:
+    """Laptop-scale preset for arbitrary registered scenarios.
+
+    Family-agnostic: the full state-action SADAE form (``state_only=
+    False``) identifies any world's group parameters, and the error
+    countermeasures stay off because scenario simulators are exact
+    environment variants (as in the LTS tasks). Pair it with
+    ``config.scenario = {...}`` and
+    :func:`repro.scenarios.trainer_from_config`.
+    """
+    return Sim2RecConfig(
+        fc_sizes=(32, 16),
+        lstm_hidden=32,
+        head_hidden=(64, 32),
+        sadae=SADAEConfig(
+            latent_dim=4,
+            encoder_hidden=(64, 64),
+            decoder_hidden=(64, 64),
+            learning_rate=1e-3,
+            weight_decay=1e-3,
+            state_only=False,
+            seed=seed,
+        ),
+        sadae_pretrain_epochs=20,
         ppo=PPOConfig(
             learning_rate=1e-3,
             gamma=0.99,

@@ -1,4 +1,9 @@
-"""Environments: the LTS synthetic world and the DPR ride-hailing world."""
+"""Environments: the LTS, DPR and SlateRec world families.
+
+Families are also registered declaratively in :mod:`repro.scenarios`;
+``make_scenario({"family": ...})`` builds whole populations from config
+dicts.
+"""
 
 from .base import MultiUserEnv, evaluate_policy
 from .dpr import (
@@ -21,6 +26,7 @@ from .dpr_logging import (
 )
 from .lts import LTSConfig, LTSEnv, MU_C_REAL, MU_K_REAL, oracle_constant_policy_return
 from .lts_tasks import LTSTask, admissible_omega_g, make_lts_task
+from .slate import MU_CLICK_REAL, MU_KALE_REAL, SlateConfig, SlateRecEnv
 from .spaces import Box, Discrete
 
 __all__ = [
@@ -41,9 +47,13 @@ __all__ = [
     "LTSConfig",
     "LTSEnv",
     "LTSTask",
+    "MU_CLICK_REAL",
     "MU_C_REAL",
+    "MU_KALE_REAL",
     "MU_K_REAL",
     "MultiUserEnv",
+    "SlateConfig",
+    "SlateRecEnv",
     "admissible_omega_g",
     "collect_city_log",
     "collect_dpr_dataset",

@@ -45,8 +45,20 @@ class LTSTask:
     sensitivity_range: tuple = (0.05, 0.15)
     memory_discount_range: tuple = (0.85, 0.95)
 
+    def _validate_population(self, num_users: int) -> None:
+        if num_users < 1:
+            raise ValueError(
+                f"LTS task {self.name!r}: num_users must be >= 1 (got "
+                f"{num_users}) — an empty user population cannot be rolled out"
+            )
+        if not self.train_omega_gs:
+            raise ValueError(
+                f"LTS task {self.name!r} has an empty training simulator set"
+            )
+
     def make_train_env(self, index: int, seed_offset: int = 0) -> LTSEnv:
         """Instantiate the ``index``-th training simulator."""
+        self._validate_population(self.num_users)
         omega_g = self.train_omega_gs[index % len(self.train_omega_gs)]
         config = LTSConfig(
             num_users=self.num_users,
@@ -67,6 +79,7 @@ class LTSTask:
 
     def make_target_env(self, seed_offset: int = 0, num_users: Optional[int] = None) -> LTSEnv:
         """The deployment environment ω* = [0, 0]."""
+        self._validate_population(num_users if num_users is not None else self.num_users)
         config = LTSConfig(
             num_users=num_users or self.num_users,
             horizon=self.horizon,
@@ -104,6 +117,10 @@ def make_lts_task(
     base = name.split("-")[0].upper()
     if base not in TASK_MIN_GAP:
         raise ValueError(f"unknown LTS task {name!r}; expected LTS1/LTS2/LTS3")
+    if num_users < 1:
+        raise ValueError(
+            f"LTS task {name!r}: num_users must be >= 1 (got {num_users})"
+        )
     if beta is not None and base != "LTS3":
         raise ValueError("per-user gaps (beta) are defined for LTS3 only")
     omega_gs = admissible_omega_g(TASK_MIN_GAP[base])

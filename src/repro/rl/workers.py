@@ -42,9 +42,12 @@ Process model
 - **Param mailbox**: ``sync_policy`` ships the policy object once
   (structure + weights) and thereafter only the serialized
   ``replica_state`` archive (full parameters every time — delta-free, so
-  a worker can never be a partial update behind). Every broadcast bumps
-  a version stamp; every ``collect_rollouts`` command carries the stamp
-  it expects, and a worker whose replica is stale answers with a
+  a worker can never be a partial update behind). A sync whose state is
+  byte-identical to the last successful broadcast is skipped outright —
+  no pipe traffic, same version stamp — so per-iteration ``sync_policy``
+  calls only pay when parameters actually changed. Every real broadcast
+  bumps a version stamp; every ``collect_rollouts`` command carries the
+  stamp it expects, and a worker whose replica is stale answers with a
   distinct reply that raises :class:`StaleReplicaError` in the parent
   instead of silently rolling out old weights.
 
@@ -529,6 +532,8 @@ class ShardedVecEnvPool(ShardableVecPool):
         self.max_param_bytes = int(max_param_bytes)
         self._replica_version = 0
         self._replica_signature: Optional[tuple] = None
+        self._replica_cache: Optional[Dict[str, np.ndarray]] = None
+        self._replica_broadcasts = 0
 
         ctx = mp.get_context(method)
         self._procs: List[Any] = []
@@ -727,6 +732,18 @@ class ShardedVecEnvPool(ShardableVecPool):
         """Version stamp of the last successful :meth:`sync_policy` (0 = none)."""
         return self._replica_version
 
+    @property
+    def replica_broadcasts(self) -> int:
+        """How many :meth:`sync_policy` calls actually sent anything.
+
+        An unchanged policy (same structure, byte-equal state arrays) is
+        skipped entirely — the workers already hold these exact weights
+        under the current version stamp — so training loops that call
+        ``sync_policy`` every iteration pay for the archive only when
+        parameters actually moved.
+        """
+        return self._replica_broadcasts
+
     def sync_policy(self, policy: ActorCriticBase) -> int:
         """Broadcast ``policy`` to every worker; returns the version stamp.
 
@@ -734,15 +751,31 @@ class ShardedVecEnvPool(ShardableVecPool):
         changed) ships the pickled policy object; subsequent broadcasts
         ship only the serialized ``replica_state`` archive — the full
         parameter set every time, so a replica can never be a partial
-        delta behind the parent. Raises ``ValueError`` before anything
-        is sent when the archive exceeds ``max_param_bytes`` (the pool
-        stays open and usable), and the usual pool errors
-        (:class:`WorkerCrashed` / :class:`WorkerStepError`) when a
-        worker dies or rejects the broadcast mid-way (the pool is closed
-        first — no hang, shared memory unlinked).
+        delta behind the parent. A broadcast whose state arrays are
+        byte-identical to the last successful one is **skipped
+        entirely** (no pipe traffic, same version stamp returned): the
+        workers' replicas are already exact, so re-sending would be pure
+        overhead (see :attr:`replica_broadcasts`). Raises ``ValueError``
+        before anything is sent when the archive exceeds
+        ``max_param_bytes`` (the pool stays open and usable), and the
+        usual pool errors (:class:`WorkerCrashed` /
+        :class:`WorkerStepError`) when a worker dies or rejects the
+        broadcast mid-way (the pool is closed first — no hang, shared
+        memory unlinked).
         """
         self._check_open()
         state = _replica_state(policy)
+        signature = tuple(sorted((key, value.shape) for key, value in state.items()))
+        if (
+            self._replica_version > 0
+            and signature == self._replica_signature
+            and self._replica_cache is not None
+            and all(
+                np.array_equal(value, self._replica_cache[key])
+                for key, value in state.items()
+            )
+        ):
+            return self._replica_version  # unchanged: nothing to re-send
         payload = state_to_bytes(state)
         if len(payload) > self.max_param_bytes:
             raise ValueError(
@@ -751,7 +784,6 @@ class ShardedVecEnvPool(ShardableVecPool):
                 "limit if broadcasting a model this large every iteration is "
                 "intentional"
             )
-        signature = tuple(sorted((key, value.shape) for key, value in state.items()))
         version = self._replica_version + 1
         if signature == self._replica_signature:
             command = ("replica", {"policy": None, "state": payload, "version": version})
@@ -760,6 +792,10 @@ class ShardedVecEnvPool(ShardableVecPool):
         self._broadcast(command)
         self._replica_version = version
         self._replica_signature = signature
+        self._replica_cache = {
+            key: np.array(value, copy=True) for key, value in state.items()
+        }
+        self._replica_broadcasts += 1
         return version
 
     def _ensure_traj(self, capacity: int) -> str:

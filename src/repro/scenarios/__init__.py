@@ -1,0 +1,54 @@
+"""Scenario subsystem: registry-driven environment families.
+
+Environment families (LTS, DPR, SlateRec, and anything registered
+later) are declared once and built from pure config dicts — seeds, env
+counts, user counts and hidden-parameter distributions all spec-driven:
+
+    from repro.scenarios import list_scenarios, make_scenario
+
+    list_scenarios()                                  # ['dpr', 'lts', 'slate']
+    scenario = make_scenario({"family": "slate", "num_envs": 240})
+    envs = scenario.make_train_envs()
+
+Training rides the same layer: ``Sim2RecConfig.scenario`` +
+:func:`trainer_from_config` (or ``python -m repro.scenarios train``)
+resolve any registered family into a full Algorithm-1 trainer. See
+``docs/scenarios.md`` for the spec schema and how to add a family.
+"""
+
+from .registry import (
+    POPULATION_KEYS,
+    Scenario,
+    ScenarioFamily,
+    ScenarioSpec,
+    list_scenarios,
+    make_scenario,
+    normalize_spec,
+    register_scenario,
+    scenario_defaults,
+    scenario_description,
+    unregister_scenario,
+)
+from . import families  # noqa: F401  (registers the built-in families)
+from .train import (
+    ScenarioTrainer,
+    collect_scenario_state_sets,
+    trainer_from_config,
+)
+
+__all__ = [
+    "POPULATION_KEYS",
+    "Scenario",
+    "ScenarioFamily",
+    "ScenarioSpec",
+    "ScenarioTrainer",
+    "collect_scenario_state_sets",
+    "list_scenarios",
+    "make_scenario",
+    "normalize_spec",
+    "register_scenario",
+    "scenario_defaults",
+    "scenario_description",
+    "trainer_from_config",
+    "unregister_scenario",
+]

@@ -21,7 +21,15 @@ from repro.core import (
     dpr_small_config,
     lts_small_config,
 )
-from repro.envs import DPRConfig, DPRWorld, LTSConfig, LTSEnv, make_lts_task
+from repro.envs import (
+    DPRConfig,
+    DPRWorld,
+    LTSConfig,
+    LTSEnv,
+    SlateConfig,
+    SlateRecEnv,
+    make_lts_task,
+)
 from repro.rl import (
     ROLLOUT_MODES,
     MLPActorCritic,
@@ -76,10 +84,31 @@ def make_hetero_horizon_envs():
     return envs
 
 
+def make_ragged_slate_envs():
+    """SlateRec members with ragged user counts and per-env choice models."""
+    sizes = [(4, -4.0), (8, 2.0), (3, 5.0), (6, -2.0)]
+    return [
+        SlateRecEnv(
+            SlateConfig(
+                num_users=k,
+                horizon=6,
+                slate_size=3,
+                omega_g=g,
+                omega_u_range=2.0,
+                temperature=0.4 + 0.1 * i,
+                churn_base=0.15,
+                seed=20 + i,
+            )
+        )
+        for i, (k, g) in enumerate(sizes)
+    ]
+
+
 ENV_SETS = {
     "dpr": (make_dpr_envs, 13, 2),
     "ragged_lts": (make_ragged_lts_envs, 2, 1),
     "hetero_horizons": (make_hetero_horizon_envs, 13, 2),
+    "ragged_slate": (make_ragged_slate_envs, 4, 3),
 }
 
 
@@ -149,6 +178,20 @@ class TestFeatureParity:
         assert_segments_identical(reference, collected, label=f"extras/{mode}")
         assert collected[0].horizon == 4
         assert set(collected[0].extras) == {"orders", "cost"}
+
+    def test_slate_truncation_and_extras(self, mode):
+        """The slate family's info-dict extras (sat/active: the churn
+        signal) and max_steps truncation survive every mode."""
+        policy = make_policy("mlp", 4, 3)
+        kwargs = dict(max_steps=4, extras_from_info=("sat", "active"))
+        reference = collect_reference(make_ragged_slate_envs, policy, seed=75, **kwargs)
+        envs = make_ragged_slate_envs()
+        collected = collect_rollout_mode(
+            mode, envs, policy, rngs_for(len(envs), 75), num_workers=2, **kwargs
+        )
+        assert_segments_identical(reference, collected, label=f"slate-extras/{mode}")
+        assert collected[0].horizon == 4
+        assert set(collected[0].extras) == {"sat", "active"}
 
     def test_sim2rec_policy_with_fitted_normalizer(self, mode):
         """SADAE context policies: υ per block + normaliser buffers in sync.

@@ -27,7 +27,7 @@ pytest.importorskip("hypothesis")
 from hypothesis import HealthCheck, given, settings  # noqa: E402
 from hypothesis import strategies as st  # noqa: E402
 
-from repro.envs import LTSConfig, LTSEnv  # noqa: E402
+from repro.envs import LTSConfig, LTSEnv, SlateConfig, SlateRecEnv  # noqa: E402
 from repro.rl import (  # noqa: E402
     BlockRNG,
     MLPActorCritic,
@@ -68,6 +68,23 @@ def make_envs(user_counts, horizons, seed=0, resample=False):
 
 def make_policy(seed=1):
     return MLPActorCritic(2, 1, np.random.default_rng(seed), hidden_sizes=(8,))
+
+
+def make_slate_envs(user_counts, horizon, slate_size, seed=0):
+    return [
+        SlateRecEnv(
+            SlateConfig(
+                num_users=users,
+                horizon=horizon,
+                slate_size=slate_size,
+                omega_g=float(2 * index - 3),
+                omega_u_range=1.5,
+                churn_base=0.2,
+                seed=seed + index,
+            )
+        )
+        for index, users in enumerate(user_counts)
+    ]
 
 
 class TestPartitionProperties:
@@ -238,3 +255,34 @@ class TestShardParallelLayoutFuzz:
             num_workers=workers,
         )
         assert_segments_identical(reference, collected, label="fuzz")
+
+    @settings(max_examples=6, suppress_health_check=[HealthCheck.too_slow], **COMMON)
+    @given(
+        user_counts=st.lists(st.integers(1, 7), min_size=2, max_size=5),
+        horizon=st.integers(2, 5),
+        slate_size=st.integers(1, 4),
+        workers=st.integers(1, 4),
+        seed=st.integers(0, 2**10),
+    )
+    def test_random_slate_layouts_match_sequential(
+        self, user_counts, horizon, slate_size, workers, seed
+    ):
+        """The slate family under the same fuzz: random ragged layouts,
+        slate widths and shard counts reproduce the sequential loop
+        through worker-side policy replicas (MNL choice draws, churn
+        draws and observation noise all riding per-env streams)."""
+        policy = MLPActorCritic(
+            SlateRecEnv.STATE_DIM, slate_size, np.random.default_rng(3), hidden_sizes=(8,)
+        )
+        reference = collect_segments_sequential(
+            make_slate_envs(user_counts, horizon, slate_size, seed),
+            policy,
+            [np.random.default_rng(seed + 100 + i) for i in range(len(user_counts))],
+        )
+        collected = collect_segments_shard_parallel(
+            make_slate_envs(user_counts, horizon, slate_size, seed),
+            policy,
+            [np.random.default_rng(seed + 100 + i) for i in range(len(user_counts))],
+            num_workers=workers,
+        )
+        assert_segments_identical(reference, collected, label="slate-fuzz")

@@ -294,6 +294,85 @@ class TestParamSyncFailures:
         assert_segments_identical(reference, collected, label="one_shot")
 
 
+class TestReplicaResendSkip:
+    """Unchanged policies are not re-broadcast (no pipe traffic at all)."""
+
+    def test_unchanged_policy_skips_the_broadcast(self):
+        policy = make_policy()
+        with ShardedVecEnvPool(make_world().make_all_city_envs(), num_workers=2) as pool:
+            assert pool.sync_policy(policy) == 1
+            assert pool.replica_broadcasts == 1
+            # Same structure, byte-identical state: nothing is sent and
+            # the version stamp does not move.
+            assert pool.sync_policy(policy) == 1
+            assert pool.sync_policy(policy) == 1
+            assert pool.replica_broadcasts == 1
+            # The workers' stamp still matches, so collection proceeds.
+            segments = pool.collect_rollouts(
+                [np.random.default_rng(700 + i) for i in range(5)]
+            )
+            assert len(segments) == 5
+
+    def test_skipped_sync_collections_stay_bit_identical(self):
+        """Collecting after a skipped re-sync uses the replicas already in
+        the workers — and those are exact, so segments still match the
+        sequential reference."""
+        policy = make_policy()
+        rngs = lambda: [np.random.default_rng(710 + i) for i in range(5)]  # noqa: E731
+        reference = [
+            collect_segment(env, policy, rng)
+            for env, rng in zip(make_world().make_all_city_envs(), rngs())
+        ]
+        with ShardedVecEnvPool(make_world().make_all_city_envs(), num_workers=2) as pool:
+            pool.sync_policy(policy)
+            pool.sync_policy(policy)  # skipped
+            collected = pool.collect_rollouts(rngs())
+        assert_segments_identical(reference, collected, label="skip_resend")
+
+    def test_changed_parameters_do_resend(self):
+        policy = make_policy()
+        with ShardedVecEnvPool(make_world().make_all_city_envs(), num_workers=2) as pool:
+            assert pool.sync_policy(policy) == 1
+            policy.parameters()[0].data += 1e-6  # a real update
+            assert pool.sync_policy(policy) == 2
+            assert pool.replica_broadcasts == 2
+            # ... and a revert is also a change relative to the cache.
+            policy.parameters()[0].data -= 1e-6
+            assert pool.sync_policy(policy) == 3
+            assert pool.replica_broadcasts == 3
+
+    def test_trainer_iterations_only_broadcast_on_updates(self):
+        """The training loop's per-iteration sync_policy only ships bytes
+        when PPO actually moved the parameters: back-to-back collect()
+        calls (no update in between) reuse the workers' replica."""
+        from repro.core import PolicyTrainer, lts_small_config
+        from repro.envs import make_lts_task
+
+        config = lts_small_config(seed=0)
+        config.rollout_mode = "shard_parallel"
+        config.rollout_workers = 2
+        config.segments_per_iteration = 3
+        task = make_lts_task("LTS3", num_users=6, horizon=5, seed=0)
+        envs = task.make_train_envs()[:3]
+        draws = iter(range(10_000))
+
+        def round_robin(rng):  # deterministic layout: the pool is reused
+            return envs[next(draws) % len(envs)]
+
+        policy = MLPActorCritic(2, 1, np.random.default_rng(0), hidden_sizes=(8,))
+        with PolicyTrainer(policy, round_robin, config) as trainer:
+            trainer.collect()
+            pool = trainer._worker_pool
+            first = pool.replica_broadcasts
+            trainer.collect()  # same parameters: no re-send
+            assert trainer._worker_pool is pool
+            assert pool.replica_broadcasts == first
+            trainer.train_iteration()  # collect (no re-send yet) + PPO update
+            trainer.collect()          # params moved: this collect re-sends
+            assert trainer._worker_pool is pool
+            assert pool.replica_broadcasts > first
+
+
 class TestFailurePaths:
     def test_worker_crash_raises_instead_of_hanging(self):
         world = make_world(num_cities=4)

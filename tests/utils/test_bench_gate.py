@@ -27,6 +27,9 @@ def rollout_payload(
     shard_parallel_vs_sharded=1.6,
     mode_equivalent=True,
     with_mode_sweep=True,
+    scenario_speedup=2.0,
+    scenario_equivalent=True,
+    with_scenario_sweep=True,
 ):
     scenario = {
         "name": "smoke_cross_city",
@@ -61,7 +64,18 @@ def rollout_payload(
                 "equivalent": mode_equivalent,
             },
         ]
-    return {"cpu_count": cpu_count, "scenarios": [scenario]}
+    payload = {"cpu_count": cpu_count, "scenarios": [scenario]}
+    if with_scenario_sweep:
+        payload["scenario_sweep"] = [
+            {
+                "name": name,
+                "num_envs": 12,
+                "speedup": scenario_speedup,
+                "equivalent": scenario_equivalent,
+            }
+            for name in ("scenario_slate", "scenario_lts")
+        ]
+    return payload
 
 
 BASELINE = {
@@ -73,6 +87,10 @@ BASELINE = {
             "min_speedup_vs_sharded": 1.25,
             "min_cpus": 2,
         }
+    },
+    "scenario_sweep": {
+        "scenario_slate": {"min_speedup": 1.3},
+        "scenario_lts": {"min_speedup": 1.5},
     },
 }
 
@@ -182,6 +200,52 @@ class TestModeSweepFloors:
             ]
         )
         assert gate.check_payload(payload, BASELINE, 0.8, "rollout") == []
+
+
+class TestScenarioSweepFloors:
+    def test_passes_when_floors_hold(self, gate):
+        assert gate.check_payload(rollout_payload(), BASELINE, 0.8, "rollout") == []
+
+    def test_fails_on_scenario_case_regression(self, gate):
+        # floor 1.5 x tolerance 0.8 = 1.2: a 1.1x scenario case fails
+        failures = gate.check_payload(
+            rollout_payload(scenario_speedup=1.1), BASELINE, 0.8, "rollout"
+        )
+        assert any("scenario_sweep/scenario_lts" in f and "1.1" in f for f in failures)
+
+    def test_equivalence_enforced_even_on_single_core(self, gate):
+        """Scenario populations verify bit-identity on any machine — a
+        false flag fails the gate regardless of cpu_count."""
+        failures = gate.check_payload(
+            rollout_payload(scenario_equivalent=False, cpu_count=1),
+            BASELINE,
+            0.8,
+            "rollout",
+        )
+        assert any(
+            "scenario_sweep/scenario_slate" in f and "equivalence" in f
+            for f in failures
+        )
+
+    def test_fails_when_case_missing_from_sweep(self, gate):
+        failures = gate.check_payload(
+            rollout_payload(with_scenario_sweep=False), BASELINE, 0.8, "rollout"
+        )
+        assert any(
+            "scenario_sweep/scenario_slate" in f and "missing" in f for f in failures
+        )
+
+    def test_uncommitted_cases_only_checked_for_equivalence(self, gate):
+        """A swept case without a committed floor (e.g. a new family being
+        explored) passes on speed but still must verify equivalence."""
+        payload = rollout_payload()
+        payload["scenario_sweep"].append(
+            {"name": "scenario_new_family", "speedup": 0.5, "equivalent": True}
+        )
+        assert gate.check_payload(payload, BASELINE, 0.8, "rollout") == []
+        payload["scenario_sweep"][-1]["equivalent"] = False
+        failures = gate.check_payload(payload, BASELINE, 0.8, "rollout")
+        assert any("scenario_new_family" in f for f in failures)
 
 
 class TestRun:
