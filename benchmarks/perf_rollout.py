@@ -29,9 +29,14 @@ CI gate only enforces worker and mode floors on multi-core runners).
 cores exist, because it parallelises the policy forward (the 80–95 % of
 collection time the step server leaves on the parent).
 
+``--chaos`` opts into a fault-injection sweep on top: scheduled worker
+kills mid-collection (:mod:`repro.rl.chaos`) with supervision enabled,
+reporting the per-incident recovery overhead — every faulted collection
+passes the same bit-identity gate first.
+
 Not a pytest module — run directly::
 
-    python benchmarks/perf_rollout.py [--smoke] [--output PATH] [--workers 1,2,4]
+    python benchmarks/perf_rollout.py [--smoke] [--chaos] [--output PATH] [--workers 1,2,4]
 """
 
 from __future__ import annotations
@@ -54,6 +59,9 @@ except ImportError:  # running from a checkout: fall back to the src/ layout
 
 from repro.envs import DPRConfig, DPRWorld
 from repro.rl import (
+    ChaosSchedule,
+    FaultPolicy,
+    FaultSpec,
     RecurrentActorCritic,
     ShardedVecEnvPool,
     VecEnvPool,
@@ -277,6 +285,103 @@ def bench_mode_sweep(
     return {"workers": worker_records, "mode_sweep": mode_records}
 
 
+#: Supervision knobs for the chaos bench: short deadlines so a hang is
+#: detected quickly, tiny backoff so the measured overhead is the
+#: recovery machinery (snapshot respawn + journal replay), not sleeps.
+CHAOS_POLICY = FaultPolicy(
+    max_restarts=2,
+    backoff=0.01,
+    step_deadline=30.0,
+    broadcast_deadline=30.0,
+    collect_deadline=120.0,
+)
+
+#: Fault cases injected by ``--chaos``: a worker dying the instant it is
+#: asked to collect (cheap recovery — nothing to replay) and one dying
+#: just before replying (the envs already advanced a full episode, so
+#: the parent must respawn from snapshot and replay the journal).
+CHAOS_CASES = (
+    ("kill_on_rollout", FaultSpec(kind="kill", worker=0, op="rollout", at=0)),
+    (
+        "kill_after_rollout",
+        FaultSpec(kind="kill", worker=0, op="rollout", at=0, phase="reply"),
+    ),
+)
+
+
+def bench_chaos(config: DPRConfig, worker_counts: tuple, repeats: int) -> list:
+    """Opt-in fault-injection sweep: recovery cost of a mid-collect crash.
+
+    For each worker count and fault case, a fresh supervised pool
+    (:data:`CHAOS_POLICY`) collects one full rollout while the scheduled
+    fault kills a worker; the collection must come back **bit-identical**
+    to the sequential baseline (the same acceptance gate as the timed
+    modes — recovery that alters results would be worse than a crash).
+    The clean run rebuilds the identical pool without a schedule, so the
+    reported ``recovery_overhead_s`` isolates detection + respawn +
+    journal replay. Single-rollout times on fresh pools, not steady
+    state: recovery cost is a per-incident number.
+    """
+    world = DPRWorld(config)
+    policy = make_policy(13, 2)
+    seq_ref = collect_segments_sequential(
+        world.make_all_city_envs(), policy, make_rngs(world, 7)
+    )
+
+    def one_collect(workers, chaos):
+        pool = ShardedVecEnvPool(
+            world.make_all_city_envs(),
+            num_workers=workers,
+            fault_policy=CHAOS_POLICY,
+            chaos=chaos,
+        )
+        try:
+            pool.sync_policy(policy)
+            start = time.perf_counter()
+            collected = pool.collect_rollouts(make_rngs(world, 7))
+            elapsed = time.perf_counter() - start
+            restarts = sum(pool.restart_counts)
+            degraded = pool.degraded
+        finally:
+            pool.close()
+        return collected, elapsed, restarts, degraded
+
+    records = []
+    for workers in worker_counts:
+        for case, spec in CHAOS_CASES:
+            clean_times, fault_times = [], []
+            for _ in range(repeats):
+                collected, elapsed, restarts, degraded = one_collect(workers, None)
+                assert restarts == 0 and not degraded
+                clean_times.append(elapsed)
+                collected, elapsed, restarts, degraded = one_collect(
+                    workers, ChaosSchedule(specs=[spec])
+                )
+                assert restarts == 1, f"fault did not fire (restarts={restarts})"
+                assert not degraded
+                assert_segments_identical(
+                    seq_ref, collected, label=f"chaos/{case}/workers={workers}"
+                )
+                fault_times.append(elapsed)
+            clean, faulted = min(clean_times), min(fault_times)
+            record = {
+                "case": case,
+                "num_workers": workers,
+                "clean_collect_s": round(clean, 6),
+                "faulted_collect_s": round(faulted, 6),
+                "recovery_overhead_s": round(faulted - clean, 6),
+                "restarts": 1,
+                "equivalent": True,
+            }
+            records.append(record)
+            print(
+                f"[chaos] {case} workers={workers}: clean={clean:.3f}s "
+                f"faulted={faulted:.3f}s -> +{record['recovery_overhead_s']:.3f}s "
+                "recovery overhead (bit-identical)"
+            )
+    return records
+
+
 # Registry-driven scenario cases: pure config dicts resolved through
 # repro.scenarios.make_scenario — the bench never hand-wires a family.
 # The large-scale slate case (240 envs) is the headline workload the
@@ -385,6 +490,12 @@ def main() -> None:
     parser.add_argument("--smoke", action="store_true", help="tiny CI-sized run")
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="also run the fault-injection sweep: kill workers mid-collect "
+        "and report per-incident recovery overhead (parity-gated)",
+    )
+    parser.add_argument(
         "--workers",
         type=str,
         default=None,
@@ -437,6 +548,19 @@ def main() -> None:
     scenario_sweep = bench_scenario_sweep(
         SCENARIO_CASES["smoke" if args.smoke else "full"], repeats
     )
+    chaos_records = None
+    if args.chaos:
+        if sharding_available():
+            # Recovery cost is per-incident, not throughput-bound: the
+            # small smoke layout keeps the sweep fast at any scale.
+            chaos_config = DPRConfig(
+                num_cities=8, drivers_per_city=8, horizon=8, seed=0
+            )
+            chaos_records = bench_chaos(
+                chaos_config, worker_counts, min(repeats, 2)
+            )
+        else:
+            print("[chaos] sharding unavailable, skipped")
     payload = {
         "benchmark": "perf_rollout",
         "mode": "smoke" if args.smoke else "full",
@@ -449,6 +573,8 @@ def main() -> None:
         "scenario_sweep": scenario_sweep,
         "headline_speedup": max(r["speedup"] for r in results),
     }
+    if chaos_records is not None:
+        payload["chaos"] = chaos_records
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output} (headline speedup {payload['headline_speedup']:.2f}x)")
 

@@ -1,5 +1,11 @@
 """The Sim2Rec core: SADAE, context-aware policy, filters, Algorithm 1."""
 
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    checkpoint_iteration,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .config import (
     ROLLOUT_MODES,
     Sim2RecConfig,
@@ -28,6 +34,7 @@ from .trainer import (
 )
 
 __all__ = [
+    "CHECKPOINT_VERSION",
     "PolicyTrainer",
     "ROLLOUT_MODES",
     "SADAE",
@@ -40,14 +47,17 @@ __all__ = [
     "apply_exec_filter",
     "apply_uncertainty_penalty",
     "build_sim2rec_policy",
+    "checkpoint_iteration",
     "collect_lts_state_sets",
     "compute_trend_filter",
     "dpr_paper_config",
     "dpr_small_config",
     "filter_group_log",
     "intervention_response",
+    "load_checkpoint",
     "lts_paper_config",
     "lts_small_config",
+    "save_checkpoint",
     "scenario_small_config",
     "train_sadae",
 ]

@@ -13,6 +13,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from ..rl.parity import ROLLOUT_MODES
 from ..rl.ppo import PPOConfig
+from ..rl.workers import FaultPolicy
 from .sadae import SADAEConfig
 
 # Re-exported here for config consumers: the rollout collection modes
@@ -78,6 +79,22 @@ class Sim2RecConfig:
     # offers no multiprocessing start method. Worker processes are
     # reused across iterations.
     rollout_workers: int = 1
+    # Worker supervision for the sharded modes: a
+    # repro.rl.workers.FaultPolicy turns on per-op deadlines, automatic
+    # respawn with bit-identical crash recovery, and graceful
+    # degradation to in-process collection when the restart budget runs
+    # out. None (the default) keeps the legacy fail-fast contract: any
+    # worker failure closes the pool and raises.
+    fault_policy: Optional[FaultPolicy] = None
+
+    # --- run checkpoint / resume ----------------------------------------
+    # Every checkpoint_every completed iterations (0 = off) the trainer
+    # atomically snapshots policy + optimiser + RNG streams + aux state
+    # to checkpoint_path (repro.core.checkpoint); a fresh trainer built
+    # from the same config resumes from it on the unbroken run's exact
+    # trajectory.
+    checkpoint_every: int = 0
+    checkpoint_path: Optional[str] = None
 
     # --- scenario (registry-driven environment family) ------------------
     # A registered-family config dict resolved by repro.scenarios, e.g.

@@ -153,6 +153,7 @@ class PolicyTrainer:
             tuple(env.num_users for env in envs),
             envs[0].observation_dim,
             envs[0].action_dim,
+            self.config.fault_policy,
         )
         if self._worker_pool is not None and self._worker_pool.closed:
             # A crash (WorkerCrashed / WorkerStepError / StaleReplicaError)
@@ -166,7 +167,9 @@ class PolicyTrainer:
         # pool (processes + shared memory) must go before a new one
         # replaces it.
         self.close()
-        self._worker_pool = ShardedVecEnvPool(envs, num_workers=workers)
+        self._worker_pool = ShardedVecEnvPool(
+            envs, num_workers=workers, fault_policy=self.config.fault_policy
+        )
         self._worker_pool_key = key
         return self._worker_pool
 
@@ -307,12 +310,96 @@ class PolicyTrainer:
         }
         self.logger.log(self._iteration, **metrics)
         self._iteration += 1
+        if (
+            config.checkpoint_every > 0
+            and config.checkpoint_path is not None
+            and self._iteration % config.checkpoint_every == 0
+        ):
+            self.save_checkpoint(config.checkpoint_path)
         return metrics
 
     def train(self, iterations: int) -> MetricLogger:
         for _ in range(iterations):
             self.train_iteration()
         return self.logger
+
+    # Run checkpoint / resume --------------------------------------------
+    @property
+    def iteration(self) -> int:
+        """Completed training iterations (the resume point)."""
+        return self._iteration
+
+    def checkpoint_extra_state(self) -> Dict[str, np.ndarray]:
+        """Trainer-specific continuation state for run checkpoints.
+
+        Subclasses whose sampler or learning steps carry state across
+        iterations (shared env objects, replay windows, counters)
+        override this — and :meth:`load_checkpoint_extra_state` — so a
+        resumed run continues the unbroken trajectory. Values must be
+        numpy arrays (:func:`repro.core.checkpoint.pickle_to_array`
+        wraps arbitrary objects).
+        """
+        return {}
+
+    def load_checkpoint_extra_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`checkpoint_extra_state` (no-op by default)."""
+
+    def save_checkpoint(self, path) -> None:
+        """Atomically snapshot this trainer to ``path`` (npz + CRC32)."""
+        from .checkpoint import save_checkpoint
+
+        save_checkpoint(path, self)
+
+    def load_checkpoint(self, path) -> int:
+        """Restore a snapshot saved by :meth:`save_checkpoint`.
+
+        The trainer must be freshly built from the same config; returns
+        the completed-iteration count to continue from.
+        """
+        from .checkpoint import load_checkpoint
+
+        return load_checkpoint(path, self)
+
+
+def env_population_extra_state(
+    envs: Sequence[MultiUserEnv],
+    recent_sets: Sequence[Tuple[np.ndarray, Optional[np.ndarray]]],
+) -> Dict[str, np.ndarray]:
+    """Checkpoint payload for trainers over a shared env population.
+
+    Captures the env objects whole (their internal RNG generators and
+    episode state travel inside the pickle) plus the SADAE replay
+    window. Shared by the LTS and scenario trainers.
+    """
+    from .checkpoint import pickle_to_array
+
+    return {
+        "train_envs": pickle_to_array(list(envs)),
+        "recent_sets": pickle_to_array(list(recent_sets)),
+    }
+
+
+def load_env_population_extra_state(
+    envs: Sequence[MultiUserEnv], state: Dict[str, np.ndarray]
+) -> List[Tuple[np.ndarray, Optional[np.ndarray]]]:
+    """Restore :func:`env_population_extra_state` **into** ``envs``.
+
+    The checkpointed env states are written into the existing objects
+    (``vars`` update) rather than replacing them — the sampler closure
+    and any cached pool hold references to these exact objects. Returns
+    the restored replay window.
+    """
+    from .checkpoint import unpickle_array
+
+    saved = unpickle_array(state["train_envs"])
+    if len(saved) != len(envs):
+        raise ValueError(
+            f"checkpoint has {len(saved)} training envs, trainer has "
+            f"{len(envs)} — config mismatch"
+        )
+    for mine, theirs in zip(envs, saved):
+        vars(mine).update(vars(theirs))
+    return unpickle_array(state["recent_sets"])
 
 
 class Sim2RecLTSTrainer(PolicyTrainer):
@@ -368,6 +455,12 @@ class Sim2RecLTSTrainer(PolicyTrainer):
         for t in range(0, segment.horizon, max(segment.horizon // 4, 1)):
             self._recent_sets.append((segment.states[t], None))
         self._recent_sets = self._recent_sets[-64:]
+
+    def checkpoint_extra_state(self) -> Dict[str, np.ndarray]:
+        return env_population_extra_state(self._train_envs, self._recent_sets)
+
+    def load_checkpoint_extra_state(self, state: Dict[str, np.ndarray]) -> None:
+        self._recent_sets = load_env_population_extra_state(self._train_envs, state)
 
     def after_update(self) -> None:
         if not self._recent_sets or self.config.sadae_updates_per_iteration <= 0:
@@ -448,18 +541,21 @@ class Sim2RecDPRTrainer(PolicyTrainer):
             else:
                 self._filtered_logs[group.group_id] = group
         group_ids = list(self._filtered_logs)
-        env_seed_counter = [0]
+        # Instance state (not a closure cell) so run checkpoints can
+        # capture it: resumed runs draw the same env seeds the unbroken
+        # run would have.
+        self._env_seed_counter = 0
 
         def sampler(rng: np.random.Generator) -> MultiUserEnv:
             member = ensemble.sample_member(rng)           # M_ω ~ p(Ω)
             gid = group_ids[int(rng.integers(0, len(group_ids)))]  # g ~ p(g)
-            env_seed_counter[0] += 1
+            self._env_seed_counter += 1
             return SimulatedDPREnv(
                 member,
                 self._filtered_logs[gid],
                 truncate_horizon=config.truncate_horizon or 5,
                 ensemble=ensemble if config.use_uncertainty_penalty else None,
-                seed=config.seed + 40_000 + env_seed_counter[0],
+                seed=config.seed + 40_000 + self._env_seed_counter,
             )
 
         super().__init__(policy, sampler, config, logger)
@@ -473,6 +569,16 @@ class Sim2RecDPRTrainer(PolicyTrainer):
     def trend_results(self):
         """Per-group intervention-test outcomes (for diagnostics/benches)."""
         return self._trend_results
+
+    def checkpoint_extra_state(self) -> Dict[str, np.ndarray]:
+        return {
+            "env_seed_counter": np.array([self._env_seed_counter], dtype=np.int64)
+        }
+
+    def load_checkpoint_extra_state(self, state: Dict[str, np.ndarray]) -> None:
+        self._env_seed_counter = int(
+            np.asarray(state["env_seed_counter"]).ravel()[0]
+        )
 
     def pretrain_sadae(self, epochs: Optional[int] = None) -> List[float]:
         return train_sadae(

@@ -20,7 +20,15 @@ from .layers import ACTIVATIONS, Embedding, LayerNorm, Linear, MLP, get_activati
 from .module import Module, Parameter
 from .optim import Adam, LinearLRSchedule, Optimizer, SGD, clip_grad_norm
 from .recurrent import GRUCell, LSTM, LSTMCell
-from .serialization import load_module, save_module, state_from_bytes, state_to_bytes
+from .serialization import (
+    StateChecksumError,
+    load_module,
+    load_state,
+    save_module,
+    save_state,
+    state_from_bytes,
+    state_to_bytes,
+)
 from .tensor import (
     Tensor,
     affine,
@@ -52,6 +60,7 @@ __all__ = [
     "Optimizer",
     "Parameter",
     "SGD",
+    "StateChecksumError",
     "Tensor",
     "affine",
     "as_tensor",
@@ -63,12 +72,14 @@ __all__ = [
     "huber_loss",
     "is_grad_enabled",
     "load_module",
+    "load_state",
     "log_softmax",
     "logsumexp",
     "mse_loss",
     "no_grad",
     "product_of_gaussians",
     "save_module",
+    "save_state",
     "softmax",
     "stack",
     "state_from_bytes",

@@ -1,12 +1,36 @@
-"""Optimisers (Adam, SGD) and gradient utilities."""
+"""Optimisers (Adam, SGD) and gradient utilities.
+
+Optimisers expose ``state_dict`` / ``load_state_dict`` as flat
+name → ndarray mappings (the same shape contract as module state dicts)
+so run checkpoints (:mod:`repro.core.checkpoint`) can snapshot and
+restore momentum/variance accumulators bit-exactly — a resumed run
+takes the same parameter steps an unbroken one would.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
 from .module import Parameter
+
+
+def _load_slots(
+    slots: List[np.ndarray], state: Dict[str, np.ndarray], prefix: str
+) -> None:
+    """Copy ``state[f"{prefix}.{i}"]`` into each slot array, validating shape."""
+    for index, slot in enumerate(slots):
+        key = f"{prefix}.{index}"
+        if key not in state:
+            raise KeyError(f"optimizer state is missing {key!r}")
+        value = np.asarray(state[key])
+        if value.shape != slot.shape:
+            raise ValueError(
+                f"optimizer state {key!r} has shape {value.shape}, "
+                f"expected {slot.shape} — parameter layout changed"
+            )
+        slot[...] = value
 
 
 def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
@@ -64,6 +88,18 @@ class SGD(Optimizer):
                 update = param.grad
             param.data = param.data - self.lr * update
 
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {
+            "lr": np.array([self.lr], dtype=np.float64),
+        }
+        for index, velocity in enumerate(self._velocity):
+            state[f"velocity.{index}"] = velocity.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        self.lr = float(np.asarray(state["lr"]).ravel()[0])
+        _load_slots(self._velocity, state, "velocity")
+
 
 class Adam(Optimizer):
     """Adam optimiser (Kingma & Ba) with optional decoupled weight decay.
@@ -107,6 +143,22 @@ class Adam(Optimizer):
             v_hat = v / bias2
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {
+            "step_count": np.array([self._step_count], dtype=np.int64),
+            "lr": np.array([self.lr], dtype=np.float64),
+        }
+        for index, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m.{index}"] = m.copy()
+            state[f"v.{index}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        self._step_count = int(np.asarray(state["step_count"]).ravel()[0])
+        self.lr = float(np.asarray(state["lr"]).ravel()[0])
+        _load_slots(self._m, state, "m")
+        _load_slots(self._v, state, "v")
+
 
 class LinearLRSchedule:
     """Linear learning-rate decay from ``start`` to ``end`` over ``total`` steps.
@@ -130,3 +182,13 @@ class LinearLRSchedule:
         lr = self.start + (self.end - self.start) * fraction
         self.optimizer.lr = lr
         return lr
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {"step_count": np.array([self._step_count], dtype=np.int64)}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        self._step_count = int(np.asarray(state["step_count"]).ravel()[0])
+        # Re-derive the lr the restored step count implies (the optimiser's
+        # own checkpointed lr is overwritten consistently).
+        fraction = self._step_count / self.total
+        self.optimizer.lr = self.start + (self.end - self.start) * fraction

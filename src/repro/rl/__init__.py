@@ -14,11 +14,14 @@ from .vec import (
     evaluate_policy_vec,
     split_rng,
 )
+from .chaos import ChaosSchedule, FaultSpec
 from .workers import (
+    FaultPolicy,
     ShardedVecEnvPool,
     StaleReplicaError,
     WorkerCrashed,
     WorkerStepError,
+    WorkerTimeout,
     collect_segments_shard_parallel,
     sharding_available,
 )
@@ -32,6 +35,9 @@ from .parity import (
 __all__ = [
     "ActorCriticBase",
     "BlockRNG",
+    "ChaosSchedule",
+    "FaultPolicy",
+    "FaultSpec",
     "MLPActorCritic",
     "PPO",
     "PPOConfig",
@@ -45,6 +51,7 @@ __all__ = [
     "VecEnvPool",
     "WorkerCrashed",
     "WorkerStepError",
+    "WorkerTimeout",
     "assemble_segments",
     "assert_segments_identical",
     "collect_rollout_mode",

@@ -104,6 +104,7 @@ def collect_rollout_mode(
     max_steps: Optional[int] = None,
     extras_from_info: Tuple[str, ...] = (),
     pool: Optional[ShardableVecPool] = None,
+    pool_kwargs: Optional[dict] = None,
 ) -> List[RolloutSegment]:
     """Collect one round of segments through the named rollout mode.
 
@@ -113,7 +114,10 @@ def collect_rollout_mode(
     pooled modes (a :class:`~repro.rl.vec.VecEnvPool` for ``vectorized``,
     a :class:`~repro.rl.workers.ShardedVecEnvPool` for the sharded
     ones); reuse one across calls to test multi-episode stream
-    continuity. Sharded modes otherwise build a throwaway pool.
+    continuity. Sharded modes otherwise build a throwaway pool, with
+    ``pool_kwargs`` forwarded to its constructor — the chaos tests route
+    ``fault_policy`` / ``chaos`` through here so recovery runs under the
+    exact parity harness that certifies the fault-free paths.
     """
     if mode == "sequential":
         return collect_segments_sequential(
@@ -131,7 +135,7 @@ def collect_rollout_mode(
         raise ValueError(f"unknown rollout mode {mode!r}; expected one of {ROLLOUT_MODES}")
     owned = pool is None
     if pool is None:
-        pool = ShardedVecEnvPool(envs, num_workers=num_workers)
+        pool = ShardedVecEnvPool(envs, num_workers=num_workers, **(pool_kwargs or {}))
     elif not isinstance(pool, ShardedVecEnvPool):
         raise ValueError(f"mode {mode!r} needs a ShardedVecEnvPool, got {type(pool).__name__}")
     try:
@@ -157,6 +161,7 @@ def verify_rollout_parity(
     max_steps: Optional[int] = None,
     extras_from_info: Tuple[str, ...] = (),
     label: str = "parity",
+    pool_kwargs: Optional[dict] = None,
 ) -> List[RolloutSegment]:
     """Assert every requested mode bit-reproduces the sequential loop.
 
@@ -164,7 +169,9 @@ def verify_rollout_parity(
     same initial state) because collection advances env state; every
     mode gets its own envs and its own per-env generators derived from
     ``seed``, so any mismatch is the collection path's fault alone.
-    Returns the sequential reference segments (benches reuse them).
+    ``pool_kwargs`` reach the sharded pools' constructors (fault-policy
+    and chaos injection for the robustness tests). Returns the
+    sequential reference segments (benches reuse them).
     """
     reference_envs = make_envs()
     count = len(reference_envs)
@@ -188,6 +195,7 @@ def verify_rollout_parity(
             num_workers=num_workers,
             max_steps=max_steps,
             extras_from_info=extras_from_info,
+            pool_kwargs=pool_kwargs,
         )
         assert_segments_identical(reference, collected, label=f"{label}/{mode}")
     return reference

@@ -8,7 +8,7 @@ the member envs of a pool across N worker processes, in two modes:
   policy forward stays in the parent, optionally overlapped with the
   parent's per-step recording work via ``step_async`` / ``step_wait``.
   Speedup is bounded by the env-step fraction of collection time.
-- **shard-parallel full rollouts** (this PR): the parent broadcasts a
+- **shard-parallel full rollouts** (PR 4): the parent broadcasts a
   policy replica to every worker (:meth:`ShardedVecEnvPool.sync_policy`,
   version-stamped, delta-free ``state_dict`` sync through
   :mod:`repro.nn.serialization`), and
@@ -83,27 +83,58 @@ by ``tests/rl/test_rollout_parity.py`` (one harness over all modes) and
 re-verified inside ``benchmarks/perf_rollout.py`` before any timing is
 reported.
 
-Failure handling
-----------------
-Workers ignore SIGINT (the parent coordinates shutdown), crashes are
-detected by liveness-checked pipe polls (a dead worker raises
-:class:`WorkerCrashed` in the parent instead of hanging, including mid
-param-broadcast), env exceptions are forwarded as
-:class:`WorkerStepError` with their worker-side traceback, stale
-replicas raise :class:`StaleReplicaError` — each closes the pool before
-propagating — an oversized ``replica_state`` raises ``ValueError``
-before anything is sent (the pool stays usable), and every
-shared-memory segment is unlinked on ``close()``, on garbage collection
-and on interpreter exit.
+Failure handling and supervision (this PR)
+------------------------------------------
+Workers ignore SIGINT (the parent coordinates shutdown; the parent also
+masks SIGINT around each ``Process.start()`` so a Ctrl-C cannot land in
+the bootstrap window before the worker installs its own handler).
+Crashes are detected by liveness-checked pipe polls; hangs by per-op
+deadlines. Without a :class:`FaultPolicy` (the default) the legacy
+contract holds: a dead worker raises :class:`WorkerCrashed`, a stale
+replica :class:`StaleReplicaError`, an env exception
+:class:`WorkerStepError` — each closes the pool before propagating — an
+oversized ``replica_state`` raises ``ValueError`` before anything is
+sent (the pool stays usable), and every shared-memory segment is
+unlinked on ``close()``, on garbage collection and on interpreter exit
+(shutdown escalates ``join`` → ``terminate()`` → ``kill()``, so even a
+worker that ignores SIGTERM cannot leak its segment).
+
+With a :class:`FaultPolicy`, the pool becomes **self-healing** with an
+exactly-once, bit-identical recovery guarantee:
+
+- Every IPC wait carries a per-op deadline; a worker that exceeds it is
+  SIGKILLed and treated as crashed (:class:`WorkerTimeout`).
+- A crashed / hung / stale worker is **respawned** (bounded retries with
+  exponential backoff) from the parent's authoritative copy of its shard
+  state: the last synced env snapshot, an operation journal of every
+  reset/step since that snapshot, and the current policy-replica archive
+  — replaying the journal re-derives the worker's exact pre-failure env
+  and RNG state (every transition is deterministic given env state), and
+  the interrupted command is re-issued. Side effects are applied in the
+  parent only after *all* workers answered (RNG owner states, journal
+  appends, snapshot refreshes), so a failed operation leaves no partial
+  state and its re-execution produces bit-identical results — enforced
+  by ``tests/rl/test_chaos.py`` through :mod:`repro.rl.parity` under
+  injected faults (:mod:`repro.rl.chaos`).
+- When a worker's restart budget is exhausted the pool **degrades
+  gracefully** to an in-process :class:`~repro.rl.vec.VecEnvPool`
+  rebuilt from the same snapshots + journal (a ``RuntimeWarning`` is
+  emitted, ``pool.degraded`` flips True): the interrupted operation and
+  all subsequent ones run in-process with the archived policy replica —
+  still bit-identical, just no longer parallel. Training survives.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import pickle
 import signal
+import threading
 import time
 import traceback
+import warnings
 import weakref
+from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -112,6 +143,7 @@ import numpy as np
 from ..envs.base import MultiUserEnv
 from ..nn.serialization import state_from_bytes, state_to_bytes
 from .buffer import RolloutSegment
+from .chaos import ChaosSchedule, apply_fault
 from .policies import ActorCriticBase
 from .vec import (
     RNGLike,
@@ -129,12 +161,25 @@ class WorkerCrashed(RuntimeError):
     """A rollout worker process died instead of answering a command."""
 
 
+class WorkerTimeout(WorkerCrashed):
+    """A rollout worker exceeded its per-op deadline and was SIGKILLed.
+
+    Only raised under a :class:`FaultPolicy` with a finite deadline for
+    the operation; subclasses :class:`WorkerCrashed` because from the
+    parent's point of view a hung-and-killed worker *is* a crashed one
+    (same recovery path, same legacy close-and-raise path).
+    """
+
+
 class WorkerStepError(RuntimeError):
     """A rollout worker raised while executing a command (env bug etc.).
 
     Carries the worker-side traceback. The pool is closed before this
     propagates: after an env exception the worker's sub-pool state (and
     the step protocol) is unreliable, so the pool refuses further use.
+    Never recovered even under a :class:`FaultPolicy` — the replayed
+    deterministic transition would raise identically, so respawning
+    would loop for nothing.
     """
 
 
@@ -144,14 +189,73 @@ class StaleReplicaError(RuntimeError):
     Raised by :meth:`ShardedVecEnvPool.collect_rollouts` when a worker
     reports a replica version stamp other than the one the parent's last
     :meth:`~ShardedVecEnvPool.sync_policy` established — rolling out
-    with silently-stale weights would corrupt training, so the pool is
-    closed before this propagates.
+    with silently-stale weights would corrupt training. Without a
+    :class:`FaultPolicy` the pool is closed before this propagates; with
+    one, the worker is respawned and re-shipped the current replica.
     """
 
 
 #: Worker-side errors that invalidate the pool (protocol desync or
 #: unreliable worker state) — callers close before propagating them.
 _POOL_ERRORS = (WorkerCrashed, WorkerStepError, StaleReplicaError)
+
+#: Errors the fault policy can recover by respawning the worker.
+_RECOVERABLE_ERRORS = (WorkerCrashed, StaleReplicaError)
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Supervision knobs for :class:`ShardedVecEnvPool`.
+
+    ``max_restarts`` bounds respawns *per worker* over the pool's
+    lifetime; each retry sleeps ``backoff * 2**(attempt-1)`` seconds
+    (capped at ``max_backoff``). The per-op deadlines bound every IPC
+    wait — ``step_deadline`` covers reset/step exchanges,
+    ``broadcast_deadline`` the replica/load/fetch/snapshot broadcasts,
+    ``collect_deadline`` the full worker-side rollout — and ``None``
+    disables hang detection for that class (liveness polling still
+    catches outright deaths). ``graceful_join`` is the SIGTERM grace a
+    reaped worker gets before SIGKILL escalation.
+    """
+
+    max_restarts: int = 2
+    backoff: float = 0.05
+    max_backoff: float = 2.0
+    step_deadline: Optional[float] = 60.0
+    broadcast_deadline: Optional[float] = 60.0
+    collect_deadline: Optional[float] = 300.0
+    graceful_join: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff delays must be >= 0")
+
+    def deadline_for(self, op: str) -> Optional[float]:
+        """The IPC deadline (seconds) governing one protocol operation."""
+        if op in ("step", "reset"):
+            return self.step_deadline
+        if op == "rollout":
+            return self.collect_deadline
+        return self.broadcast_deadline
+
+    def backoff_for(self, attempt: int) -> float:
+        """Exponential backoff before the ``attempt``-th respawn (1-based)."""
+        return min(self.backoff * (2.0 ** max(attempt - 1, 0)), self.max_backoff)
+
+
+class _Degraded(Exception):
+    """Internal control flow: the pool just degraded to in-process mode.
+
+    Raised by ``_degrade`` after the in-process replacement pool is
+    built; public operations catch it and re-execute the interrupted
+    operation through the inner pool. Never escapes the pool.
+    """
+
+    def __init__(self, cause: BaseException):
+        super().__init__(str(cause))
+        self.cause = cause
 
 
 def sharding_available(start_method: Optional[str] = None) -> bool:
@@ -283,20 +387,27 @@ def _worker_main(
     layout_spec: Tuple[int, int, int],
     rows: Tuple[int, int],
     envs: List[MultiUserEnv],
+    chaos: Optional[ChaosSchedule] = None,
 ) -> None:
-    """Worker loop: serve reset/step/replica/rollout/load/fetch/close.
+    """Worker loop: serve reset/step/replica/rollout/load/fetch/snapshot/close.
 
     The shard is wrapped in an in-process :class:`VecEnvPool`, so done
     masking, step budgets and native batch steppers behave exactly as in
     the single-process pool. The ``replica`` command is the param
-    mailbox (policy structure once, then version-stamped state archives)
-    and ``rollout`` runs the full act → step → record loop for the shard
+    mailbox (policy structure once, then version-stamped state archives;
+    a respawned worker gets structure *and* state in one command) and
+    ``rollout`` runs the full act → step → record loop for the shard
     through :func:`~repro.rl.vec.collect_segments_vec` — the same
-    collector the parent would run, just over the shard's rows. SIGINT
-    is ignored — on Ctrl-C the parent coordinates shutdown and reaps the
-    workers.
+    collector the parent would run, just over the shard's rows.
+    ``snapshot`` returns the shard's envs as pickle bytes (the parent's
+    recovery baseline). SIGINT is ignored — on Ctrl-C the parent
+    coordinates shutdown and reaps the workers. ``chaos`` is the
+    deterministic fault-injection schedule (tests and the chaos bench
+    only; see :mod:`repro.rl.chaos`).
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    if chaos is not None and chaos.ignore_sigterm:
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
     shm = _attach_untracked(shm_name)
     traj_shm: Optional[shared_memory.SharedMemory] = None
     traj_views: Optional[Tuple[Dict[str, np.ndarray], np.ndarray]] = None
@@ -314,29 +425,43 @@ def _worker_main(
             except (EOFError, OSError):
                 break
             kind = command[0]
+            suppress_reply = False
+            corrupt_stamp = False
+            if chaos is not None:
+                spec = chaos.match(kind, "receive")
+                if spec is not None:
+                    effect = apply_fault(spec)
+                    if effect == "drop_reply":
+                        suppress_reply = True
+                    elif effect == "corrupt_stamp":
+                        corrupt_stamp = True
             try:
+                reply: Optional[tuple] = None
+                stop = False
                 if kind == "reset":
                     pool.max_steps = command[1]
                     obs[0, lo:hi] = pool.reset()
-                    conn.send(("ok",))
+                    reply = ("ok",)
                 elif kind == "step":
                     slot = command[1]
                     states, rewards, dones, info = pool.step(act[slot, lo:hi].copy())
                     obs[slot, lo:hi] = states
                     rew[slot, lo:hi] = rewards
                     done[slot, lo:hi] = dones
-                    conn.send(
-                        (
-                            "ok",
-                            info["per_env"],
-                            pool.active_mask.tolist(),
-                            pool.env_steps.tolist(),
-                        )
+                    reply = (
+                        "ok",
+                        info["per_env"],
+                        pool.active_mask.tolist(),
+                        pool.env_steps.tolist(),
                     )
                 elif kind == "replica":
                     payload = command[1]
                     if payload["policy"] is not None:
                         replica = payload["policy"]
+                        if payload.get("state") is not None:
+                            # respawn re-ship: frozen structure + current
+                            # weights in one command
+                            _load_replica_bytes(replica, payload["state"])
                     elif replica is None:
                         raise RuntimeError(
                             "received a state-only policy broadcast before any "
@@ -345,55 +470,77 @@ def _worker_main(
                     else:
                         _load_replica_bytes(replica, payload["state"])
                     replica_version = payload["version"]
-                    conn.send(("ok", replica_version))
+                    reply = ("ok", replica_version)
                 elif kind == "rollout":
                     payload = command[1]
                     if replica is None or payload["version"] != replica_version:
-                        conn.send(("stale", replica_version, payload["version"]))
-                        continue
-                    name, capacity = payload["traj"]
-                    if traj_name != name:
-                        traj_views = None
-                        if traj_shm is not None:
-                            traj_shm.close()
-                        traj_shm = _attach_untracked(name)
-                        traj_name = name
-                        traj_layout = _TrajLayout(capacity, *layout_spec)
-                        traj_views = traj_layout.views(traj_shm.buf)
-                    stacked, last_values = traj_views
-                    rngs = payload["rngs"]
-                    pool.max_steps = payload["max_steps"]
-                    segments = collect_segments_vec(
-                        pool,
-                        replica,
-                        rngs,
-                        extras_from_info=payload["extras"],
-                        overlap=False,
-                    )
-                    for segment, local in zip(segments, pool.slices):
-                        block = slice(lo + local.start, lo + local.stop)
-                        steps = segment.horizon
-                        for field in stacked:
-                            stacked[field][:steps, block] = getattr(segment, field)
-                        last_values[block] = segment.last_values
-                    conn.send(
-                        (
+                        reply = ("stale", replica_version, payload["version"])
+                    else:
+                        name, capacity = payload["traj"]
+                        if traj_name != name:
+                            traj_views = None
+                            if traj_shm is not None:
+                                traj_shm.close()
+                            traj_shm = _attach_untracked(name)
+                            traj_name = name
+                            traj_layout = _TrajLayout(capacity, *layout_spec)
+                            traj_views = traj_layout.views(traj_shm.buf)
+                        stacked, last_values = traj_views
+                        rngs = payload["rngs"]
+                        pool.max_steps = payload["max_steps"]
+                        segments = collect_segments_vec(
+                            pool,
+                            replica,
+                            rngs,
+                            extras_from_info=payload["extras"],
+                            overlap=False,
+                        )
+                        for segment, local in zip(segments, pool.slices):
+                            block = slice(lo + local.start, lo + local.stop)
+                            steps = segment.horizon
+                            for field in stacked:
+                                stacked[field][:steps, block] = getattr(segment, field)
+                            last_values[block] = segment.last_values
+                        env_blob = (
+                            pickle.dumps(pool.envs)
+                            if payload.get("return_envs")
+                            else None
+                        )
+                        reply = (
                             "ok",
                             [segment.horizon for segment in segments],
                             [segment.extras for segment in segments],
                             [rng.bit_generator.state for rng in rngs],
+                            env_blob,
                         )
-                    )
                 elif kind == "load":
                     pool = VecEnvPool(command[1])
-                    conn.send(("ok",))
+                    reply = ("ok",)
                 elif kind == "fetch":
-                    conn.send(("ok", pool.envs))
+                    reply = ("ok", pool.envs)
+                elif kind == "snapshot":
+                    reply = ("ok", pickle.dumps(pool.envs))
                 elif kind == "close":
-                    conn.send(("ok",))
-                    break
+                    reply = ("ok",)
+                    stop = True
                 else:  # pragma: no cover - protocol bug
-                    conn.send(("error", f"unknown command {kind!r}"))
+                    reply = ("error", f"unknown command {kind!r}")
+                if chaos is not None:
+                    spec = chaos.match(kind, "reply")
+                    if spec is not None:
+                        effect = apply_fault(spec)
+                        if effect == "drop_reply":
+                            suppress_reply = True
+                        elif effect == "corrupt_stamp":
+                            corrupt_stamp = True
+                if not suppress_reply:
+                    conn.send(reply)
+                if corrupt_stamp:
+                    # The acknowledged broadcast was applied, but the local
+                    # stamp is now wrong: the next rollout answers stale.
+                    replica_version += 7919
+                if stop:
+                    break
             except Exception:
                 try:
                     conn.send(("error", traceback.format_exc()))
@@ -436,7 +583,11 @@ def _cleanup(procs, conns, shms) -> None:
     ``shms`` is the pool's *mutable* segment list — the trajectory
     segment of full-rollout mode is allocated (and possibly regrown)
     after the finalizer is registered, so the finalizer holds the list,
-    not a snapshot of it.
+    not a snapshot of it. Shutdown escalates: a polite ``close`` command
+    and a join grace first, then ``terminate()`` (SIGTERM), then
+    ``kill()`` (SIGKILL) — a worker that ignores SIGTERM (wedged signal
+    handler, buggy env C extension) still dies and its shared memory is
+    still unlinked.
     """
     for conn in conns:
         try:
@@ -450,6 +601,10 @@ def _cleanup(procs, conns, shms) -> None:
         if proc.is_alive():
             proc.terminate()
             proc.join(timeout=1.0)
+    for proc in procs:
+        if proc.is_alive():  # ignored SIGTERM: escalate to SIGKILL
+            proc.kill()
+            proc.join(timeout=5.0)
     for conn in conns:
         try:
             conn.close()
@@ -490,8 +645,13 @@ class ShardedVecEnvPool(ShardableVecPool):
     in-process path. ``max_param_bytes`` bounds the serialized policy
     state a single :meth:`sync_policy` broadcast may ship (a guard
     against accidentally pushing a giant model through the pipes every
-    iteration). The pool is a context manager; ``close()`` is idempotent
-    and also runs on GC and interpreter exit.
+    iteration). ``fault_policy`` turns on worker supervision: deadline
+    enforcement, automatic respawn with bit-identical state recovery,
+    and graceful degradation to an in-process pool when the restart
+    budget runs out (module docstring, *Failure handling*). ``chaos``
+    injects deterministic faults into the workers — testing and the
+    chaos bench only. The pool is a context manager; ``close()`` is
+    idempotent and also runs on GC and interpreter exit.
     """
 
     def __init__(
@@ -501,6 +661,8 @@ class ShardedVecEnvPool(ShardableVecPool):
         max_steps: Optional[int] = None,
         start_method: Optional[str] = None,
         max_param_bytes: int = 256 * 1024 * 1024,
+        fault_policy: Optional[FaultPolicy] = None,
+        chaos: Optional[ChaosSchedule] = None,
     ):
         self.slices = validate_pool_members(envs)
         first = envs[0]
@@ -519,6 +681,10 @@ class ShardedVecEnvPool(ShardableVecPool):
         self.max_steps = max_steps
 
         self._shards = partition_contiguous(self._user_counts, num_workers)
+        self._shard_rows = [
+            (self.slices[shard.start].start, self.slices[shard.stop - 1].stop)
+            for shard in self._shards
+        ]
         self._layout = _Layout(self.num_users, first.observation_dim, first.action_dim)
         self._shm = shared_memory.SharedMemory(create=True, size=self._layout.size)
         self._obs, self._act, self._rew, self._done = self._layout.views(self._shm.buf)
@@ -535,28 +701,35 @@ class ShardedVecEnvPool(ShardableVecPool):
         self._replica_cache: Optional[Dict[str, np.ndarray]] = None
         self._replica_broadcasts = 0
 
-        ctx = mp.get_context(method)
+        # Supervision / recovery state. Snapshots hold the authoritative
+        # pickled env state per shard; the journal records every
+        # reset/step applied since (appended only after the op succeeded
+        # on *all* workers), so snapshot + journal replay re-derives any
+        # worker's exact current state. Replica struct/payload re-ship
+        # the policy to respawned workers; pending step bookkeeping lets
+        # an interrupted step be replayed to the byte.
+        self._fault = fault_policy
+        self._chaos = chaos
+        self._restarts = [0] * len(self._shards)
+        self._journal: List[Tuple[str, Any]] = []
+        self._snapshots: Optional[List[bytes]] = None
+        self._replica_struct: Optional[bytes] = None
+        self._replica_payload: Optional[bytes] = None
+        self._pending_actions: Optional[np.ndarray] = None
+        self._step_send_failed: Dict[int, BaseException] = {}
+        self._inner: Optional[VecEnvPool] = None
+        self._degraded_replica: Optional[ActorCriticBase] = None
+        if fault_policy is not None:
+            self._snapshots = [
+                pickle.dumps(list(envs[shard])) for shard in self._shards
+            ]
+
+        self._ctx = mp.get_context(method)
         self._procs: List[Any] = []
         self._conns: List[Any] = []
         try:
-            for shard in self._shards:
-                rows = (self.slices[shard.start].start, self.slices[shard.stop - 1].stop)
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(
-                        child_conn,
-                        self._shm.name,
-                        self._layout.spec(),
-                        rows,
-                        list(envs[shard]),
-                    ),
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                self._procs.append(proc)
-                self._conns.append(parent_conn)
+            for index, shard in enumerate(self._shards):
+                self._spawn_worker(index, list(envs[shard]), fresh=True)
         except Exception:
             # A failed spawn (e.g. unpicklable envs under the spawn start
             # method) must not leak the segment or the workers already up.
@@ -589,33 +762,118 @@ class ShardedVecEnvPool(ShardableVecPool):
 
     @property
     def active_mask(self) -> np.ndarray:
+        if self._inner is not None:
+            return self._inner.active_mask
         return self._active.copy()
 
     @property
     def env_steps(self) -> np.ndarray:
+        if self._inner is not None:
+            return self._inner.env_steps
         return self._steps.copy()
 
     @property
     def all_done(self) -> bool:
+        if self._inner is not None:
+            return self._inner.all_done
         return not self._active.any()
 
     @property
     def shared_memory_name(self) -> str:
         return self._shm.name
 
+    @property
+    def degraded(self) -> bool:
+        """True once the restart budget ran out and the pool went in-process."""
+        return self._inner is not None
+
+    @property
+    def restart_counts(self) -> List[int]:
+        """Per-worker respawn counts (copy; index = original worker slot)."""
+        return list(self._restarts)
+
     # ------------------------------------------------------------------
+    # process management: spawn / reap / supervised exchange
+    # ------------------------------------------------------------------
+    def _spawn_worker(self, index: int, envs: List[MultiUserEnv], fresh: bool) -> None:
+        """Start worker ``index`` over ``envs`` (append on first spawn).
+
+        SIGINT is masked in the parent (main thread only) around
+        ``Process.start()`` so a Ctrl-C cannot land in the forked child
+        before ``_worker_main`` installs its own SIG_IGN — without this
+        a Ctrl-C during pool construction races N KeyboardInterrupts
+        against the shm cleanup. Respawns get the chaos schedule again
+        only when it is marked ``persistent``.
+        """
+        worker_chaos: Optional[ChaosSchedule] = None
+        if self._chaos is not None and (fresh or self._chaos.persistent):
+            worker_chaos = self._chaos.for_worker(index)
+        parent_conn, child_conn = self._ctx.Pipe()
+        previous_handler = None
+        in_main_thread = threading.current_thread() is threading.main_thread()
+        if in_main_thread:
+            previous_handler = signal.signal(signal.SIGINT, signal.SIG_IGN)
+        try:
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    child_conn,
+                    self._shm.name,
+                    self._layout.spec(),
+                    self._shard_rows[index],
+                    envs,
+                    worker_chaos,
+                ),
+                daemon=True,
+            )
+            proc.start()
+        finally:
+            if in_main_thread:
+                signal.signal(signal.SIGINT, previous_handler)
+        child_conn.close()
+        if index == len(self._procs):
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        else:
+            self._procs[index] = proc
+            self._conns[index] = parent_conn
+
+    def _reap_worker(self, index: int) -> None:
+        """Force worker ``index`` down: SIGTERM, grace, then SIGKILL."""
+        proc = self._procs[index]
+        try:
+            self._conns[index].close()
+        except OSError:
+            pass
+        grace = self._fault.graceful_join if self._fault is not None else 1.0
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=grace)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=5.0)
+
+    def _deadline_for(self, op: str) -> Optional[float]:
+        if self._fault is None:
+            return None
+        return self._fault.deadline_for(op)
+
     def _check_open(self) -> None:
         if self._closed:
             raise RuntimeError("pool is closed")
 
-    def _recv(self, worker: int):
-        """Liveness-checked receive: a dead worker raises instead of hanging.
+    def _recv(self, worker: int, deadline: Optional[float] = None, op: str = "command"):
+        """Liveness- and deadline-checked receive.
 
-        Raises :class:`WorkerCrashed` (callers close the pool before
-        propagating it) or :class:`WorkerStepError` with the worker-side
-        traceback.
+        A dead worker raises :class:`WorkerCrashed` instead of hanging;
+        a worker that blows through ``deadline`` seconds is SIGKILLed
+        and raises :class:`WorkerTimeout` (a hung worker cannot be
+        trusted to honour SIGTERM). Also surfaces
+        :class:`WorkerStepError` (worker-side traceback) and
+        :class:`StaleReplicaError` replies.
         """
         conn, proc = self._conns[worker], self._procs[worker]
+        limit = None if deadline is None else time.monotonic() + deadline
         try:
             while not conn.poll(0.05):
                 if not proc.is_alive():
@@ -623,6 +881,13 @@ class ShardedVecEnvPool(ShardableVecPool):
                         f"rollout worker {worker} (pid {proc.pid}) died with "
                         f"exit code {proc.exitcode} before answering; the pool "
                         "has been closed and its shared memory released"
+                    )
+                if limit is not None and time.monotonic() > limit:
+                    proc.kill()
+                    proc.join(timeout=5.0)
+                    raise WorkerTimeout(
+                        f"rollout worker {worker} (pid {proc.pid}) exceeded "
+                        f"the {deadline:.3g}s {op} deadline and was SIGKILLed"
                     )
             message = conn.recv()
         except (EOFError, OSError) as error:
@@ -644,39 +909,250 @@ class ShardedVecEnvPool(ShardableVecPool):
             )
         return message
 
-    def _send_all(self, commands: Sequence[Any]) -> None:
-        """Send one command per worker; a broken pipe closes the pool."""
+    def _send_commands(self, commands: Sequence[Any], op: str) -> Dict[int, BaseException]:
+        """Send one command per worker.
+
+        Without a fault policy a broken pipe closes the pool and raises
+        (legacy contract); with one, the failure is recorded and handed
+        to the receive phase, which recovers the worker and re-issues
+        the command.
+        """
+        failed: Dict[int, BaseException] = {}
         for worker, (conn, command) in enumerate(zip(self._conns, commands)):
             try:
                 conn.send(command)
             except (OSError, BrokenPipeError) as error:
                 proc = self._procs[worker]
-                self.close()
-                raise WorkerCrashed(
+                crash = WorkerCrashed(
                     f"rollout worker {worker} (pid {proc.pid}) rejected a "
                     f"command ({error!r}); the pool has been closed and its "
                     "shared memory released"
-                ) from None
+                )
+                if self._fault is None:
+                    self.close()
+                    raise crash from None
+                failed[worker] = crash
+        return failed
 
-    def _broadcast(self, command) -> List[Any]:
-        self._check_open()
-        self._send_all([command] * len(self._conns))
-        replies = []
-        try:
-            for worker in range(len(self._conns)):
-                replies.append(self._recv(worker))
-        except _POOL_ERRORS:
-            self.close()
-            raise
+    def _gather(
+        self,
+        commands: Sequence[Any],
+        op: str,
+        failed: Optional[Dict[int, BaseException]] = None,
+    ) -> List[Any]:
+        """Collect one reply per worker, recovering failures when allowed.
+
+        Raises the usual pool errors (closing first) without a fault
+        policy; with one, recoverable failures respawn the worker and
+        re-issue its command, and budget exhaustion raises
+        :class:`_Degraded` after the in-process fallback is built.
+        """
+        failed = dict(failed or {})
+        replies: List[Any] = [None] * len(commands)
+        deadline = self._deadline_for(op)
+        for worker in range(len(commands)):
+            if worker in failed:
+                replies[worker] = self._recover(worker, commands[worker], op, failed.pop(worker))
+                continue
+            try:
+                replies[worker] = self._recv(worker, deadline=deadline, op=op)
+            except _RECOVERABLE_ERRORS as error:
+                if self._fault is None:
+                    self.close()
+                    raise
+                replies[worker] = self._recover(worker, commands[worker], op, error)
+            except WorkerStepError:
+                self.close()
+                raise
         return replies
+
+    def _exchange(self, commands: Sequence[Any], op: str) -> List[Any]:
+        """One full supervised command round: send all, gather all."""
+        self._check_open()
+        failed = self._send_commands(commands, op)
+        return self._gather(commands, op, failed)
+
+    def _recover(self, worker: int, command: Any, op: str, error: BaseException):
+        """Respawn a failed worker, replay its state, re-issue its command.
+
+        Bounded by ``FaultPolicy.max_restarts`` (per worker) with
+        exponential backoff between attempts; exhaustion degrades the
+        whole pool to in-process execution (raises :class:`_Degraded`).
+        Returns the re-issued command's reply.
+        """
+        assert self._fault is not None
+        while True:
+            self._restarts[worker] += 1
+            attempt = self._restarts[worker]
+            if attempt > self._fault.max_restarts:
+                self._degrade(error)
+            delay = self._fault.backoff_for(attempt)
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                self._respawn(worker)
+                self._conns[worker].send(command)
+                return self._recv(worker, deadline=self._deadline_for(op), op=op)
+            except _RECOVERABLE_ERRORS as retry_error:
+                error = retry_error
+            except (OSError, BrokenPipeError) as retry_error:
+                error = WorkerCrashed(
+                    f"rollout worker {worker} rejected the re-issued command "
+                    f"({retry_error!r})"
+                )
+            except WorkerStepError:
+                self.close()
+                raise
+
+    def _respawn(self, worker: int) -> None:
+        """Rebuild worker ``worker`` bit-identically from parent state.
+
+        Reaps the old process, spawns a fresh one from the last synced
+        env snapshot, replays the journal (every reset/step since that
+        snapshot — deterministic transitions re-derive the exact env and
+        RNG state, including the double-buffer slot parity), restores
+        the pending step's action rows, and re-ships the current policy
+        replica (structure + state in one command).
+        """
+        assert self._snapshots is not None
+        self._reap_worker(worker)
+        envs = pickle.loads(self._snapshots[worker])
+        self._spawn_worker(worker, envs, fresh=False)
+        lo, hi = self._shard_rows[worker]
+        conn = self._conns[worker]
+        step_deadline = self._deadline_for("step")
+        broadcast_deadline = self._deadline_for("replica")
+        slot_counter = 0
+        for kind, payload in self._journal:
+            if kind == "reset":
+                conn.send(("reset", payload))
+                self._recv(worker, deadline=step_deadline, op="reset")
+                slot_counter = 0
+            else:  # "step": payload is the full validated action matrix
+                slot = slot_counter % 2
+                self._act[slot, lo:hi] = payload[lo:hi]
+                conn.send(("step", slot))
+                self._recv(worker, deadline=step_deadline, op="step")
+                slot_counter += 1
+        if self._pending_slot is not None and self._pending_actions is not None:
+            # Journal replay may have clobbered the in-flight step's
+            # action rows for this shard; restore them before re-issue.
+            self._act[self._pending_slot, lo:hi] = self._pending_actions[lo:hi]
+        if self._replica_version > 0 and self._replica_struct is not None:
+            conn.send(
+                (
+                    "replica",
+                    {
+                        "policy": pickle.loads(self._replica_struct),
+                        "state": self._replica_payload,
+                        "version": self._replica_version,
+                    },
+                )
+            )
+            self._recv(worker, deadline=broadcast_deadline, op="replica")
+
+    def _degrade(self, error: BaseException) -> None:
+        """Swap every worker for one in-process pool; raise :class:`_Degraded`.
+
+        All shards are rebuilt from their snapshots + journal in the
+        parent (no cooperation from possibly-dead workers needed), the
+        worker processes and shared memory are torn down, and subsequent
+        operations run through the inner :class:`VecEnvPool` — same
+        bits, no parallelism.
+        """
+        member_envs: List[MultiUserEnv] = []
+        assert self._snapshots is not None
+        for blob in self._snapshots:
+            member_envs.extend(pickle.loads(blob))
+        for worker in range(len(self._procs)):
+            self._reap_worker(worker)
+        inner = VecEnvPool(member_envs, max_steps=self.max_steps)
+        for kind, payload in self._journal:
+            if kind == "reset":
+                inner.max_steps = payload
+                inner.reset()
+            else:
+                inner.step(payload)
+        # Release the worker-mode machinery: drop views first so the shm
+        # mmaps can close, then unlink; empty the lists in place so the
+        # GC finalizer (which holds them) becomes a no-op.
+        self._obs = self._act = self._rew = self._done = None
+        self._traj_stacked = self._traj_last = None
+        self._traj_shm = None
+        for shm in list(self._shm_segments):
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - lingering views
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._shm_segments.clear()
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._procs.clear()
+        self._conns.clear()
+        self._journal.clear()
+        self._inner = inner
+        self._degraded_replica = None
+        warnings.warn(
+            f"rollout worker restart budget exhausted "
+            f"(max_restarts={self._fault.max_restarts} per worker): degrading "
+            f"to in-process collection for the rest of this pool's life. "
+            f"Last failure: {error}",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        raise _Degraded(error)
+
+    def _materialize_replica(self) -> ActorCriticBase:
+        """The archived policy replica, rebuilt for in-process rollouts."""
+        if self._degraded_replica is None:
+            if self._replica_struct is None:
+                raise RuntimeError(
+                    "no policy replica archived: sync_policy() has not run"
+                )
+            replica = pickle.loads(self._replica_struct)
+            if self._replica_payload is not None:
+                _load_replica_bytes(replica, self._replica_payload)
+            self._degraded_replica = replica
+        return self._degraded_replica
 
     # ------------------------------------------------------------------
     def reset(self) -> np.ndarray:
-        self._broadcast(("reset", self.max_steps))
+        self._check_open()
+        if self._inner is not None:
+            self._inner.max_steps = self.max_steps
+            self._pending_slot = None
+            self._pending_actions = None
+            self._step_count = 0
+            return self._inner.reset()
+        if self._fault is not None and self._journal:
+            # Refresh the recovery baseline at the episode boundary: the
+            # journal would otherwise grow for the pool's whole life.
+            try:
+                replies = self._exchange(
+                    [("snapshot",)] * self.num_workers, op="snapshot"
+                )
+            except _Degraded:
+                return self.reset()
+            self._snapshots = [reply[1] for reply in replies]
+            self._journal.clear()
+        try:
+            self._exchange([("reset", self.max_steps)] * self.num_workers, op="reset")
+        except _Degraded:
+            return self.reset()
         self._active[:] = True
         self._steps[:] = 0
         self._step_count = 0
         self._pending_slot = None
+        self._pending_actions = None
+        if self._fault is not None:
+            self._journal.append(("reset", self.max_steps))
         return self._obs[0].copy()
 
     def step_async(self, actions: np.ndarray) -> None:
@@ -684,9 +1160,17 @@ class ShardedVecEnvPool(ShardableVecPool):
         if self._pending_slot is not None:
             raise RuntimeError("step_wait() must drain the previous step_async()")
         actions = self._validate_actions(actions)
+        if self._inner is not None:
+            self._pending_actions = np.array(actions, copy=True)
+            self._pending_slot = -1  # degraded-mode marker
+            return
         slot = self._step_count % 2
         self._act[slot] = actions
-        self._send_all([("step", slot)] * len(self._conns))
+        if self._fault is not None:
+            self._pending_actions = np.array(actions, copy=True)
+        self._step_send_failed = self._send_commands(
+            [("step", slot)] * len(self._conns), op="step"
+        )
         self._pending_slot = slot
         self._step_count += 1
 
@@ -695,27 +1179,58 @@ class ShardedVecEnvPool(ShardableVecPool):
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Dict[str, Any]]:
         """Collect the in-flight step. Returns *views* into the current
         slot buffers — valid until the second following ``step_async``
-        (slots alternate per step); copy before keeping longer."""
+        (slots alternate per step); copy before keeping longer. (After
+        graceful degradation the arrays are owned copies instead.)"""
         if self._pending_slot is None:
             raise RuntimeError("step_wait() without a pending step_async()")
+        if self._inner is not None:
+            return self._step_degraded()
         slot = self._pending_slot
         infos: List[Optional[Dict[str, Any]]] = [None] * self.num_envs
+        command = ("step", slot)
+        failed, self._step_send_failed = self._step_send_failed, {}
+        deadline = self._deadline_for("step")
         try:
             for worker, shard in enumerate(self._shards):
-                _, per_env, active, steps = self._recv(worker)
+                if worker in failed:
+                    reply = self._recover(worker, command, "step", failed.pop(worker))
+                else:
+                    try:
+                        reply = self._recv(worker, deadline=deadline, op="step")
+                    except _RECOVERABLE_ERRORS as error:
+                        if self._fault is None:
+                            # Either way the step protocol is desynchronised
+                            # (later workers' replies are still queued, the
+                            # failing worker's sub-pool state is unreliable)
+                            # — tear the pool down rather than leave it
+                            # half-stepped.
+                            self.close()
+                            raise
+                        reply = self._recover(worker, command, "step", error)
+                    except WorkerStepError:
+                        self.close()
+                        raise
+                _, per_env, active, steps = reply
                 infos[shard] = per_env
                 self._active[shard] = active
                 self._steps[shard] = steps
-        except _POOL_ERRORS:
-            # Either way the step protocol is desynchronised (later
-            # workers' replies are still queued, the failing worker's
-            # sub-pool state is unreliable) — tear the pool down rather
-            # than leave it half-stepped.
-            self.close()
-            raise
+        except _Degraded:
+            return self._step_degraded()
         self._pending_slot = None
+        if self._fault is not None:
+            self._journal.append(("step", self._pending_actions))
+            self._pending_actions = None
         info = {"per_env": infos, "active": self._active.copy()}
         return self._obs[slot], self._rew[slot], self._done[slot], info
+
+    def _step_degraded(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Dict[str, Any]]:
+        """Finish (or run) the pending step through the in-process pool."""
+        assert self._inner is not None and self._pending_actions is not None
+        actions, self._pending_actions = self._pending_actions, None
+        self._pending_slot = None
+        return self._inner.step(actions)
 
     def step(
         self, actions: np.ndarray
@@ -760,8 +1275,9 @@ class ShardedVecEnvPool(ShardableVecPool):
         ``max_param_bytes`` (the pool stays open and usable), and the
         usual pool errors (:class:`WorkerCrashed` /
         :class:`WorkerStepError`) when a worker dies or rejects the
-        broadcast mid-way (the pool is closed first — no hang, shared
-        memory unlinked).
+        broadcast mid-way (without a fault policy the pool is closed
+        first — no hang, shared memory unlinked; with one the worker is
+        recovered or the pool degrades in-process).
         """
         self._check_open()
         state = _replica_state(policy)
@@ -785,11 +1301,23 @@ class ShardedVecEnvPool(ShardableVecPool):
                 "intentional"
             )
         version = self._replica_version + 1
-        if signature == self._replica_signature:
-            command = ("replica", {"policy": None, "state": payload, "version": version})
-        else:  # structure changed (or first sync): ship the object itself
-            command = ("replica", {"policy": policy, "state": None, "version": version})
-        self._broadcast(command)
+        ships_structure = signature != self._replica_signature
+        if self._inner is None:
+            if ships_structure:  # structure changed (or first sync)
+                command = ("replica", {"policy": policy, "state": None, "version": version})
+            else:
+                command = ("replica", {"policy": None, "state": payload, "version": version})
+            try:
+                self._exchange([command] * self.num_workers, op="replica")
+            except _Degraded:
+                pass  # fall through: archive the replica for in-process use
+        if self._fault is not None or self._inner is not None:
+            # Archive what a respawned worker (or the degraded in-process
+            # path) needs: the structure once, the current weights always.
+            if ships_structure or self._replica_struct is None:
+                self._replica_struct = pickle.dumps(policy)
+            self._replica_payload = payload
+            self._degraded_replica = None
         self._replica_version = version
         self._replica_signature = signature
         self._replica_cache = {
@@ -862,7 +1390,10 @@ class ShardedVecEnvPool(ShardableVecPool):
         :class:`~repro.rl.buffer.RolloutSegment` objects out of the
         shared arrays via :func:`~repro.rl.vec.assemble_segments`.
         Bit-identical to the step-server and in-process paths (module
-        docstring); requires a prior :meth:`sync_policy`.
+        docstring); requires a prior :meth:`sync_policy`. Under a fault
+        policy, caller-owned RNG states are applied only after *every*
+        worker answered, so an interrupted collect replays (or degrades)
+        with pristine inputs — recovered rollouts are bit-identical.
         """
         self._check_open()
         if self._pending_slot is not None:
@@ -874,6 +1405,8 @@ class ShardedVecEnvPool(ShardableVecPool):
         if max_steps is None:
             max_steps = self.max_steps
         rngs, owners = self._as_env_rngs(rng)
+        if self._inner is not None:
+            return self._collect_degraded(rngs, max_steps, extras_from_info)
         capacity = max(max_steps or horizon for horizon in self._horizons)
         traj_name = self._ensure_traj(capacity)
         commands = []
@@ -887,23 +1420,50 @@ class ShardedVecEnvPool(ShardableVecPool):
                         "max_steps": max_steps,
                         "extras": tuple(extras_from_info),
                         "rngs": rngs[shard.start : shard.stop],
+                        "return_envs": self._fault is not None,
                     },
                 )
             )
-        self._send_all(commands)
         lengths: List[Optional[int]] = [None] * self.num_envs
         extras_per_env: List[Optional[Dict[str, np.ndarray]]] = [None] * self.num_envs
+        rng_states: List[Any] = [None] * self.num_envs
+        env_blobs: List[Optional[bytes]] = [None] * len(self._shards)
+        deadline = self._deadline_for("rollout")
         try:
+            failed = self._send_commands(commands, op="rollout")
             for worker, shard in enumerate(self._shards):
-                _, shard_lengths, shard_extras, shard_states = self._recv(worker)
+                if worker in failed:
+                    reply = self._recover(
+                        worker, commands[worker], "rollout", failed.pop(worker)
+                    )
+                else:
+                    try:
+                        reply = self._recv(worker, deadline=deadline, op="rollout")
+                    except _RECOVERABLE_ERRORS as error:
+                        if self._fault is None:
+                            self.close()
+                            raise
+                        reply = self._recover(worker, commands[worker], "rollout", error)
+                    except WorkerStepError:
+                        self.close()
+                        raise
+                _, shard_lengths, shard_extras, shard_states, env_blob = reply
+                env_blobs[worker] = env_blob
                 for offset, env_index in enumerate(range(shard.start, shard.stop)):
                     lengths[env_index] = int(shard_lengths[offset])
                     extras_per_env[env_index] = shard_extras[offset]
-                    if owners is not None:
-                        owners[env_index].bit_generator.state = shard_states[offset]
-        except _POOL_ERRORS:
-            self.close()
-            raise
+                    rng_states[env_index] = shard_states[offset]
+        except _Degraded:
+            return self._collect_degraded(rngs, max_steps, extras_from_info)
+        # The collect succeeded on every shard: only now apply the side
+        # effects (owner RNG advancement, recovery baseline refresh) —
+        # a failed collect must leave no partial state behind.
+        if owners is not None:
+            for env_index, state in enumerate(rng_states):
+                owners[env_index].bit_generator.state = state
+        if self._fault is not None:
+            self._snapshots = env_blobs
+            self._journal.clear()
         self._steps[:] = lengths
         self._active[:] = False
         last_values = [self._traj_last[block] for block in self.slices]
@@ -921,6 +1481,33 @@ class ShardedVecEnvPool(ShardableVecPool):
             # parent owns the unpickled copies, no restacking needed.
             for segment, extras in zip(segments, extras_per_env):
                 segment.extras = {key: extras[key] for key in extras_from_info}
+        return segments
+
+    def _collect_degraded(
+        self,
+        rngs: List[np.random.Generator],
+        max_steps: Optional[int],
+        extras_from_info: Tuple[str, ...],
+    ) -> List[RolloutSegment]:
+        """Run the interrupted (or a fresh) rollout through the inner pool.
+
+        Uses the archived policy replica — byte-equal to the weights the
+        workers held — and the caller's generator objects directly (they
+        were not advanced by the failed attempt), so the segments are
+        bit-identical to what the workers would have produced.
+        """
+        assert self._inner is not None
+        replica = self._materialize_replica()
+        self._inner.max_steps = max_steps
+        segments = collect_segments_vec(
+            self._inner,
+            replica,
+            rngs,
+            extras_from_info=tuple(extras_from_info),
+            overlap=False,
+        )
+        self._steps[:] = [segment.horizon for segment in segments]
+        self._active[:] = False
         return segments
 
     # ------------------------------------------------------------------
@@ -947,13 +1534,18 @@ class ShardedVecEnvPool(ShardableVecPool):
         if len({id(env) for env in envs}) != len(envs):
             raise ValueError("load_envs members must be distinct objects")
         self._check_open()
-        self._send_all([("load", list(envs[shard])) for shard in self._shards])
-        try:
-            for worker in range(len(self._conns)):
-                self._recv(worker)
-        except _POOL_ERRORS:
-            self.close()
-            raise
+        if self._inner is None:
+            try:
+                self._exchange(
+                    [("load", list(envs[shard])) for shard in self._shards], op="load"
+                )
+            except _Degraded:
+                pass  # fall through to the in-process replacement below
+        if self._inner is not None:
+            self._inner = VecEnvPool(envs, max_steps=self.max_steps)
+        elif self._fault is not None:
+            self._snapshots = [pickle.dumps(list(envs[shard])) for shard in self._shards]
+            self._journal.clear()
         self.group_id = [env.group_id for env in envs]
         self._horizons = [env.horizon for env in envs]
         self.horizon = max(self._horizons)
@@ -968,11 +1560,19 @@ class ShardedVecEnvPool(ShardableVecPool):
         sharded collection bit-identical to in-process collection over a
         whole training run.
         """
-        replies = self._broadcast(("fetch",))
-        fetched: List[MultiUserEnv] = []
-        for reply in replies:
-            fetched.extend(reply[1])
-        return fetched
+        self._check_open()
+        if self._inner is None:
+            try:
+                replies = self._exchange(
+                    [("fetch",)] * self.num_workers, op="fetch"
+                )
+            except _Degraded:
+                return list(self._inner.envs)
+            fetched: List[MultiUserEnv] = []
+            for reply in replies:
+                fetched.extend(reply[1])
+            return fetched
+        return list(self._inner.envs)
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -985,6 +1585,8 @@ class ShardedVecEnvPool(ShardableVecPool):
         self._traj_stacked = self._traj_last = None
         self._finalizer.detach()
         _cleanup(self._procs, self._conns, self._shm_segments)
+        self._inner = None
+        self._degraded_replica = None
 
     @property
     def closed(self) -> bool:

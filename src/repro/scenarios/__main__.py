@@ -9,6 +9,10 @@
 default spec of one family (a valid ``--scenario`` starting point), and
 ``train`` runs a short Algorithm-1 loop on any registered scenario and
 evaluates the policy zero-shot in the scenario's target environment.
+``train --checkpoint run.npz`` snapshots the run after every iteration
+(``--checkpoint-every`` to thin); ``train --checkpoint run.npz
+--resume`` restores the snapshot and continues on the unbroken run's
+exact trajectory (see :mod:`repro.core.checkpoint`).
 """
 
 from __future__ import annotations
@@ -49,21 +53,32 @@ def _parse_scenario(raw: str):
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint:
+        raise ValueError("--resume needs --checkpoint pointing at a snapshot")
     config = scenario_small_config(seed=args.seed)
     config.scenario = normalize_spec(_parse_scenario(args.scenario)).to_dict()
     config.rollout_workers = args.workers
+    config.checkpoint_path = args.checkpoint
+    config.checkpoint_every = args.checkpoint_every if args.checkpoint else 0
     scenario = make_scenario(config.scenario)
     print(
         f"scenario {scenario.spec.family!r}: {scenario.num_train_envs} training "
         f"simulators, state_dim={scenario.state_dim}, action_dim={scenario.action_dim}"
     )
     with trainer_from_config(config, scenario) as trainer:
-        losses = trainer.pretrain_sadae(epochs=args.pretrain_epochs)
-        if losses:
-            print(f"SADAE pretraining loss: {losses[0]:.3f} -> {losses[-1]:.3f}")
-        for iteration in range(args.iterations):
+        if args.resume:
+            # The snapshot carries the post-pretraining SADAE weights and
+            # RNG streams, so pretraining is not repeated: the run picks
+            # up the unbroken trajectory at the checkpointed iteration.
+            start = trainer.load_checkpoint(args.checkpoint)
+            print(f"resumed {args.checkpoint} at iteration {start}")
+        else:
+            losses = trainer.pretrain_sadae(epochs=args.pretrain_epochs)
+            if losses:
+                print(f"SADAE pretraining loss: {losses[0]:.3f} -> {losses[-1]:.3f}")
+        while trainer.iteration < args.iterations:
             metrics = trainer.train_iteration()
-            print(f"iter {iteration:3d}  reward {metrics['reward']:9.3f}")
+            print(f"iter {trainer.iteration - 1:3d}  reward {metrics['reward']:9.3f}")
         policy = trainer.sim2rec_policy
     target = scenario.make_target_env()
     reward = evaluate_policy(
@@ -89,6 +104,18 @@ def main(argv=None) -> int:
     train_parser.add_argument("--pretrain-epochs", type=int, default=10)
     train_parser.add_argument("--workers", type=int, default=1)
     train_parser.add_argument("--seed", type=int, default=0)
+    train_parser.add_argument(
+        "--checkpoint",
+        default=None,
+        help="snapshot path; written every --checkpoint-every iterations",
+    )
+    train_parser.add_argument("--checkpoint-every", type=int, default=1)
+    train_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore --checkpoint and continue to --iterations "
+        "(skips SADAE pretraining; the snapshot carries it)",
+    )
     args = parser.parse_args(argv)
     try:
         if args.command == "list":

@@ -20,7 +20,12 @@ import numpy as np
 from ..core.config import Sim2RecConfig
 from ..core.policy import Sim2RecPolicy
 from ..core.sadae import train_sadae
-from ..core.trainer import PolicyTrainer, build_sim2rec_policy
+from ..core.trainer import (
+    PolicyTrainer,
+    build_sim2rec_policy,
+    env_population_extra_state,
+    load_env_population_extra_state,
+)
 from ..envs.base import MultiUserEnv
 from ..rl.buffer import RolloutSegment
 from ..utils.logging import MetricLogger
@@ -108,6 +113,12 @@ class ScenarioTrainer(PolicyTrainer):
         for t in range(0, segment.horizon, max(segment.horizon // 4, 1)):
             self._recent_sets.append((segment.states[t], segment.prev_actions[t]))
         self._recent_sets = self._recent_sets[-64:]
+
+    def checkpoint_extra_state(self):
+        return env_population_extra_state(self._train_envs, self._recent_sets)
+
+    def load_checkpoint_extra_state(self, state) -> None:
+        self._recent_sets = load_env_population_extra_state(self._train_envs, state)
 
     def after_update(self) -> None:
         if not self._recent_sets or self.config.sadae_updates_per_iteration <= 0:

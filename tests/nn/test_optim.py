@@ -144,3 +144,75 @@ class TestLinearLRSchedule:
         optimizer = Adam([param], lr=1.0)
         with pytest.raises(ValueError):
             LinearLRSchedule(optimizer, start=1.0, end=0.1, total=0)
+
+
+class TestOptimizerStateDicts:
+    """state_dict/load_state_dict: a restored optimiser takes the same step."""
+
+    @staticmethod
+    def run_steps(optimizer, param, count):
+        for _ in range(count):
+            optimizer.zero_grad()
+            quadratic_loss(param).backward()
+            optimizer.step()
+
+    @pytest.mark.parametrize("factory", [
+        lambda p: SGD([p], lr=0.05, momentum=0.9),
+        lambda p: Adam([p], lr=0.05),
+    ])
+    def test_restored_optimizer_continues_identically(self, factory):
+        unbroken = Parameter(np.array([0.0, 1.0]))
+        opt_a = factory(unbroken)
+        self.run_steps(opt_a, unbroken, 6)
+
+        resumed = Parameter(np.array([0.0, 1.0]))
+        opt_b = factory(resumed)
+        self.run_steps(opt_b, resumed, 3)
+        snapshot = opt_b.state_dict()
+        params_at_snap = resumed.data.copy()
+
+        fresh = Parameter(params_at_snap)
+        opt_c = factory(fresh)
+        opt_c.load_state_dict(snapshot)
+        self.run_steps(opt_c, fresh, 3)
+        np.testing.assert_array_equal(fresh.data, unbroken.data)
+
+    def test_adam_state_carries_step_count(self):
+        param = Parameter(np.array([0.5]))
+        optimizer = Adam([param], lr=0.1)
+        self.run_steps(optimizer, param, 4)
+        state = optimizer.state_dict()
+        assert int(state["step_count"][0]) == 4
+        clone = Adam([Parameter(np.array([0.5]))], lr=0.1)
+        clone.load_state_dict(state)
+        assert clone._step_count == 4
+
+    def test_missing_slot_raises(self):
+        optimizer = SGD([Parameter(np.zeros(2))], lr=0.1, momentum=0.5)
+        state = optimizer.state_dict()
+        del state["velocity.0"]
+        with pytest.raises(KeyError, match="velocity.0"):
+            optimizer.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        optimizer = Adam([Parameter(np.zeros(2))], lr=0.1)
+        state = optimizer.state_dict()
+        state["m.0"] = np.zeros(3)
+        with pytest.raises(ValueError, match="shape"):
+            optimizer.load_state_dict(state)
+
+    def test_schedule_state_rederives_lr(self):
+        param = Parameter(np.array([0.0]))
+        optimizer = Adam([param], lr=1.0)
+        schedule = LinearLRSchedule(optimizer, start=1.0, end=0.0, total=10)
+        for _ in range(4):
+            schedule.step()
+        state = schedule.state_dict()
+
+        fresh_param = Parameter(np.array([0.0]))
+        fresh_opt = Adam([fresh_param], lr=1.0)
+        fresh_schedule = LinearLRSchedule(fresh_opt, start=1.0, end=0.0, total=10)
+        fresh_schedule.load_state_dict(state)
+        assert fresh_schedule._step_count == 4
+        assert fresh_opt.lr == pytest.approx(optimizer.lr)
+        assert fresh_schedule.step() == pytest.approx(schedule.step())

@@ -1,0 +1,104 @@
+"""State archives: CRC32 integrity and atomic on-disk persistence."""
+
+import io
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    StateChecksumError,
+    load_state,
+    save_state,
+    state_from_bytes,
+    state_to_bytes,
+)
+from repro.nn.serialization import CHECKSUM_KEY
+
+
+def sample_state():
+    rng = np.random.default_rng(5)
+    return {
+        "weight": rng.normal(size=(4, 3)),
+        "bias": rng.normal(size=3),
+        "step": np.array([7], dtype=np.int64),
+    }
+
+
+class TestChecksum:
+    def test_roundtrip_is_bit_exact_and_checksum_free(self):
+        state = sample_state()
+        loaded = state_from_bytes(state_to_bytes(state))
+        assert set(loaded) == set(state)  # no __crc32__ leaking through
+        for key in state:
+            np.testing.assert_array_equal(loaded[key], state[key])
+            assert loaded[key].dtype == state[key].dtype
+
+    def test_flipped_byte_in_payload_is_detected(self):
+        payload = bytearray(state_to_bytes(sample_state()))
+        # Flip a byte in the array data region (towards the end, before
+        # the zip central directory) until the checksum catches it.
+        position = len(payload) // 2
+        payload[position] ^= 0xFF
+        with pytest.raises(StateChecksumError):
+            state_from_bytes(bytes(payload))
+
+    def test_truncated_payload_is_detected(self):
+        payload = state_to_bytes(sample_state())
+        with pytest.raises(StateChecksumError):
+            state_from_bytes(payload[: len(payload) // 2])
+
+    def test_reserved_key_is_rejected(self):
+        with pytest.raises(ValueError, match="reserved"):
+            state_to_bytes({CHECKSUM_KEY: np.zeros(1)})
+
+    def test_legacy_archive_without_checksum_loads(self):
+        state = sample_state()
+        buffer = io.BytesIO()
+        np.savez(buffer, **state)  # pre-checksum format
+        loaded = state_from_bytes(buffer.getvalue())
+        for key in state:
+            np.testing.assert_array_equal(loaded[key], state[key])
+
+    def test_checksum_covers_names_and_shapes(self):
+        """Renaming an entry (same bytes) must change the checksum."""
+        from repro.nn.serialization import _state_crc32
+
+        state = sample_state()
+        renamed = dict(state)
+        renamed["weight2"] = renamed.pop("weight")
+        assert _state_crc32(state) != _state_crc32(renamed)
+        reshaped = {key: value.copy() for key, value in state.items()}
+        reshaped["weight"] = reshaped["weight"].reshape(3, 4)
+        assert _state_crc32(state) != _state_crc32(reshaped)
+
+
+class TestAtomicSaveState:
+    def test_disk_roundtrip(self, tmp_path):
+        path = tmp_path / "state.npz"
+        state = sample_state()
+        save_state(path, state)
+        loaded = load_state(path)
+        for key in state:
+            np.testing.assert_array_equal(loaded[key], state[key])
+
+    def test_overwrite_replaces_atomically(self, tmp_path):
+        path = tmp_path / "state.npz"
+        save_state(path, {"x": np.zeros(3)})
+        save_state(path, {"x": np.ones(3)})
+        np.testing.assert_array_equal(load_state(path)["x"], np.ones(3))
+        assert [p for p in os.listdir(tmp_path) if p.endswith(".tmp")] == []
+
+    def test_failed_save_leaves_previous_archive_and_no_temp(self, tmp_path):
+        path = tmp_path / "state.npz"
+        save_state(path, {"x": np.arange(4.0)})
+        before = path.read_bytes()
+        with pytest.raises(ValueError):
+            save_state(path, {CHECKSUM_KEY: np.zeros(1)})
+        assert path.read_bytes() == before
+        assert [p for p in os.listdir(tmp_path) if p.endswith(".tmp")] == []
+
+    def test_relative_path_in_cwd(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        save_state("bare.npz", {"x": np.ones(2)})
+        np.testing.assert_array_equal(load_state("bare.npz")["x"], np.ones(2))
