@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """CI bench-regression gate: fail the build when recorded speedups regress.
 
-Compares the smoke-run ``BENCH_rollout.json`` / ``BENCH_train.json``
-artifacts against committed baseline floors (``bench_baselines.json``)
-and exits non-zero on regression. Semantics:
+Compares the smoke-run ``BENCH_rollout.json`` / ``BENCH_train.json`` /
+``BENCH_serve.json`` artifacts against committed baseline floors
+(``bench_baselines.json``) and exits non-zero on regression. Semantics:
 
 - every scenario floor is a *speedup* floor; the measured value must be
   at least ``floor * tolerance`` (the tolerance band absorbs shared-
@@ -39,7 +39,7 @@ Usage (CI runs this right after the smoke benches)::
 
     python .github/check_bench_regression.py \
         [--rollout BENCH_rollout.json] [--train BENCH_train.json] \
-        [--baselines .github/bench_baselines.json]
+        [--serve BENCH_serve.json] [--baselines .github/bench_baselines.json]
 """
 
 from __future__ import annotations
@@ -189,11 +189,19 @@ def check_payload(payload: dict, baseline: dict, tolerance: float, label: str) -
     return failures
 
 
-def run(rollout_path: Path, train_path: Path, baselines_path: Path) -> int:
+def run(
+    rollout_path: Path,
+    train_path: Path,
+    baselines_path: Path,
+    serve_path: Path = None,
+) -> int:
     baselines = json.loads(baselines_path.read_text())
     tolerance = baselines.get("tolerance", 1.0)
     failures: List[str] = []
-    for label, path in (("rollout", rollout_path), ("train", train_path)):
+    artifacts = [("rollout", rollout_path), ("train", train_path)]
+    if serve_path is not None:
+        artifacts.append(("serve", serve_path))
+    for label, path in artifacts:
         per_mode = baselines.get(label)
         if per_mode is None:
             continue
@@ -227,11 +235,12 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--rollout", type=Path, default=root / "BENCH_rollout.json")
     parser.add_argument("--train", type=Path, default=root / "BENCH_train.json")
+    parser.add_argument("--serve", type=Path, default=root / "BENCH_serve.json")
     parser.add_argument(
         "--baselines", type=Path, default=root / ".github" / "bench_baselines.json"
     )
     args = parser.parse_args()
-    return run(args.rollout, args.train, args.baselines)
+    return run(args.rollout, args.train, args.baselines, serve_path=args.serve)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,218 @@
+"""Serving-layer microbenchmark: microbatched vs unbatched inference.
+
+Times the :class:`repro.serve.PolicyServer` serving N concurrent
+sessions against the unbatched baseline (one dedicated policy replica
+per session, one ``policy.act`` per request — what serving looks like
+without a microbatching layer), swept over concurrency levels. Before
+any clock starts, the served action streams are verified **bit-identical**
+to the unbatched ones (the same per-session streams the parity suite in
+``tests/serve/`` proves), so the speedup is never bought with drift.
+
+Reported per concurrency level:
+
+- ``speedup`` — unbatched wall time / microbatched wall time for the
+  same request load (the stacked forward amortises per-call overhead
+  across the window, so this grows with the session count);
+- ``p50_ms`` / ``p99_ms`` — per-request latency percentiles under
+  microbatched serving (submit → result);
+- ``throughput_rps`` — served requests per second.
+
+Results go to ``BENCH_serve.json``; CI regenerates the smoke artifact on
+every build and ``check_bench_regression.py`` gates the committed floors
+in ``.github/bench_baselines.json``.
+
+Not a pytest module — run directly::
+
+    python benchmarks/perf_serve.py [--smoke] [--repeats N] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:
+    import repro.core  # noqa: F401  (probe a submodule so foreign 'repro' dists don't shadow the checkout)
+except ImportError:  # running from a checkout: fall back to the src/ layout
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.rl import RecurrentActorCritic
+from repro.serve import PolicyServer, ServeConfig
+
+STATE_DIM = 8
+ACTION_DIM = 2
+
+
+def make_policy() -> RecurrentActorCritic:
+    return RecurrentActorCritic(
+        STATE_DIM,
+        ACTION_DIM,
+        np.random.default_rng(0),
+        lstm_hidden=32,
+        head_hidden=(64,),
+    )
+
+
+def make_streams(sessions: int, users: int, steps: int, seed: int):
+    rng = np.random.default_rng(seed)
+    return [
+        [rng.random((users, STATE_DIM)) for _ in range(steps)]
+        for _ in range(sessions)
+    ]
+
+
+def session_seeds(sessions: int):
+    return [9000 + i for i in range(sessions)]
+
+
+def run_unbatched(streams, users: int):
+    """One dedicated replica per session, one act per request.
+
+    Returns (per-session action streams, wall seconds). Policies are
+    prebuilt so the timed loop is pure serving work.
+    """
+    policies = [make_policy() for _ in streams]
+    rngs = [np.random.default_rng(seed) for seed in session_seeds(len(streams))]
+    start = time.perf_counter()
+    served = []
+    for policy, rng, stream in zip(policies, rngs, streams):
+        policy.start_rollout(users)
+        prev = np.zeros((users, ACTION_DIM))
+        actions_out = []
+        for obs in stream:
+            actions, _, _ = policy.act(obs, prev, rng)
+            prev = actions
+            actions_out.append(actions)
+        served.append(actions_out)
+    return served, time.perf_counter() - start
+
+
+def run_microbatched(streams, users: int, max_batch: int):
+    """All sessions through one PolicyServer, one flush per step.
+
+    Returns (per-session action streams, wall seconds, per-request
+    latencies). The synchronous driver makes batch composition
+    deterministic, so this measures the microbatch kernel, not thread
+    scheduling jitter.
+    """
+    server = PolicyServer(make_policy(), ServeConfig(max_batch_size=max_batch))
+    sids = [
+        server.create_session(num_users=users, seed=seed)
+        for seed in session_seeds(len(streams))
+    ]
+    steps = len(streams[0])
+    served = [[] for _ in streams]
+    latencies = []
+    start = time.perf_counter()
+    for t in range(steps):
+        submitted = time.perf_counter()
+        tickets = [
+            server.submit(sid, streams[i][t]) for i, sid in enumerate(sids)
+        ]
+        server.flush()
+        done = time.perf_counter()
+        latencies.extend([done - submitted] * len(tickets))
+        for i, ticket in enumerate(tickets):
+            served[i].append(ticket.result(timeout=30.0).actions)
+    elapsed = time.perf_counter() - start
+    server.close()
+    return served, elapsed, latencies
+
+
+def bench_level(sessions: int, users: int, steps: int, repeats: int) -> dict:
+    streams = make_streams(sessions, users, steps, seed=17)
+
+    # Pre-timing parity gate: microbatched == unbatched, bit for bit.
+    reference, _ = run_unbatched(streams, users)
+    batched, _, _ = run_microbatched(streams, users, max_batch=sessions)
+    equivalent = all(
+        np.array_equal(a, b)
+        for ref, got in zip(reference, batched)
+        for a, b in zip(ref, got)
+    )
+
+    unbatched_times, batched_times, best_latencies = [], [], None
+    for _ in range(repeats):
+        _, elapsed = run_unbatched(streams, users)
+        unbatched_times.append(elapsed)
+        _, elapsed, latencies = run_microbatched(streams, users, max_batch=sessions)
+        if not batched_times or elapsed < min(batched_times):
+            best_latencies = latencies
+        batched_times.append(elapsed)
+
+    unbatched = min(unbatched_times)
+    microbatched = min(batched_times)
+    latencies_ms = np.array(best_latencies) * 1000.0
+    requests = sessions * steps
+    record = {
+        "name": f"sessions_{sessions}",
+        "sessions": sessions,
+        "users_per_session": users,
+        "steps": steps,
+        "requests": requests,
+        "unbatched_s": round(unbatched, 6),
+        "microbatched_s": round(microbatched, 6),
+        "speedup": round(unbatched / microbatched, 3),
+        "p50_ms": round(float(np.percentile(latencies_ms, 50)), 4),
+        "p99_ms": round(float(np.percentile(latencies_ms, 99)), 4),
+        "throughput_rps": round(requests / microbatched, 1),
+        "equivalent": equivalent,
+    }
+    print(
+        f"[sessions_{sessions}] {sessions} sessions x {users} users, T={steps}: "
+        f"unbatched={unbatched:.3f}s microbatched={microbatched:.3f}s "
+        f"-> {record['speedup']:.2f}x, p50={record['p50_ms']:.2f}ms "
+        f"p99={record['p99_ms']:.2f}ms, {record['throughput_rps']:.0f} req/s"
+        + ("" if equivalent else "  [PARITY FAILED]")
+    )
+    return record
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny CI-sized run")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_serve.json",
+    )
+    args = parser.parse_args()
+    repeats = max(args.repeats, 1)
+
+    if args.smoke:
+        levels = ((2, 2, 6), (4, 2, 6), (8, 2, 6))
+        repeats = min(repeats, 3)
+    else:
+        levels = ((4, 3, 12), (8, 3, 12), (16, 3, 12), (32, 3, 12))
+
+    records = [
+        bench_level(sessions, users, steps, repeats)
+        for sessions, users, steps in levels
+    ]
+    payload = {
+        "benchmark": "perf_serve",
+        "mode": "smoke" if args.smoke else "full",
+        "repeats": repeats,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "scenarios": records,
+        "headline_speedup": max(r["speedup"] for r in records),
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output} (headline speedup {payload['headline_speedup']:.2f}x)")
+    return 0 if all(r["equivalent"] for r in records) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

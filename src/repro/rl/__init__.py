@@ -11,6 +11,7 @@ from .vec import (
     VecEnvPool,
     assemble_segments,
     collect_segments_vec,
+    evaluate_policy_replica,
     evaluate_policy_vec,
     split_rng,
 )
@@ -23,6 +24,7 @@ from .workers import (
     WorkerStepError,
     WorkerTimeout,
     collect_segments_shard_parallel,
+    evaluate_policy_replicas,
     sharding_available,
 )
 from .parity import (
@@ -60,6 +62,8 @@ __all__ = [
     "collect_segments_shard_parallel",
     "collect_segments_vec",
     "compute_gae",
+    "evaluate_policy_replica",
+    "evaluate_policy_replicas",
     "evaluate_policy_vec",
     "sharding_available",
     "split_rng",

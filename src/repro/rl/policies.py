@@ -62,6 +62,27 @@ class ActorCriticBase(nn.Module):
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # session state (serving layer)
+    # ------------------------------------------------------------------
+    def recurrent_state(self):
+        """Numpy snapshot of the per-rollout recurrent state, or None.
+
+        Feed-forward policies carry no state between ``act`` calls, so the
+        base returns None. :class:`RecurrentActorCritic` returns plain
+        arrays (copies) that :meth:`set_recurrent_state` can restore later
+        — the pair is how :class:`repro.serve.PolicyServer` checkpoints a
+        session's extractor state between microbatches.
+        """
+        return None
+
+    def set_recurrent_state(self, state) -> None:
+        """Restore a :meth:`recurrent_state` snapshot (no-op base)."""
+        if state is not None:  # pragma: no cover - defensive
+            raise ValueError(
+                f"{type(self).__name__} is stateless; cannot restore recurrent state"
+            )
+
+    # ------------------------------------------------------------------
     # replica synchronisation (shard-parallel rollout workers)
     # ------------------------------------------------------------------
     def extra_state(self) -> Dict[str, np.ndarray]:
@@ -321,6 +342,21 @@ class RecurrentActorCritic(ActorCriticBase):
             return -1
         h = self._state[0] if isinstance(self._state, tuple) else self._state
         return h.shape[0]
+
+    def recurrent_state(self):
+        if self._state is None:
+            return None
+        if isinstance(self._state, tuple):
+            return tuple(np.array(part.data) for part in self._state)
+        return np.array(self._state.data)
+
+    def set_recurrent_state(self, state) -> None:
+        if state is None:
+            self._state = None
+        elif isinstance(state, tuple):
+            self._state = tuple(nn.Tensor(np.array(part, dtype=np.float64)) for part in state)
+        else:
+            self._state = nn.Tensor(np.array(state, dtype=np.float64))
 
     def _heads(self, states_t: nn.Tensor, z: nn.Tensor) -> Tuple[nn.DiagGaussian, nn.Tensor]:
         features = nn.concat([states_t, z], axis=-1)

@@ -572,3 +572,64 @@ def evaluate_policy_vec(
     if hasattr(act_fn, "set_rollout_groups"):
         act_fn.set_rollout_groups(None)
     return totals / episodes
+
+
+def evaluate_policy_replica(
+    pool: Union[ShardableVecPool, Sequence[MultiUserEnv]],
+    policy: "ActorCriticBase",
+    rngs: Sequence[np.random.Generator],
+    episodes: int = 1,
+    gamma: float = 1.0,
+    deterministic: bool = True,
+    max_steps: Optional[int] = None,
+) -> np.ndarray:
+    """Replica-side evaluation kernel: act with ``policy`` itself, per-env streams.
+
+    The sharding-invariant counterpart of :func:`evaluate_policy_vec`: instead
+    of an opaque ``act_fn`` holding one shared noise stream, the policy acts
+    directly with one caller-owned generator **per member env** (wrapped in a
+    :class:`BlockRNG` over the pool's blocks) and per-env context groups. Each
+    env's action noise therefore comes from that env's own stream regardless
+    of which other envs share the batch — so evaluating the same envs split
+    across any number of shard-local pools (each with its env's generator)
+    produces bit-identical per-env returns. This is the kernel both sides of
+    :meth:`repro.rl.workers.ShardedVecEnvPool.evaluate_policy` run: workers
+    call it over their shard with their policy replica, the degraded/in-process
+    path calls it over the full pool.
+
+    ``rngs`` objects are advanced in place (per-env stream continuity across
+    multi-episode sweeps). Returns one mean (discounted) per-user return per
+    member env.
+    """
+    if not isinstance(pool, ShardableVecPool):
+        pool = VecEnvPool(pool, max_steps=max_steps)
+    elif max_steps is not None:
+        pool.max_steps = max_steps
+    rngs = list(rngs)
+    if len(rngs) != pool.num_envs:
+        raise ValueError(
+            f"evaluate_policy_replica needs one generator per env: "
+            f"got {len(rngs)} for {pool.num_envs} envs"
+        )
+    block_rng = BlockRNG(rngs, pool.slices)
+    totals = np.zeros(pool.num_envs)
+    with no_grad():
+        for _ in range(episodes):
+            policy.start_rollout(pool.num_users)
+            policy.set_rollout_groups(pool.slices)
+            states = pool.reset()
+            prev_actions = np.zeros((pool.num_users, policy.action_dim))
+            returns = np.zeros(pool.num_users)
+            discount = 1.0
+            while not pool.all_done:
+                actions, _, _ = policy.act(
+                    states, prev_actions, block_rng, deterministic=deterministic
+                )
+                prev_actions = actions
+                states, rewards, dones, _ = pool.step(actions)
+                returns += discount * rewards
+                discount *= gamma
+            for index, block in enumerate(pool.slices):
+                totals[index] += float(returns[block].mean())
+    policy.set_rollout_groups(None)
+    return totals / episodes

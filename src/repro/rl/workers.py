@@ -152,6 +152,7 @@ from .vec import (
     VecEnvPool,
     assemble_segments,
     collect_segments_vec,
+    evaluate_policy_replica,
     split_rng,
     validate_pool_members,
 )
@@ -236,7 +237,7 @@ class FaultPolicy:
         """The IPC deadline (seconds) governing one protocol operation."""
         if op in ("step", "reset"):
             return self.step_deadline
-        if op == "rollout":
+        if op in ("rollout", "evaluate"):
             return self.collect_deadline
         return self.broadcast_deadline
 
@@ -389,7 +390,7 @@ def _worker_main(
     envs: List[MultiUserEnv],
     chaos: Optional[ChaosSchedule] = None,
 ) -> None:
-    """Worker loop: serve reset/step/replica/rollout/load/fetch/snapshot/close.
+    """Worker loop: serve reset/step/replica/rollout/evaluate/load/fetch/snapshot/close.
 
     The shard is wrapped in an in-process :class:`VecEnvPool`, so done
     masking, step budgets and native batch steppers behave exactly as in
@@ -510,6 +511,32 @@ def _worker_main(
                             "ok",
                             [segment.horizon for segment in segments],
                             [segment.extras for segment in segments],
+                            [rng.bit_generator.state for rng in rngs],
+                            env_blob,
+                        )
+                elif kind == "evaluate":
+                    payload = command[1]
+                    if replica is None or payload["version"] != replica_version:
+                        reply = ("stale", replica_version, payload["version"])
+                    else:
+                        rngs = payload["rngs"]
+                        totals = evaluate_policy_replica(
+                            pool,
+                            replica,
+                            rngs,
+                            episodes=payload["episodes"],
+                            gamma=payload["gamma"],
+                            deterministic=payload["deterministic"],
+                            max_steps=payload["max_steps"],
+                        )
+                        env_blob = (
+                            pickle.dumps(pool.envs)
+                            if payload.get("return_envs")
+                            else None
+                        )
+                        reply = (
+                            "ok",
+                            totals,
                             [rng.bit_generator.state for rng in rngs],
                             env_blob,
                         )
@@ -1510,6 +1537,123 @@ class ShardedVecEnvPool(ShardableVecPool):
         self._active[:] = False
         return segments
 
+    def evaluate_policy(
+        self,
+        rng: RNGLike,
+        episodes: int = 1,
+        gamma: float = 1.0,
+        deterministic: bool = True,
+        max_steps: Optional[int] = None,
+    ) -> np.ndarray:
+        """Replica-side evaluation sweep: every worker evaluates its shard.
+
+        The sharded counterpart of :func:`~repro.rl.vec.evaluate_policy_vec`
+        that finally retires its parent-side acting: each worker runs
+        :func:`~repro.rl.vec.evaluate_policy_replica` over its shard-local
+        sub-pool with its **policy replica** (requires a prior
+        :meth:`sync_policy`; a stale replica raises
+        :class:`StaleReplicaError`) and its slice of the per-env noise
+        streams, then replies with per-env mean (discounted) returns and
+        advanced RNG states. Because the kernel draws each env's action
+        noise from that env's own stream and computes context per env
+        block, the totals are bit-identical to evaluating the same envs in
+        one in-process pool — for any worker count. ``rng`` follows the
+        :meth:`collect_rollouts` convention (single generator → transient
+        per-env children; sequence / :class:`~repro.rl.vec.BlockRNG` →
+        caller-owned streams, synced back only after every worker
+        answered). Under a :class:`FaultPolicy` the sweep participates in
+        recovery exactly like a rollout: crashed workers are respawned and
+        re-issued the sweep with pristine inputs, and the recovery
+        baseline is refreshed on success (the sweep advances worker-side
+        env RNGs, so the old snapshots no longer describe the shard).
+        """
+        self._check_open()
+        if self._pending_slot is not None:
+            raise RuntimeError("evaluate_policy() during an in-flight step_async()")
+        if self._replica_version == 0:
+            raise RuntimeError(
+                "evaluate_policy() needs a policy replica: call sync_policy() first"
+            )
+        if max_steps is None:
+            max_steps = self.max_steps
+        rngs, owners = self._as_env_rngs(rng)
+        if self._inner is not None:
+            return evaluate_policy_replica(
+                self._inner,
+                self._materialize_replica(),
+                rngs,
+                episodes=episodes,
+                gamma=gamma,
+                deterministic=deterministic,
+                max_steps=max_steps,
+            )
+        commands = []
+        for shard in self._shards:
+            commands.append(
+                (
+                    "evaluate",
+                    {
+                        "version": self._replica_version,
+                        "episodes": episodes,
+                        "gamma": gamma,
+                        "deterministic": deterministic,
+                        "max_steps": max_steps,
+                        "rngs": rngs[shard.start : shard.stop],
+                        "return_envs": self._fault is not None,
+                    },
+                )
+            )
+        totals = np.zeros(self.num_envs)
+        rng_states: List[Any] = [None] * self.num_envs
+        env_blobs: List[Optional[bytes]] = [None] * len(self._shards)
+        deadline = self._deadline_for("evaluate")
+        try:
+            failed = self._send_commands(commands, op="evaluate")
+            for worker, shard in enumerate(self._shards):
+                if worker in failed:
+                    reply = self._recover(
+                        worker, commands[worker], "evaluate", failed.pop(worker)
+                    )
+                else:
+                    try:
+                        reply = self._recv(worker, deadline=deadline, op="evaluate")
+                    except _RECOVERABLE_ERRORS as error:
+                        if self._fault is None:
+                            self.close()
+                            raise
+                        reply = self._recover(
+                            worker, commands[worker], "evaluate", error
+                        )
+                    except WorkerStepError:
+                        self.close()
+                        raise
+                _, shard_totals, shard_states, env_blob = reply
+                env_blobs[worker] = env_blob
+                totals[shard] = shard_totals
+                for offset, env_index in enumerate(range(shard.start, shard.stop)):
+                    rng_states[env_index] = shard_states[offset]
+        except _Degraded:
+            return evaluate_policy_replica(
+                self._inner,
+                self._materialize_replica(),
+                rngs,
+                episodes=episodes,
+                gamma=gamma,
+                deterministic=deterministic,
+                max_steps=max_steps,
+            )
+        # All shards answered: only now apply side effects (same
+        # all-or-nothing rule as collect_rollouts).
+        if owners is not None:
+            for env_index, state in enumerate(rng_states):
+                owners[env_index].bit_generator.state = state
+        if self._fault is not None:
+            self._snapshots = env_blobs
+            self._journal.clear()
+        self._steps[:] = 0
+        self._active[:] = False
+        return totals
+
     # ------------------------------------------------------------------
     def load_envs(self, envs: Sequence[MultiUserEnv]) -> None:
         """Replace the member envs, reusing the worker processes.
@@ -1626,3 +1770,55 @@ def collect_segments_shard_parallel(
         return owned.collect_rollouts(
             rng, max_steps=max_steps, extras_from_info=extras_from_info
         )
+
+
+def evaluate_policy_replicas(
+    envs: Union[ShardableVecPool, Sequence[MultiUserEnv]],
+    policy: ActorCriticBase,
+    rng: RNGLike,
+    episodes: int = 1,
+    gamma: float = 1.0,
+    deterministic: bool = True,
+    max_steps: Optional[int] = None,
+) -> np.ndarray:
+    """Evaluate ``policy`` over ``envs``, replica-side wherever possible.
+
+    Routing front door for evaluation sweeps: a
+    :class:`ShardedVecEnvPool` gets the policy synced (version-stamped,
+    skip-if-byte-equal) and evaluated **inside the workers** via
+    :meth:`ShardedVecEnvPool.evaluate_policy`; a plain pool or env
+    sequence runs the same kernel
+    (:func:`~repro.rl.vec.evaluate_policy_replica`) in-process. Either
+    way the per-env returns are bit-identical, because the kernel draws
+    each env's noise from its own stream and computes context per env
+    block — proven by ``tests/rl/test_eval_parity.py`` across modes,
+    shard counts and policy families. ``rng`` may be a single generator
+    (split into transient per-env children), a per-env sequence, or a
+    :class:`~repro.rl.vec.BlockRNG` (caller-owned streams, advanced in
+    place).
+    """
+    if isinstance(envs, ShardedVecEnvPool):
+        envs.sync_policy(policy)
+        return envs.evaluate_policy(
+            rng,
+            episodes=episodes,
+            gamma=gamma,
+            deterministic=deterministic,
+            max_steps=max_steps,
+        )
+    pool = envs if isinstance(envs, ShardableVecPool) else VecEnvPool(envs)
+    if isinstance(rng, BlockRNG):
+        rngs: List[np.random.Generator] = list(rng.rngs)
+    elif isinstance(rng, np.random.Generator):
+        rngs = split_rng(rng, pool.num_envs)
+    else:
+        rngs = list(rng)
+    return evaluate_policy_replica(
+        pool,
+        policy,
+        rngs,
+        episodes=episodes,
+        gamma=gamma,
+        deterministic=deterministic,
+        max_steps=max_steps,
+    )

@@ -1,0 +1,27 @@
+"""Policy inference serving: microbatched sessions, hot-swap replicas.
+
+The production boundary of the stack (see ``docs/serving.md``): a
+:class:`PolicyServer` stacks concurrent sessions' ``act`` requests into
+single batched policy forwards — bit-identical to serving each session
+alone — and swaps in new policy snapshots between batches with zero
+downtime. ``python -m repro.serve`` runs a self-contained demo that
+serves live environment sessions and verifies the parity contract.
+"""
+
+from .server import (
+    ActionResult,
+    PolicyServer,
+    ServeConfig,
+    SessionError,
+    Ticket,
+    snapshot_policy,
+)
+
+__all__ = [
+    "ActionResult",
+    "PolicyServer",
+    "ServeConfig",
+    "SessionError",
+    "Ticket",
+    "snapshot_policy",
+]

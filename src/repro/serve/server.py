@@ -1,0 +1,598 @@
+"""Microbatched policy inference serving with hot-swappable replicas.
+
+A :class:`PolicyServer` holds one serving **policy replica** and many
+concurrent user **sessions**. Each session is the serving analogue of one
+member env of a rollout pool: it owns a block of ``num_users`` rows, its
+own noise stream, its own previous-action vector and — for recurrent
+policies — its own extractor state, all kept server-side so clients only
+ever ship observations and receive actions.
+
+``act`` requests from different sessions are **microbatched**: pending
+requests are stacked on the user axis (arrival order) and answered by a
+single batched ``policy.act`` — the same stacked-forward kernel the
+rollout engine uses (:mod:`repro.rl.vec`), so one forward pass serves the
+whole window instead of one pass per session. The batch is assembled with
+exactly the ingredients that make vectorized rollouts bit-reproduce
+sequential ones:
+
+- **row-stable matmuls** — every nn-engine forward computes row ``i`` of a
+  stacked batch exactly as it would compute that row alone;
+- **per-session noise streams** — a :class:`~repro.rl.vec.BlockRNG` over
+  the batch's session blocks draws each session's action noise from that
+  session's own generator, whoever shares the batch;
+- **per-session context groups** — ``policy.set_rollout_groups`` scopes
+  group-level context (the Sim2Rec SADAE υ-embedding) to each session's
+  block, so υ never mixes users across sessions;
+- **per-session recurrent state** — the extractor state is scattered
+  back to each session after the batch and restored (row-exact) before
+  the next one, so an interleaved session's hidden state evolves exactly
+  as it would serving alone.
+
+Together these make microbatched serving **bit-identical** to serving
+every session by itself, one ``policy.act`` per request — the contract
+``tests/serve/`` proves across policy families, arrival interleavings
+and fuzzed batch layouts.
+
+Hot swap: :meth:`PolicyServer.swap_policy` accepts a version-stamped
+``state_to_bytes`` archive of :meth:`~repro.rl.policies.ActorCriticBase.
+replica_state` (the same protocol :meth:`repro.rl.workers.
+ShardedVecEnvPool.sync_policy` broadcasts to rollout workers). A torn
+archive fails its CRC (:class:`~repro.nn.serialization.StateChecksumError`)
+before anything is applied; a stale version raises
+:class:`~repro.rl.workers.StaleReplicaError`; a byte-equal archive is
+skipped without a version bump. The swap takes the batch lock, so it can
+only land *between* microbatches — a session never sees a half-applied
+snapshot, and every response carries the version that produced it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.serialization import state_from_bytes, state_to_bytes
+from ..rl.policies import ActorCriticBase
+from ..rl.vec import BlockRNG
+from ..rl.workers import StaleReplicaError
+
+__all__ = [
+    "ActionResult",
+    "PolicyServer",
+    "ServeConfig",
+    "SessionError",
+    "Ticket",
+    "snapshot_policy",
+]
+
+
+class SessionError(RuntimeError):
+    """Invalid session-protocol use (unknown id, double submit, ...)."""
+
+
+def snapshot_policy(policy: ActorCriticBase) -> bytes:
+    """Serialize a policy into a hot-swappable replica archive.
+
+    The archive is ``state_to_bytes(policy.replica_state())`` — parameters
+    plus extra buffers (e.g. the Sim2Rec SADAE normaliser), CRC-protected —
+    exactly what :meth:`PolicyServer.swap_policy` consumes and what the
+    rollout workers' replica broadcast ships.
+    """
+    return state_to_bytes(policy.replica_state())
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Microbatching knobs for :class:`PolicyServer`.
+
+    ``max_batch_size`` caps how many pending requests one batched
+    ``policy.act`` may serve (the user-axis row count is the sum of their
+    sessions' ``num_users``). ``max_wait_ms`` bounds how long the
+    background dispatcher holds an incomplete window open for stragglers;
+    the synchronous :meth:`PolicyServer.flush` path ignores it (it drains
+    whatever is pending). ``seed`` feeds the server's session seed
+    sequence — sessions created without an explicit seed/generator get
+    deterministic spawned child streams.
+    """
+
+    max_batch_size: int = 32
+    max_wait_ms: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+
+
+@dataclass
+class ActionResult:
+    """One served action batch for one session.
+
+    ``actions`` / ``log_probs`` / ``values`` are the session's own rows of
+    the microbatched ``policy.act`` (shapes ``[num_users, action_dim]`` /
+    ``[num_users]`` / ``[num_users]``), ``version`` the policy version
+    that produced them, ``step`` the session's 1-based act count.
+    """
+
+    actions: np.ndarray
+    log_probs: np.ndarray
+    values: np.ndarray
+    version: int
+    step: int
+
+
+class Ticket:
+    """Handle for one submitted request; resolved by the next batch."""
+
+    __slots__ = ("_event", "_result", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: Optional[ActionResult] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> ActionResult:
+        """Block until the request is served; raises what the batch raised."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request not served within timeout")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def _resolve(self, result: ActionResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class _Session:
+    __slots__ = (
+        "id",
+        "num_users",
+        "rng",
+        "deterministic",
+        "prev_actions",
+        "recurrent_state",
+        "steps",
+        "pending",
+    )
+
+    def __init__(
+        self,
+        session_id: str,
+        num_users: int,
+        rng: np.random.Generator,
+        deterministic: bool,
+    ) -> None:
+        self.id = session_id
+        self.num_users = num_users
+        self.rng = rng
+        self.deterministic = deterministic
+        self.prev_actions: Optional[np.ndarray] = None  # zeros until first act
+        self.recurrent_state: Optional[Any] = None  # fresh = initial state
+        self.steps = 0
+        self.pending = False
+
+
+class _Request:
+    __slots__ = ("session", "obs", "ticket", "arrived")
+
+    def __init__(self, session: _Session, obs: np.ndarray, arrived: float) -> None:
+        self.session = session
+        self.obs = obs
+        self.ticket = Ticket()
+        self.arrived = arrived
+
+
+class PolicyServer:
+    """Concurrent-session policy inference with microbatching and hot swap.
+
+    Two drive modes share one request queue:
+
+    - **synchronous** — :meth:`submit` then :meth:`flush` (or the
+      :meth:`act` convenience): the caller decides when the window closes,
+      which makes batch composition fully deterministic (tests, benches,
+      single-threaded drivers);
+    - **background** — :meth:`start` runs a dispatcher thread that closes
+      the window when ``max_batch_size`` requests are pending or the
+      oldest has waited ``max_wait_ms``; clients block on
+      :meth:`Ticket.result`.
+
+    The server owns ``policy`` as its serving replica: hot swaps load new
+    weights into it in place. See the module docstring for the
+    bit-identity and swap-atomicity contracts.
+    """
+
+    def __init__(
+        self, policy: ActorCriticBase, config: Optional[ServeConfig] = None
+    ) -> None:
+        self.config = config or ServeConfig()
+        self._policy = policy
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._sessions: Dict[str, _Session] = {}
+        self._queue: Deque[_Request] = deque()
+        self._seed_seq = np.random.SeedSequence(self.config.seed)
+        self._session_counter = 0
+        self._version = 1
+        state = policy.replica_state()
+        self._signature = self._signature_of(state)
+        self._cache = {key: np.array(value) for key, value in state.items()}
+        self._thread: Optional[threading.Thread] = None
+        self._running = False
+        self._closed = False
+        self._stats = {
+            "requests": 0,
+            "batches": 0,
+            "max_batch_rows": 0,
+            "swaps_applied": 0,
+            "swaps_skipped": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # session lifecycle
+    # ------------------------------------------------------------------
+    def create_session(
+        self,
+        session_id: Optional[str] = None,
+        num_users: int = 1,
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        deterministic: bool = False,
+    ) -> str:
+        """Open a session; returns its id.
+
+        ``num_users`` is the session's row count (a "session" may be a
+        whole user group, Sim2Rec-style). Noise stream precedence:
+        explicit ``rng`` > ``seed`` (``default_rng(seed)``) > a child
+        spawned from the server's seed sequence. ``deterministic``
+        sessions are served with distribution modes and draw no noise.
+        """
+        if num_users < 1:
+            raise ValueError("num_users must be >= 1")
+        with self._lock:
+            self._check_serving()
+            if session_id is None:
+                session_id = f"s{self._session_counter:06d}"
+                self._session_counter += 1
+            if session_id in self._sessions:
+                raise SessionError(f"session {session_id!r} already exists")
+            if rng is None:
+                if seed is not None:
+                    rng = np.random.default_rng(seed)
+                else:
+                    rng = np.random.default_rng(self._seed_seq.spawn(1)[0])
+            self._sessions[session_id] = _Session(
+                session_id, num_users, rng, deterministic
+            )
+            return session_id
+
+    def end_session(self, session_id: str) -> None:
+        """Close a session; its queued request (if any) must be served first."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is None:
+                raise SessionError(f"unknown session {session_id!r}")
+            if session.pending:
+                raise SessionError(
+                    f"session {session_id!r} has an unserved request; "
+                    "flush (or await the ticket) before ending it"
+                )
+            del self._sessions[session_id]
+
+    @property
+    def num_sessions(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    @property
+    def running(self) -> bool:
+        """Whether the background dispatcher thread is active."""
+        return self._running
+
+    @property
+    def version(self) -> int:
+        """The serving policy version (bumped by each applied swap)."""
+        with self._lock:
+            return self._version
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            snapshot = dict(self._stats)
+            snapshot["sessions"] = len(self._sessions)
+            snapshot["pending"] = len(self._queue)
+            snapshot["version"] = self._version
+            return snapshot
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def submit(self, session_id: str, obs: np.ndarray) -> Ticket:
+        """Queue one ``act`` request; returns a :class:`Ticket`.
+
+        ``obs`` is the session's stacked observation block
+        ``[num_users, state_dim]`` (a 1-D vector is accepted for
+        single-user sessions). One request per session may be in flight —
+        a session's next observation depends on its previous action, so a
+        second submit before the first is served can only be a protocol
+        bug.
+        """
+        obs = np.asarray(obs, dtype=np.float64)
+        if obs.ndim == 1:
+            obs = obs.reshape(1, -1)
+        with self._cond:
+            self._check_serving()
+            session = self._sessions.get(session_id)
+            if session is None:
+                raise SessionError(f"unknown session {session_id!r}")
+            if session.pending:
+                raise SessionError(
+                    f"session {session_id!r} already has a request in flight"
+                )
+            if obs.shape != (session.num_users, self._policy.state_dim):
+                raise SessionError(
+                    f"session {session_id!r} expects observations of shape "
+                    f"{(session.num_users, self._policy.state_dim)}, got {obs.shape}"
+                )
+            request = _Request(session, obs, time.monotonic())
+            session.pending = True
+            self._queue.append(request)
+            self._stats["requests"] += 1
+            self._cond.notify_all()
+            return request.ticket
+
+    def flush(self) -> int:
+        """Serve every queued request now (in ≤ ``max_batch_size`` windows).
+
+        Returns the number of requests served. Safe to call with the
+        background dispatcher running (both drain under the batch lock).
+        """
+        served = 0
+        with self._lock:
+            while self._queue:
+                batch = [
+                    self._queue.popleft()
+                    for _ in range(min(len(self._queue), self.config.max_batch_size))
+                ]
+                self._process_batch(batch)
+                served += len(batch)
+        return served
+
+    def act(
+        self, session_id: str, obs: np.ndarray, timeout: Optional[float] = None
+    ) -> ActionResult:
+        """Submit and wait: the single-call convenience path.
+
+        Without the background dispatcher the request is flushed
+        immediately (a one-request batch); with it, the call blocks until
+        the dispatcher's window closes.
+        """
+        ticket = self.submit(session_id, obs)
+        if not self._running:
+            self.flush()
+        return ticket.result(timeout)
+
+    # ------------------------------------------------------------------
+    # microbatch kernel
+    # ------------------------------------------------------------------
+    def _process_batch(self, batch: Sequence[_Request]) -> None:
+        """One batched ``policy.act`` per determinism class, lock held."""
+        # ``deterministic`` is a batch-wide flag on policy.act, so a mixed
+        # window is served as (up to) two stacked calls. Per-session
+        # bit-identity is indifferent to the split: each session's rows,
+        # noise stream and context block are its own either way.
+        for flag in (False, True):
+            sub = [r for r in batch if r.session.deterministic is flag]
+            if sub:
+                self._serve_stacked(sub, deterministic=flag)
+
+    def _serve_stacked(self, batch: Sequence[_Request], deterministic: bool) -> None:
+        sessions = [request.session for request in batch]
+        slices: List[slice] = []
+        start = 0
+        for session in sessions:
+            slices.append(slice(start, start + session.num_users))
+            start += session.num_users
+        total = start
+        policy = self._policy
+        try:
+            obs = np.concatenate([request.obs for request in batch], axis=0)
+            prev = np.concatenate(
+                [
+                    session.prev_actions
+                    if session.prev_actions is not None
+                    else np.zeros((session.num_users, policy.action_dim))
+                    for session in sessions
+                ],
+                axis=0,
+            )
+            # Fresh per-batch rollout state, then overwrite each returning
+            # session's rows with its saved extractor state: a session's
+            # hidden state evolves exactly as if it were served alone.
+            policy.start_rollout(total)
+            template = policy.recurrent_state()
+            if template is not None:
+                parts = template if isinstance(template, tuple) else (template,)
+                for session, block in zip(sessions, slices):
+                    if session.recurrent_state is None:
+                        continue
+                    saved = (
+                        session.recurrent_state
+                        if isinstance(session.recurrent_state, tuple)
+                        else (session.recurrent_state,)
+                    )
+                    for dst, src in zip(parts, saved):
+                        dst[block] = src
+                policy.set_recurrent_state(template)
+            policy.set_rollout_groups(slices)
+            block_rng = BlockRNG([session.rng for session in sessions], slices)
+            actions, log_probs, values = policy.act(
+                obs, prev, block_rng, deterministic=deterministic
+            )
+            new_state = policy.recurrent_state()
+        except BaseException as error:
+            for request in batch:
+                request.session.pending = False
+                request.ticket._fail(error)
+            raise
+        finally:
+            policy.set_rollout_groups(None)
+        self._stats["batches"] += 1
+        self._stats["max_batch_rows"] = max(self._stats["max_batch_rows"], total)
+        for request, session, block in zip(batch, sessions, slices):
+            if new_state is not None:
+                if isinstance(new_state, tuple):
+                    session.recurrent_state = tuple(
+                        np.array(part[block]) for part in new_state
+                    )
+                else:
+                    session.recurrent_state = np.array(new_state[block])
+            session.prev_actions = np.array(actions[block])
+            session.steps += 1
+            session.pending = False
+            request.ticket._resolve(
+                ActionResult(
+                    actions=np.array(actions[block]),
+                    log_probs=np.array(log_probs[block]),
+                    values=np.array(values[block]),
+                    version=self._version,
+                    step=session.steps,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # hot swap
+    # ------------------------------------------------------------------
+    def swap_policy(self, payload: bytes, version: Optional[int] = None) -> int:
+        """Atomically swap the serving weights; returns the serving version.
+
+        ``payload`` is a :func:`snapshot_policy` archive. Decode happens
+        before the lock is taken — a torn archive raises
+        :class:`~repro.nn.serialization.StateChecksumError` with the old
+        weights untouched. With an explicit ``version`` stamp, anything
+        not newer than the serving version raises
+        :class:`~repro.rl.workers.StaleReplicaError` (a late republish of
+        old weights must never roll the server back); without one the
+        serving version self-increments. A byte-equal archive is skipped
+        (no load, no version bump — the rollout pool's skip-if-byte-equal
+        rule). The swap holds the batch lock, so it lands between
+        microbatches: in-flight batches complete on the old version.
+        """
+        state = state_from_bytes(payload)
+        with self._lock:
+            self._check_serving()
+            if version is not None and version <= self._version:
+                raise StaleReplicaError(
+                    f"swap archive stamped version {version} is not newer than "
+                    f"serving version {self._version}"
+                )
+            signature = self._signature_of(state)
+            if signature != self._signature:
+                raise ValueError(
+                    "swap archive structure does not match the serving policy "
+                    "(different parameter names or shapes); hot swap cannot "
+                    "change the model architecture"
+                )
+            if all(np.array_equal(value, self._cache[key]) for key, value in state.items()):
+                self._stats["swaps_skipped"] += 1
+                return self._version
+            self._policy.load_replica_state(state)
+            self._version = version if version is not None else self._version + 1
+            self._cache = {key: np.array(value) for key, value in state.items()}
+            self._stats["swaps_applied"] += 1
+            return self._version
+
+    def publish(self, policy: ActorCriticBase, version: Optional[int] = None) -> int:
+        """Snapshot ``policy`` and swap it in (trainer-side convenience)."""
+        return self.swap_policy(snapshot_policy(policy), version=version)
+
+    @staticmethod
+    def _signature_of(state: Dict[str, np.ndarray]) -> Tuple:
+        return tuple(sorted((key, np.asarray(value).shape) for key, value in state.items()))
+
+    # ------------------------------------------------------------------
+    # background dispatcher
+    # ------------------------------------------------------------------
+    def start(self) -> "PolicyServer":
+        """Run the microbatch dispatcher in a background thread."""
+        with self._lock:
+            self._check_serving()
+            if self._thread is not None:
+                return self
+            self._running = True
+            self._thread = threading.Thread(
+                target=self._dispatch_loop, name="policy-serve-dispatch", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _dispatch_loop(self) -> None:
+        max_wait = self.config.max_wait_ms / 1000.0
+        with self._cond:
+            while self._running:
+                if not self._queue:
+                    self._cond.wait(timeout=0.05)
+                    continue
+                waited = time.monotonic() - self._queue[0].arrived
+                if len(self._queue) >= self.config.max_batch_size or waited >= max_wait:
+                    batch = [
+                        self._queue.popleft()
+                        for _ in range(
+                            min(len(self._queue), self.config.max_batch_size)
+                        )
+                    ]
+                    try:
+                        self._process_batch(batch)
+                    except Exception:
+                        # Tickets already carry the error; keep serving.
+                        pass
+                else:
+                    self._cond.wait(timeout=max(max_wait - waited, 0.0005))
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the dispatcher; by default serve whatever is still queued."""
+        with self._cond:
+            self._running = False
+            self._cond.notify_all()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join()
+        if drain:
+            self.flush()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop serving; unserved tickets fail with :class:`SessionError`."""
+        self.stop(drain=False)
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            while self._queue:
+                request = self._queue.popleft()
+                request.session.pending = False
+                request.ticket._fail(SessionError("server closed"))
+            self._sessions.clear()
+
+    def _check_serving(self) -> None:
+        if self._closed:
+            raise SessionError("server is closed")
+
+    def __enter__(self) -> "PolicyServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

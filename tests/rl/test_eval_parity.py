@@ -1,0 +1,246 @@
+"""Cross-mode evaluation parity: replica-side eval equals solo eval.
+
+The evaluation counterpart of ``test_rollout_parity.py``, covering the
+fix for ``evaluate_policy_vec``'s parent-side-acting note: evaluation
+now routes through **policy replicas** wherever a sharded pool is
+available (:func:`repro.rl.evaluate_policy_replicas` /
+:meth:`repro.rl.workers.ShardedVecEnvPool.evaluate_policy`). The kernel
+(:func:`repro.rl.vec.evaluate_policy_replica`) draws each env's action
+noise from that env's own stream and computes context per env block, so
+per-env returns must be **bit-identical** across
+
+- per-env solo evaluation (each env alone in its own pool),
+- one in-process pool over all envs,
+- sharded pools with {1, 2, 4} workers (replica acting in the workers),
+
+for MLP / recurrent / Sim2Rec policies, deterministic and stochastic
+action modes, multi-episode sweeps with discounting, and heterogeneous
+horizons (the pool masks finished members' rewards to zero, so totals
+are layout-invariant).
+
+Caveat pinned here too: with heterogeneous horizons the *pool* keeps
+drawing from a finished env's stream until the pool ends, so caller-owned
+generator **end states** (and hence episode 2+ of a stochastic sweep)
+are only layout-invariant for equal horizons — the same stream-continuity
+caveat ``collect_rollouts`` documents.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import build_sim2rec_policy, dpr_small_config
+from repro.envs import DPRConfig, DPRWorld, LTSConfig, LTSEnv
+from repro.rl import (
+    MLPActorCritic,
+    RecurrentActorCritic,
+    ShardedVecEnvPool,
+    evaluate_policy_replica,
+    evaluate_policy_replicas,
+    evaluate_policy_vec,
+    sharding_available,
+)
+
+needs_sharding = pytest.mark.skipif(
+    not sharding_available(), reason="platform has no multiprocessing start method"
+)
+
+WORKER_COUNTS = (1, 2, 4)
+EPISODES = 2
+GAMMA = 0.97
+
+
+def make_lts_envs(horizons=(5, 5, 5, 5, 5)):
+    sizes = [3, 1, 4, 2, 5]
+    return [
+        LTSEnv(LTSConfig(num_users=k, horizon=h, omega_g=2.0 * i, seed=20 + i))
+        for i, (k, h) in enumerate(zip(sizes, horizons))
+    ]
+
+
+def make_dpr_envs():
+    world = DPRWorld(DPRConfig(num_cities=4, drivers_per_city=5, horizon=5, seed=3))
+    return world.make_all_city_envs()
+
+
+def make_policy(kind, state_dim, action_dim):
+    if kind == "mlp":
+        return MLPActorCritic(
+            state_dim, action_dim, np.random.default_rng(1), hidden_sizes=(8,)
+        )
+    if kind == "recurrent":
+        return RecurrentActorCritic(
+            state_dim, action_dim, np.random.default_rng(0),
+            lstm_hidden=8, head_hidden=(16,),
+        )
+    if kind == "sim2rec":
+        return build_sim2rec_policy(state_dim, action_dim, dpr_small_config(seed=0))
+    raise ValueError(kind)
+
+
+def setup_case(kind):
+    """(env_factory, policy) for a policy family on its native envs."""
+    if kind == "sim2rec":
+        return make_dpr_envs, make_policy(kind, 13, 2)
+    return make_lts_envs, make_policy(kind, 2, 1)
+
+
+def env_seeds(num_envs):
+    return [5000 + 7 * i for i in range(num_envs)]
+
+
+def solo_eval(env_factory, policy, deterministic, episodes=EPISODES):
+    """The reference: every env evaluated alone with its own stream."""
+    envs = env_factory()
+    return np.array(
+        [
+            evaluate_policy_replica(
+                [env],
+                policy,
+                [np.random.default_rng(seed)],
+                episodes=episodes,
+                gamma=GAMMA,
+                deterministic=deterministic,
+            )[0]
+            for env, seed in zip(envs, env_seeds(len(envs)))
+        ]
+    )
+
+
+def pooled_eval(env_factory, policy, deterministic, workers=0, episodes=EPISODES):
+    """One pool over all envs: in-process (workers=0) or sharded."""
+    envs = env_factory()
+    rngs = [np.random.default_rng(seed) for seed in env_seeds(len(envs))]
+    if workers == 0:
+        totals = evaluate_policy_replicas(
+            envs, policy, rngs, episodes=episodes, gamma=GAMMA,
+            deterministic=deterministic,
+        )
+    else:
+        with ShardedVecEnvPool(envs, num_workers=workers) as pool:
+            totals = evaluate_policy_replicas(
+                pool, policy, rngs, episodes=episodes, gamma=GAMMA,
+                deterministic=deterministic,
+            )
+    return totals, [rng.bit_generator.state for rng in rngs]
+
+
+@pytest.mark.parametrize("kind", ["mlp", "recurrent", "sim2rec"])
+class TestEvalParity:
+    def test_in_process_pool_matches_solo_deterministic(self, kind):
+        env_factory, policy = setup_case(kind)
+        solo = solo_eval(env_factory, policy, deterministic=True)
+        pooled, _ = pooled_eval(env_factory, policy, deterministic=True)
+        assert np.array_equal(solo, pooled), f"{kind}: pooled eval != solo"
+
+    def test_in_process_pool_matches_solo_stochastic(self, kind):
+        env_factory, policy = setup_case(kind)
+        solo = solo_eval(env_factory, policy, deterministic=False)
+        pooled, _ = pooled_eval(env_factory, policy, deterministic=False)
+        assert np.array_equal(solo, pooled), f"{kind}: stochastic pooled != solo"
+
+    @needs_sharding
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_sharded_matches_solo(self, kind, workers):
+        """Replica acting inside the workers reproduces solo eval exactly."""
+        env_factory, policy = setup_case(kind)
+        solo = solo_eval(env_factory, policy, deterministic=False)
+        sharded, _ = pooled_eval(
+            env_factory, policy, deterministic=False, workers=workers
+        )
+        assert np.array_equal(solo, sharded), (
+            f"{kind}: sharded eval (w={workers}) != solo"
+        )
+
+    @needs_sharding
+    def test_owner_rng_continuity_across_modes(self, kind):
+        """Equal horizons: caller streams end identically in every mode."""
+        env_factory, policy = setup_case(kind)
+        _, states_inproc = pooled_eval(env_factory, policy, deterministic=False)
+        _, states_sharded = pooled_eval(
+            env_factory, policy, deterministic=False, workers=2
+        )
+        assert states_inproc == states_sharded, (
+            f"{kind}: per-env RNG streams diverged between modes"
+        )
+
+
+class TestHeteroHorizons:
+    """Finished members read zero rewards: totals are layout-invariant."""
+
+    def make_envs(self):
+        return make_lts_envs(horizons=(3, 5, 2, 5, 4))
+
+    def test_in_process_matches_solo_single_episode(self):
+        policy = make_policy("mlp", 2, 1)
+        solo = solo_eval(self.make_envs, policy, deterministic=False, episodes=1)
+        pooled, _ = pooled_eval(
+            self.make_envs, policy, deterministic=False, episodes=1
+        )
+        assert np.array_equal(solo, pooled)
+
+    def test_multi_episode_deterministic_matches_solo(self):
+        """No draws -> stream advance cannot matter even across episodes."""
+        policy = make_policy("recurrent", 2, 1)
+        solo = solo_eval(self.make_envs, policy, deterministic=True)
+        pooled, _ = pooled_eval(self.make_envs, policy, deterministic=True)
+        assert np.array_equal(solo, pooled)
+
+    @needs_sharding
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_sharded_matches_in_process(self, workers):
+        policy = make_policy("mlp", 2, 1)
+        pooled, _ = pooled_eval(
+            self.make_envs, policy, deterministic=False, episodes=1
+        )
+        sharded, _ = pooled_eval(
+            self.make_envs, policy, deterministic=False, workers=workers, episodes=1
+        )
+        assert np.array_equal(pooled, sharded)
+
+
+class TestFrontDoor:
+    """`evaluate_policy_replicas` routing and RNG-normalisation semantics."""
+
+    @needs_sharding
+    def test_single_generator_split_is_mode_invariant(self):
+        """A lone generator splits into the same per-env children everywhere."""
+        policy = make_policy("mlp", 2, 1)
+        inproc = evaluate_policy_replicas(
+            make_lts_envs(), policy, np.random.default_rng(11),
+            episodes=EPISODES, gamma=GAMMA, deterministic=False,
+        )
+        with ShardedVecEnvPool(make_lts_envs(), num_workers=2) as pool:
+            sharded = evaluate_policy_replicas(
+                pool, policy, np.random.default_rng(11),
+                episodes=EPISODES, gamma=GAMMA, deterministic=False,
+            )
+        assert np.array_equal(inproc, sharded)
+
+    def test_deterministic_agrees_with_act_fn_path(self):
+        """Replica eval == the legacy `evaluate_policy_vec` + `as_act_fn`."""
+        policy = make_policy("recurrent", 2, 1)
+        replica = evaluate_policy_replicas(
+            make_lts_envs(), policy, np.random.default_rng(13),
+            episodes=EPISODES, gamma=GAMMA, deterministic=True,
+        )
+        legacy = evaluate_policy_vec(
+            make_lts_envs(),
+            policy.as_act_fn(np.random.default_rng(13), deterministic=True),
+            episodes=EPISODES,
+            gamma=GAMMA,
+        )
+        assert np.array_equal(replica, legacy)
+
+    @needs_sharding
+    def test_eval_before_sync_raises(self):
+        """Worker-side eval needs a replica: unsynced pools fail loudly."""
+        with ShardedVecEnvPool(make_lts_envs(), num_workers=2) as pool:
+            with pytest.raises(RuntimeError, match="sync_policy"):
+                pool.evaluate_policy(np.random.default_rng(0))
+
+    def test_rng_count_mismatch_raises(self):
+        policy = make_policy("mlp", 2, 1)
+        with pytest.raises(ValueError, match="generator"):
+            evaluate_policy_replicas(
+                make_lts_envs(), policy, [np.random.default_rng(0)]
+            )

@@ -1,0 +1,232 @@
+"""PolicyServer protocol semantics: lifecycle, errors, hot-swap contract.
+
+Parity is proven in ``test_parity.py``; this file pins the *protocol*:
+session lifecycle rules (unknown ids, double submits, shape checks,
+pending-request fences), window accounting, the synchronous ``act``
+convenience, and the full hot-swap rulebook (apply / skip-if-byte-equal /
+stale stamp / torn archive / structure mismatch), plus server shutdown.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.serialization import StateChecksumError
+from repro.rl import StaleReplicaError
+from repro.serve import (
+    PolicyServer,
+    ServeConfig,
+    SessionError,
+    snapshot_policy,
+)
+
+from .helpers import STATE_DIM, make_obs_streams, make_policy
+
+
+def make_server(kind="mlp", **overrides):
+    defaults = dict(max_batch_size=8, max_wait_ms=2.0, seed=0)
+    defaults.update(overrides)
+    return PolicyServer(make_policy(kind), ServeConfig(**defaults))
+
+
+class TestConfig:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            ServeConfig(max_batch_size=0)
+        with pytest.raises(ValueError):
+            ServeConfig(max_wait_ms=-1.0)
+
+
+class TestSessionLifecycle:
+    def test_auto_ids_are_unique(self):
+        server = make_server()
+        ids = {server.create_session() for _ in range(5)}
+        assert len(ids) == 5
+        assert server.num_sessions == 5
+
+    def test_duplicate_explicit_id_rejected(self):
+        server = make_server()
+        server.create_session(session_id="alice")
+        with pytest.raises(SessionError, match="already exists"):
+            server.create_session(session_id="alice")
+
+    def test_num_users_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_server().create_session(num_users=0)
+
+    def test_unknown_session_rejected(self):
+        server = make_server()
+        with pytest.raises(SessionError, match="unknown session"):
+            server.submit("ghost", np.zeros((1, STATE_DIM)))
+        with pytest.raises(SessionError, match="unknown session"):
+            server.end_session("ghost")
+
+    def test_double_submit_rejected(self):
+        server = make_server()
+        sid = server.create_session(num_users=1)
+        server.submit(sid, np.zeros((1, STATE_DIM)))
+        with pytest.raises(SessionError, match="in flight"):
+            server.submit(sid, np.zeros((1, STATE_DIM)))
+
+    def test_observation_shape_checked(self):
+        server = make_server()
+        sid = server.create_session(num_users=2)
+        with pytest.raises(SessionError, match="shape"):
+            server.submit(sid, np.zeros((3, STATE_DIM)))
+        with pytest.raises(SessionError, match="shape"):
+            server.submit(sid, np.zeros((2, STATE_DIM + 1)))
+
+    def test_one_dim_obs_accepted_for_single_user(self):
+        server = make_server()
+        sid = server.create_session(num_users=1)
+        result = server.act(sid, np.zeros(STATE_DIM), timeout=5.0)
+        assert result.actions.shape == (1, 1)
+        assert result.step == 1
+
+    def test_end_with_pending_request_rejected(self):
+        server = make_server()
+        sid = server.create_session(num_users=1)
+        server.submit(sid, np.zeros((1, STATE_DIM)))
+        with pytest.raises(SessionError, match="unserved"):
+            server.end_session(sid)
+        server.flush()
+        server.end_session(sid)
+        assert server.num_sessions == 0
+
+    def test_reused_id_after_end_is_fresh(self):
+        """Ending a session frees its id; a new session starts from scratch."""
+        obs = make_obs_streams([1], 2, seed=3)[0]
+        server = make_server(kind="lstm")
+        sid = server.create_session(session_id="s", num_users=1, seed=5)
+        first = server.act(sid, obs[0], timeout=5.0)
+        server.end_session(sid)
+        sid2 = server.create_session(session_id="s", num_users=1, seed=5)
+        again = server.act(sid2, obs[0], timeout=5.0)
+        assert again.step == 1
+        assert np.array_equal(first.actions, again.actions)
+
+
+class TestWindows:
+    def test_flush_reports_served_count_and_chunks(self):
+        server = make_server(max_batch_size=2)
+        sids = [server.create_session(num_users=1) for _ in range(5)]
+        tickets = [server.submit(sid, np.zeros((1, STATE_DIM))) for sid in sids]
+        assert server.flush() == 5
+        assert all(ticket.done() for ticket in tickets)
+        stats = server.stats()
+        assert stats["batches"] == 3  # 2 + 2 + 1
+        assert stats["requests"] == 5
+        assert stats["pending"] == 0
+
+    def test_flush_on_empty_queue_is_noop(self):
+        server = make_server()
+        assert server.flush() == 0
+        assert server.stats()["batches"] == 0
+
+    def test_max_batch_rows_tracks_user_axis(self):
+        server = make_server()
+        for users in (3, 2):
+            server.create_session(session_id=f"u{users}", num_users=users)
+        for users in (3, 2):
+            server.submit(f"u{users}", np.zeros((users, STATE_DIM)))
+        server.flush()
+        assert server.stats()["max_batch_rows"] == 5
+
+    def test_ticket_timeout(self):
+        server = make_server()
+        sid = server.create_session(num_users=1)
+        ticket = server.submit(sid, np.zeros((1, STATE_DIM)))
+        with pytest.raises(TimeoutError):
+            ticket.result(timeout=0.01)
+        server.flush()
+        assert ticket.result(timeout=1.0).step == 1
+
+
+class TestHotSwapProtocol:
+    def test_apply_bumps_version_and_stamps_responses(self):
+        server = make_server(kind="lstm")
+        donor = make_policy("lstm")
+        for param in donor.parameters():
+            param.data = param.data + 0.02
+        assert server.version == 1
+        assert server.swap_policy(snapshot_policy(donor)) == 2
+        assert server.version == 2
+        sid = server.create_session(num_users=1)
+        assert server.act(sid, np.zeros(STATE_DIM), timeout=5.0).version == 2
+        assert server.stats()["swaps_applied"] == 1
+
+    def test_byte_equal_archive_skipped(self):
+        server = make_server(kind="lstm")
+        payload = snapshot_policy(make_policy("lstm"))  # same bytes as serving
+        assert server.swap_policy(payload) == 1
+        stats = server.stats()
+        assert stats["swaps_skipped"] == 1 and stats["swaps_applied"] == 0
+
+    def test_explicit_version_stamps(self):
+        server = make_server(kind="lstm")
+        donor = make_policy("lstm")
+        for param in donor.parameters():
+            param.data = param.data + 0.02
+        assert server.swap_policy(snapshot_policy(donor), version=7) == 7
+        with pytest.raises(StaleReplicaError):
+            server.swap_policy(snapshot_policy(make_policy("lstm")), version=7)
+        with pytest.raises(StaleReplicaError):
+            server.swap_policy(snapshot_policy(make_policy("lstm")), version=3)
+
+    def test_torn_archive_rejected_weights_untouched(self):
+        server = make_server(kind="lstm")
+        donor = make_policy("lstm")
+        for param in donor.parameters():
+            param.data = param.data + 0.02
+        payload = bytearray(snapshot_policy(donor))
+        payload[len(payload) // 2] ^= 0xFF
+        with pytest.raises(StateChecksumError):
+            server.swap_policy(bytes(payload))
+        assert server.version == 1
+        # the serving weights still answer like the original policy
+        obs = make_obs_streams([1], 1, seed=9)[0][0]
+        sid = server.create_session(num_users=1, seed=4, deterministic=True)
+        got = server.act(sid, obs, timeout=5.0)
+        reference = PolicyServer(make_policy("lstm"), ServeConfig())
+        rid = reference.create_session(num_users=1, seed=4, deterministic=True)
+        expected = reference.act(rid, obs, timeout=5.0)
+        assert np.array_equal(got.actions, expected.actions)
+
+    def test_structure_mismatch_rejected(self):
+        server = make_server(kind="lstm")
+        with pytest.raises(ValueError, match="structure"):
+            server.swap_policy(snapshot_policy(make_policy("mlp")))
+        assert server.version == 1
+
+    def test_publish_convenience(self):
+        server = make_server(kind="gru")
+        donor = make_policy("gru")
+        for param in donor.parameters():
+            param.data = param.data + 0.01
+        assert server.publish(donor) == 2
+        assert server.publish(donor) == 2  # byte-equal now: skipped
+
+
+class TestShutdown:
+    def test_close_fails_pending_tickets(self):
+        server = make_server()
+        sid = server.create_session(num_users=1)
+        ticket = server.submit(sid, np.zeros((1, STATE_DIM)))
+        server.close()
+        with pytest.raises(SessionError, match="closed"):
+            ticket.result(timeout=1.0)
+        with pytest.raises(SessionError, match="closed"):
+            server.create_session()
+        with pytest.raises(SessionError, match="closed"):
+            server.swap_policy(snapshot_policy(make_policy("mlp")))
+
+    def test_context_manager_closes(self):
+        with make_server() as server:
+            sid = server.create_session(num_users=1)
+            server.act(sid, np.zeros(STATE_DIM), timeout=5.0)
+        with pytest.raises(SessionError):
+            server.create_session()
+
+    def test_close_is_idempotent(self):
+        server = make_server()
+        server.close()
+        server.close()

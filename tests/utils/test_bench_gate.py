@@ -279,3 +279,85 @@ class TestRun:
             gate.run(rollout, tmp_path / "absent.json", ROOT / ".github" / "bench_baselines.json")
             == 1
         )
+
+
+def serve_payload(speedup=2.0, equivalent=True, cpu_count=4):
+    return {
+        "cpu_count": cpu_count,
+        "mode": "smoke",
+        "scenarios": [
+            {
+                "name": name,
+                "speedup": speedup,
+                "p50_ms": 0.4,
+                "p99_ms": 0.9,
+                "throughput_rps": 10000.0,
+                "equivalent": equivalent,
+            }
+            for name in ("sessions_2", "sessions_4", "sessions_8")
+        ],
+    }
+
+
+class TestServeFloors:
+    """The serving-bench artifact rides the same scenarios gate."""
+
+    #: The committed smoke floors for BENCH_serve.json.
+    BASELINE = {
+        "scenarios": {
+            "sessions_2": {"min_speedup": 1.0},
+            "sessions_4": {"min_speedup": 1.2},
+            "sessions_8": {"min_speedup": 1.5},
+        }
+    }
+
+    def test_passes_when_floors_hold(self, gate):
+        assert gate.check_payload(serve_payload(), self.BASELINE, 0.8, "serve") == []
+
+    def test_fails_on_throughput_regression(self, gate):
+        # floor 1.5 x tolerance 0.8 = 1.2: a 1.1x microbatching win fails
+        failures = gate.check_payload(
+            serve_payload(speedup=1.1), self.BASELINE, 0.8, "serve"
+        )
+        assert any("sessions_8" in f and "1.1" in f for f in failures)
+
+    def test_fails_when_parity_not_verified(self, gate):
+        failures = gate.check_payload(
+            serve_payload(equivalent=False), self.BASELINE, 0.8, "serve"
+        )
+        assert any("equivalence" in f for f in failures)
+
+    def test_committed_baselines_carry_serve_floors(self, gate):
+        baselines = json.loads(
+            (ROOT / ".github" / "bench_baselines.json").read_text()
+        )
+        assert "serve" in baselines
+        for mode in ("smoke", "full"):
+            assert baselines["serve"][mode]["scenarios"]
+
+    def test_run_gates_serve_artifact(self, gate, tmp_path):
+        """run() checks the serve artifact when handed a path to one."""
+        baselines_path = ROOT / ".github" / "bench_baselines.json"
+        write = TestRun().write
+        rollout = write(tmp_path, "r.json", rollout_payload())
+        train = write(
+            tmp_path,
+            "t.json",
+            {
+                "cpu_count": 4,
+                "scenarios": [
+                    {"name": "smoke_ppo", "speedup": 3.5, "equivalent": True},
+                    {"name": "smoke_sadae", "speedup": 1.5, "equivalent": True},
+                ],
+            },
+        )
+        good = write(tmp_path, "s.json", serve_payload())
+        assert gate.run(rollout, train, baselines_path, serve_path=good) == 0
+        bad = write(tmp_path, "s_bad.json", serve_payload(speedup=0.5))
+        assert gate.run(rollout, train, baselines_path, serve_path=bad) == 1
+        assert (
+            gate.run(
+                rollout, train, baselines_path, serve_path=tmp_path / "absent.json"
+            )
+            == 1
+        )
