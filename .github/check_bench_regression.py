@@ -186,6 +186,41 @@ def check_payload(payload: dict, baseline: dict, tolerance: float, label: str) -
                     f"{label}/scenario_sweep/{name}: speedup {measured} < "
                     f"floor {floor} x tolerance {tolerance} = {floor * tolerance:.3f}"
                 )
+
+    # Singleton record sections (serve bench): 'gateway' and 'soak'.
+    # min_* floors take the tolerance band like every other floor;
+    # max_rss_growth_mb is an absolute leak ceiling, applied as-is and
+    # only when the artifact actually tracked RSS (Linux /proc).
+    for section in ("gateway", "soak"):
+        floors = baseline.get(section)
+        if not floors:
+            continue
+        record = payload.get(section)
+        if record is None:
+            failures.append(f"{label}/{section}: missing from artifact")
+            continue
+        if section == "gateway" and record.get("equivalent") is not True:
+            failures.append(f"{label}/{section}: equivalence flag is not true")
+        for metric, floor in floors.items():
+            if metric.startswith("min_"):
+                key = metric[len("min_"):]
+                measured = record.get(key)
+                if measured is None or measured < floor * tolerance:
+                    failures.append(
+                        f"{label}/{section}: {key} {measured} < floor {floor} x "
+                        f"tolerance {tolerance} = {floor * tolerance:.3f}"
+                    )
+        ceiling = floors.get("max_rss_growth_mb")
+        if ceiling is not None and section == "soak":
+            if record.get("rss_tracked"):
+                measured = record.get("rss_growth_mb")
+                if measured is None or measured > ceiling:
+                    failures.append(
+                        f"{label}/{section}: rss_growth_mb {measured} > "
+                        f"ceiling {ceiling}"
+                    )
+            else:
+                print(f"skip {label}/{section}/rss: artifact did not track RSS")
     return failures
 
 

@@ -17,13 +17,28 @@ Reported per concurrency level:
   microbatched serving (submit → result);
 - ``throughput_rps`` — served requests per second.
 
+Two more sections ride along:
+
+- ``gateway`` (always) — the same serving load pushed through a real
+  loopback TCP :class:`repro.serve.Gateway`, one client thread per
+  session. Before timing, the socket-served action streams are checked
+  bit-identical to solo serving (the wire codec ships raw float64
+  bytes), then throughput and p50/p99 request latencies are recorded;
+- ``soak`` (``--soak``) — a session-churn endurance run: tens of
+  thousands of sessions opened against a gateway whose LRU session
+  store is capped, most of them abandoned without an ``end``. The store
+  must evict (counters recorded) and RSS — read from
+  ``/proc/self/status`` — must stay flat after the warm-up plateau.
+  The run itself fails on zero evictions or an RSS ceiling breach, and
+  the committed floors gate both numbers in CI.
+
 Results go to ``BENCH_serve.json``; CI regenerates the smoke artifact on
 every build and ``check_bench_regression.py`` gates the committed floors
 in ``.github/bench_baselines.json``.
 
 Not a pytest module — run directly::
 
-    python benchmarks/perf_serve.py [--smoke] [--repeats N] [--output PATH]
+    python benchmarks/perf_serve.py [--smoke] [--soak] [--repeats N] [--output PATH]
 """
 
 from __future__ import annotations
@@ -32,6 +47,7 @@ import argparse
 import json
 import os
 import platform
+import threading
 import time
 from pathlib import Path
 
@@ -45,7 +61,13 @@ except ImportError:  # running from a checkout: fall back to the src/ layout
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.rl import RecurrentActorCritic
-from repro.serve import PolicyServer, ServeConfig
+from repro.serve import (
+    Gateway,
+    GatewayClient,
+    GatewayConfig,
+    PolicyServer,
+    ServeConfig,
+)
 
 STATE_DIM = 8
 ACTION_DIM = 2
@@ -176,9 +198,167 @@ def bench_level(sessions: int, users: int, steps: int, repeats: int) -> dict:
     return record
 
 
+def rss_mb():
+    """Resident set size in MiB from /proc/self/status; None off-Linux."""
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    return None
+
+
+def bench_gateway(sessions: int, users: int, steps: int) -> dict:
+    """The serving load over a real socket: parity first, then the clocks."""
+    streams = make_streams(sessions, users, steps, seed=29)
+    reference, _ = run_unbatched(streams, users)
+
+    server = PolicyServer(
+        make_policy(), ServeConfig(max_batch_size=sessions, max_wait_ms=1.0)
+    )
+    served = [None] * sessions
+    latencies = [[] for _ in range(sessions)]
+    errors = []
+
+    def drive(index):
+        try:
+            with GatewayClient(gateway.address) as client:
+                session = client.open_session(
+                    num_users=users, seed=session_seeds(sessions)[index]
+                )
+                actions_out = []
+                for obs in streams[index]:
+                    begin = time.perf_counter()
+                    result = session.act(obs, deadline_ms=30_000)
+                    latencies[index].append(time.perf_counter() - begin)
+                    actions_out.append(result.actions)
+                session.end()
+                served[index] = actions_out
+        except Exception as error:  # pragma: no cover - surfaced below
+            errors.append((index, error))
+
+    with Gateway(server, GatewayConfig(max_pending=4 * sessions)) as gateway:
+        gateway.start()
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=drive, args=(index,))
+            for index in range(sessions)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+    if errors:
+        raise RuntimeError(f"gateway bench session failed: {errors[0]}")
+
+    equivalent = all(
+        np.array_equal(a, b)
+        for ref, got in zip(reference, served)
+        for a, b in zip(ref, got)
+    )
+    latencies_ms = np.array([v for per in latencies for v in per]) * 1000.0
+    requests = sessions * steps
+    record = {
+        "name": "gateway",
+        "sessions": sessions,
+        "users_per_session": users,
+        "steps": steps,
+        "requests": requests,
+        "elapsed_s": round(elapsed, 6),
+        "throughput_rps": round(requests / elapsed, 1),
+        "p50_ms": round(float(np.percentile(latencies_ms, 50)), 4),
+        "p99_ms": round(float(np.percentile(latencies_ms, 99)), 4),
+        "equivalent": equivalent,
+    }
+    print(
+        f"[gateway] {sessions} TCP clients x {steps} steps: "
+        f"{record['throughput_rps']:.0f} req/s, p50={record['p50_ms']:.2f}ms "
+        f"p99={record['p99_ms']:.2f}ms"
+        + ("" if equivalent else "  [PARITY FAILED]")
+    )
+    return record
+
+
+def bench_soak(total_sessions: int, cap: int, acts_per_session: int) -> dict:
+    """Session churn through a capped store: evictions up, RSS flat.
+
+    Opens ``total_sessions`` sessions against a gateway whose LRU store
+    holds at most ``cap``; two thirds are abandoned (no ``end``) so the
+    eviction layer has to reclaim them. RSS is sampled after a warm-up
+    that fills the store to its cap — growth past that plateau is what a
+    leak would look like.
+    """
+    # A tight batch window: the soak has one sequential client, so every
+    # act would otherwise idle out the full microbatch wait.
+    server = PolicyServer(
+        make_policy(), ServeConfig(max_batch_size=64, max_wait_ms=0.5)
+    )
+    obs = np.zeros((1, STATE_DIM))
+    warmup = min(cap * 2, total_sessions // 4)
+    with Gateway(
+        server, GatewayConfig(max_sessions=cap, max_pending=256)
+    ) as gateway:
+        gateway.start()
+        with GatewayClient(gateway.address, timeout_s=60.0) as client:
+            start = time.perf_counter()
+            rss_plateau = None
+            for index in range(total_sessions):
+                session = client.open_session(num_users=1)
+                for _ in range(acts_per_session):
+                    session.act(obs, deadline_ms=30_000)
+                if index % 3 == 0:
+                    session.end()  # the other two thirds are abandoned
+                if index == warmup:
+                    rss_plateau = rss_mb()
+            elapsed = time.perf_counter() - start
+            stats = gateway.stats()
+    rss_final = rss_mb()
+    store = stats["store"]
+    tracked = rss_plateau is not None and rss_final is not None
+    growth = round(rss_final - rss_plateau, 2) if tracked else None
+    record = {
+        "name": "soak",
+        "sessions_opened": total_sessions,
+        "acts_per_session": acts_per_session,
+        "session_cap": cap,
+        "live_sessions_end": store["sessions"],
+        "evicted_lru": store["evicted_lru"],
+        "evicted_ttl": store["evicted_ttl"],
+        "evictions": store["evicted_lru"] + store["evicted_ttl"],
+        "elapsed_s": round(elapsed, 3),
+        "sessions_per_s": round(total_sessions / elapsed, 1),
+        "rss_plateau_mb": round(rss_plateau, 2) if tracked else None,
+        "rss_end_mb": round(rss_final, 2) if tracked else None,
+        "rss_growth_mb": growth,
+        "rss_tracked": tracked,
+    }
+    print(
+        f"[soak] {total_sessions} sessions through a {cap}-entry store: "
+        f"{record['evictions']} evictions, live={store['sessions']}, "
+        + (
+            f"RSS {record['rss_plateau_mb']:.1f} -> {record['rss_end_mb']:.1f} MiB "
+            f"(growth {growth:+.1f})"
+            if tracked
+            else "RSS untracked on this platform"
+        )
+    )
+    return record
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true", help="tiny CI-sized run")
+    parser.add_argument(
+        "--soak", action="store_true",
+        help="run the session-churn soak (RSS + eviction accounting)",
+    )
+    parser.add_argument(
+        "--soak-rss-ceiling-mb", type=float, default=128.0,
+        help="hard failure if post-plateau RSS grows past this",
+    )
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument(
         "--output",
@@ -198,6 +378,9 @@ def main() -> int:
         bench_level(sessions, users, steps, repeats)
         for sessions, users, steps in levels
     ]
+    gateway_sessions, gateway_users, gateway_steps = levels[-1]
+    gateway_record = bench_gateway(gateway_sessions, gateway_users, gateway_steps)
+
     payload = {
         "benchmark": "perf_serve",
         "mode": "smoke" if args.smoke else "full",
@@ -207,11 +390,37 @@ def main() -> int:
         "numpy": np.__version__,
         "cpu_count": os.cpu_count(),
         "scenarios": records,
+        "gateway": gateway_record,
         "headline_speedup": max(r["speedup"] for r in records),
     }
+
+    failures = []
+    if args.soak:
+        if args.smoke:
+            soak_record = bench_soak(total_sessions=3000, cap=256, acts_per_session=2)
+        else:
+            soak_record = bench_soak(total_sessions=20000, cap=512, acts_per_session=2)
+        payload["soak"] = soak_record
+        if soak_record["evictions"] == 0:
+            failures.append("soak produced zero evictions (store cap never engaged)")
+        if (
+            soak_record["rss_tracked"]
+            and soak_record["rss_growth_mb"] > args.soak_rss_ceiling_mb
+        ):
+            failures.append(
+                f"soak RSS grew {soak_record['rss_growth_mb']:.1f} MiB past the "
+                f"plateau (ceiling {args.soak_rss_ceiling_mb:g} MiB)"
+            )
+
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output} (headline speedup {payload['headline_speedup']:.2f}x)")
-    return 0 if all(r["equivalent"] for r in records) else 1
+    if not all(r["equivalent"] for r in records):
+        failures.append("microbatched serving diverged from the unbatched reference")
+    if not gateway_record["equivalent"]:
+        failures.append("gateway serving diverged from the solo reference")
+    for failure in failures:
+        print(f"FAILED: {failure}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

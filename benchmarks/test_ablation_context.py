@@ -17,7 +17,8 @@ paper's harder DPR setting needs SADAE).
 import numpy as np
 
 from repro.core import Sim2RecLTSTrainer, build_sim2rec_policy, lts_small_config
-from repro.envs import evaluate_policy, make_lts_task
+from repro.envs import make_lts_task
+from repro.rl import evaluate
 from repro.rl import RecurrentActorCritic
 
 from .conftest import print_table
@@ -53,7 +54,7 @@ def evaluate_on_target(task, policy) -> float:
     for seed in range(3):
         env = task.make_target_env(seed_offset=700 + seed)
         act_fn = policy.as_act_fn(np.random.default_rng(seed), deterministic=True)
-        returns.append(evaluate_policy(env, act_fn, episodes=1))
+        returns.append(evaluate(act_fn, env, episodes=1))
     return float(np.mean(returns))
 
 

@@ -31,7 +31,8 @@ from repro.baselines import (
     make_dr_uni_trainer,
 )
 from repro.core import Sim2RecLTSTrainer, build_sim2rec_policy, lts_small_config
-from repro.envs import evaluate_policy, make_lts_task
+from repro.envs import make_lts_task
+from repro.rl import evaluate
 
 from .conftest import print_table
 
@@ -49,7 +50,7 @@ def evaluate_on_target(task, policy) -> float:
     for episode_seed in range(EVAL_EPISODES):
         env = task.make_target_env(seed_offset=1000 + episode_seed)
         act_fn = policy.as_act_fn(np.random.default_rng(episode_seed), deterministic=True)
-        returns.append(evaluate_policy(env, act_fn, episodes=1))
+        returns.append(evaluate(act_fn, env, episodes=1))
     return float(np.mean(returns))
 
 

@@ -13,7 +13,8 @@ Paper claims:
 import numpy as np
 
 from repro.core import Sim2RecLTSTrainer, build_sim2rec_policy, lts_small_config
-from repro.envs import evaluate_policy, make_lts_task
+from repro.envs import make_lts_task
+from repro.rl import evaluate
 
 from .conftest import print_table
 
@@ -44,7 +45,7 @@ def train_sim2rec(beta: float, resample_users: bool) -> float:
     for episode_seed in range(3):
         env = task.make_target_env(seed_offset=2000 + episode_seed)
         act_fn = policy.as_act_fn(np.random.default_rng(episode_seed), deterministic=True)
-        returns.append(evaluate_policy(env, act_fn, episodes=1))
+        returns.append(evaluate(act_fn, env, episodes=1))
     return float(np.mean(returns))
 
 

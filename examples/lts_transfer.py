@@ -25,7 +25,8 @@ from repro.baselines import (
     make_dr_uni_trainer,
 )
 from repro.core import Sim2RecLTSTrainer, build_sim2rec_policy, lts_small_config
-from repro.envs import evaluate_policy, make_lts_task
+from repro.envs import make_lts_task
+from repro.rl import evaluate
 
 MLP_ITERS = 40
 RECURRENT_ITERS = 25
@@ -34,7 +35,7 @@ RECURRENT_ITERS = 25
 def evaluate(task, policy) -> float:
     env = task.make_target_env(seed_offset=99)
     act_fn = policy.as_act_fn(np.random.default_rng(0), deterministic=True)
-    return evaluate_policy(env, act_fn, episodes=2)
+    return evaluate(act_fn, env, episodes=2)
 
 
 def main():

@@ -19,7 +19,8 @@ except ImportError:  # running from a checkout: fall back to the src/ layout
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core import Sim2RecLTSTrainer, build_sim2rec_policy, lts_small_config
-from repro.envs import evaluate_policy, make_lts_task
+from repro.envs import make_lts_task
+from repro.rl import evaluate
 
 
 def main():
@@ -56,7 +57,7 @@ def main():
     # 4. Zero-shot deployment to the unseen environment.
     target = task.make_target_env()
     act_fn = policy.as_act_fn(np.random.default_rng(0), deterministic=True)
-    reward = evaluate_policy(target, act_fn, episodes=2)
+    reward = evaluate(act_fn, target, episodes=2)
     print(f"\nzero-shot reward in the unseen target environment: {reward:.1f}")
 
     # Reference points: the best and worst constant policies.

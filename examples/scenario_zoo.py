@@ -19,7 +19,7 @@ except ImportError:  # running from a checkout: fall back to the src/ layout
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core import scenario_small_config
-from repro.envs import evaluate_policy
+from repro.rl import evaluate
 from repro.scenarios import list_scenarios, scenario_description, trainer_from_config
 
 # Laptop-sized overrides per family; anything unset takes the family
@@ -61,8 +61,8 @@ def main():
                 print(f"    iter {iteration}  reward {metrics['reward']:9.3f}")
             policy = trainer.sim2rec_policy
         target = scenario.make_target_env()
-        reward = evaluate_policy(
-            target, policy.as_act_fn(np.random.default_rng(0), deterministic=True)
+        reward = evaluate(
+            policy.as_act_fn(np.random.default_rng(0), deterministic=True), target
         )
         print(f"    target-env return (zero-shot): {reward:.3f}\n")
 

@@ -53,8 +53,8 @@ def main():
     #    server-side; clients only ship observations.
     server = PolicyServer(make_policy(), ServeConfig(max_batch_size=SESSIONS))
     envs = make_envs()
-    sids = [
-        server.create_session(num_users=USERS, seed=100 + i)
+    handles = [
+        server.session(num_users=USERS, seed=100 + i)
         for i in range(SESSIONS)
     ]
     observations = [env.reset() for env in envs]
@@ -69,7 +69,7 @@ def main():
             version = server.swap_policy(snapshot_policy(make_policy(shift=0.02)))
             print(f"step {t}: hot-swapped serving weights -> version {version}")
         tickets = [
-            server.submit(sid, obs) for sid, obs in zip(sids, observations)
+            handle.submit(obs) for handle, obs in zip(handles, observations)
         ]
         server.flush()  # close the microbatch window: one stacked act
         for i, ticket in enumerate(tickets):

@@ -65,36 +65,23 @@ def evaluate_policy(
     episodes: int = 1,
     gamma: float = 1.0,
 ) -> float:
-    """Average (optionally discounted) per-user return of ``act_fn`` on ``env``.
+    """Deprecated alias for :func:`repro.rl.evaluate` (callable-protocol path).
 
-    ``act_fn(states, t)`` must return actions ``[num_users, act_dim]``. A new
-    episode calls ``reset()`` and, when the callable has a ``reset`` method
-    (recurrent policies), resets its internal state too.
-
-    ``env`` may be a :class:`~repro.rl.vec.VecEnvPool`: pools expose the
-    same step/reset interface over the stacked user axis, and their block
-    structure (``group_slices``) is forwarded to group-aware policies so
-    per-city context never mixes cities.
+    Average (optionally discounted) per-user return of ``act_fn`` on
+    ``env``, as a scalar over the whole user axis — even when ``env`` is
+    a :class:`~repro.rl.vec.VecEnvPool`. Use
+    ``repro.rl.evaluate(act_fn, env, episodes=..., gamma=...)`` instead;
+    results are bit-identical (the alias delegates to the same kernel).
     """
-    group_slices = getattr(env, "group_slices", None)
-    forward_groups = group_slices is not None and hasattr(act_fn, "set_rollout_groups")
-    total = 0.0
-    for _ in range(episodes):
-        if hasattr(act_fn, "reset"):
-            act_fn.reset(env.num_users)
-        if forward_groups:
-            act_fn.set_rollout_groups(group_slices)
-        states = env.reset()
-        returns = np.zeros(env.num_users)
-        discount = 1.0
-        for t in range(env.horizon):
-            actions = act_fn(states, t)
-            states, rewards, dones, _ = env.step(actions)
-            returns += discount * rewards
-            discount *= gamma
-            if np.all(dones):
-                break
-        total += float(returns.mean())
-    if forward_groups:
-        act_fn.set_rollout_groups(None)  # don't leak block structure
-    return total / episodes
+    import warnings
+
+    warnings.warn(
+        "repro.envs.evaluate_policy is deprecated; use "
+        "repro.rl.evaluate(act_fn, env, ...) — the unified evaluation "
+        "front door (bit-identical results)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..rl.evaluate import _solo_eval
+
+    return _solo_eval(env, act_fn, episodes=episodes, gamma=gamma)

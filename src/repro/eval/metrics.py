@@ -15,7 +15,8 @@ from typing import Callable, Dict
 
 import numpy as np
 
-from ..envs.base import MultiUserEnv, evaluate_policy
+from ..envs.base import MultiUserEnv
+from ..rl.evaluate import evaluate
 
 
 def expected_cumulative_reward(
@@ -25,7 +26,7 @@ def expected_cumulative_reward(
     gamma: float = 1.0,
 ) -> float:
     """Mean per-user cumulative reward of a policy in an environment."""
-    return evaluate_policy(env, act_fn, episodes=episodes, gamma=gamma)
+    return evaluate(act_fn, env, episodes=episodes, gamma=gamma)
 
 
 def rollout_totals(env: MultiUserEnv, act_fn, episodes: int = 1) -> Dict[str, float]:

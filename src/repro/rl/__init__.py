@@ -5,6 +5,7 @@ from .gae import compute_gae, valid_step_mask
 from .policies import ActorCriticBase, MLPActorCritic, RecurrentActorCritic
 from .ppo import PPO, PPOConfig
 from .runner import collect_segment, collect_segments_sequential
+from .evaluate import evaluate
 from .vec import (
     BlockRNG,
     ShardableVecPool,
@@ -62,6 +63,7 @@ __all__ = [
     "collect_segments_shard_parallel",
     "collect_segments_vec",
     "compute_gae",
+    "evaluate",
     "evaluate_policy_replica",
     "evaluate_policy_replicas",
     "evaluate_policy_vec",

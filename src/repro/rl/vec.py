@@ -543,35 +543,25 @@ def evaluate_policy_vec(
     episodes: int = 1,
     gamma: float = 1.0,
 ) -> np.ndarray:
-    """Per-env average (discounted) per-user return, one act per step.
+    """Deprecated alias for :func:`repro.rl.evaluate` with ``mode="vec"``.
 
-    The pooled counterpart of :func:`repro.envs.base.evaluate_policy`:
-    instead of looping cities, all cities advance together and the
-    callable sees the stacked state matrix. Returns an array with one
-    mean per-user return per member env.
+    Per-env average (discounted) per-user return with one ``act_fn`` call
+    per step over the stacked pool. Use
+    ``repro.rl.evaluate(act_fn, envs, mode="vec", ...)`` instead; results
+    are bit-identical (the alias delegates to the same kernel).
     """
-    pool = envs if isinstance(envs, ShardableVecPool) else VecEnvPool(envs)
-    totals = np.zeros(pool.num_envs)
-    for _ in range(episodes):
-        if hasattr(act_fn, "reset"):
-            act_fn.reset(pool.num_users)
-        if hasattr(act_fn, "set_rollout_groups"):
-            act_fn.set_rollout_groups(pool.slices)
-        states = pool.reset()
-        returns = np.zeros(pool.num_users)
-        discount = 1.0
-        step = 0
-        while not pool.all_done:
-            actions = act_fn(states, step)
-            states, rewards, dones, _ = pool.step(actions)
-            returns += discount * rewards
-            discount *= gamma
-            step += 1
-        for index, block in enumerate(pool.slices):
-            totals[index] += float(returns[block].mean())
-    if hasattr(act_fn, "set_rollout_groups"):
-        act_fn.set_rollout_groups(None)
-    return totals / episodes
+    import warnings
+
+    warnings.warn(
+        "repro.rl.evaluate_policy_vec is deprecated; use "
+        "repro.rl.evaluate(act_fn, envs, mode='vec', ...) — the unified "
+        "evaluation front door (bit-identical results)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .evaluate import _vec_eval
+
+    return _vec_eval(envs, act_fn, episodes=episodes, gamma=gamma)
 
 
 def evaluate_policy_replica(
@@ -583,53 +573,31 @@ def evaluate_policy_replica(
     deterministic: bool = True,
     max_steps: Optional[int] = None,
 ) -> np.ndarray:
-    """Replica-side evaluation kernel: act with ``policy`` itself, per-env streams.
+    """Deprecated alias for the replica evaluation kernel.
 
-    The sharding-invariant counterpart of :func:`evaluate_policy_vec`: instead
-    of an opaque ``act_fn`` holding one shared noise stream, the policy acts
-    directly with one caller-owned generator **per member env** (wrapped in a
-    :class:`BlockRNG` over the pool's blocks) and per-env context groups. Each
-    env's action noise therefore comes from that env's own stream regardless
-    of which other envs share the batch — so evaluating the same envs split
-    across any number of shard-local pools (each with its env's generator)
-    produces bit-identical per-env returns. This is the kernel both sides of
-    :meth:`repro.rl.workers.ShardedVecEnvPool.evaluate_policy` run: workers
-    call it over their shard with their policy replica, the degraded/in-process
-    path calls it over the full pool.
-
-    ``rngs`` objects are advanced in place (per-env stream continuity across
-    multi-episode sweeps). Returns one mean (discounted) per-user return per
-    member env.
+    Use ``repro.rl.evaluate(policy, pool, rng=rngs, ...)`` instead: the
+    front door wraps the identical kernel (the policy acts itself with
+    one caller-owned generator per member env), so results are
+    bit-identical. See :mod:`repro.rl.evaluate` for the kernel's
+    sharding-invariance contract.
     """
-    if not isinstance(pool, ShardableVecPool):
-        pool = VecEnvPool(pool, max_steps=max_steps)
-    elif max_steps is not None:
-        pool.max_steps = max_steps
-    rngs = list(rngs)
-    if len(rngs) != pool.num_envs:
-        raise ValueError(
-            f"evaluate_policy_replica needs one generator per env: "
-            f"got {len(rngs)} for {pool.num_envs} envs"
-        )
-    block_rng = BlockRNG(rngs, pool.slices)
-    totals = np.zeros(pool.num_envs)
-    with no_grad():
-        for _ in range(episodes):
-            policy.start_rollout(pool.num_users)
-            policy.set_rollout_groups(pool.slices)
-            states = pool.reset()
-            prev_actions = np.zeros((pool.num_users, policy.action_dim))
-            returns = np.zeros(pool.num_users)
-            discount = 1.0
-            while not pool.all_done:
-                actions, _, _ = policy.act(
-                    states, prev_actions, block_rng, deterministic=deterministic
-                )
-                prev_actions = actions
-                states, rewards, dones, _ = pool.step(actions)
-                returns += discount * rewards
-                discount *= gamma
-            for index, block in enumerate(pool.slices):
-                totals[index] += float(returns[block].mean())
-    policy.set_rollout_groups(None)
-    return totals / episodes
+    import warnings
+
+    warnings.warn(
+        "repro.rl.evaluate_policy_replica is deprecated; use "
+        "repro.rl.evaluate(policy, envs, rng=..., ...) — the unified "
+        "evaluation front door (bit-identical results)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .evaluate import _replica_eval
+
+    return _replica_eval(
+        pool,
+        policy,
+        rngs,
+        episodes=episodes,
+        gamma=gamma,
+        deterministic=deterministic,
+        max_steps=max_steps,
+    )

@@ -152,10 +152,10 @@ from .vec import (
     VecEnvPool,
     assemble_segments,
     collect_segments_vec,
-    evaluate_policy_replica,
     split_rng,
     validate_pool_members,
 )
+from .evaluate import _replica_eval
 
 
 class WorkerCrashed(RuntimeError):
@@ -520,7 +520,7 @@ def _worker_main(
                         reply = ("stale", replica_version, payload["version"])
                     else:
                         rngs = payload["rngs"]
-                        totals = evaluate_policy_replica(
+                        totals = _replica_eval(
                             pool,
                             replica,
                             rngs,
@@ -1578,7 +1578,7 @@ class ShardedVecEnvPool(ShardableVecPool):
             max_steps = self.max_steps
         rngs, owners = self._as_env_rngs(rng)
         if self._inner is not None:
-            return evaluate_policy_replica(
+            return _replica_eval(
                 self._inner,
                 self._materialize_replica(),
                 rngs,
@@ -1633,7 +1633,7 @@ class ShardedVecEnvPool(ShardableVecPool):
                 for offset, env_index in enumerate(range(shard.start, shard.stop)):
                     rng_states[env_index] = shard_states[offset]
         except _Degraded:
-            return evaluate_policy_replica(
+            return _replica_eval(
                 self._inner,
                 self._materialize_replica(),
                 rngs,
@@ -1781,44 +1781,33 @@ def evaluate_policy_replicas(
     deterministic: bool = True,
     max_steps: Optional[int] = None,
 ) -> np.ndarray:
-    """Evaluate ``policy`` over ``envs``, replica-side wherever possible.
+    """Deprecated alias for :func:`repro.rl.evaluate` (replica routing).
 
-    Routing front door for evaluation sweeps: a
-    :class:`ShardedVecEnvPool` gets the policy synced (version-stamped,
-    skip-if-byte-equal) and evaluated **inside the workers** via
-    :meth:`ShardedVecEnvPool.evaluate_policy`; a plain pool or env
-    sequence runs the same kernel
-    (:func:`~repro.rl.vec.evaluate_policy_replica`) in-process. Either
-    way the per-env returns are bit-identical, because the kernel draws
-    each env's noise from its own stream and computes context per env
-    block — proven by ``tests/rl/test_eval_parity.py`` across modes,
-    shard counts and policy families. ``rng`` may be a single generator
-    (split into transient per-env children), a per-env sequence, or a
-    :class:`~repro.rl.vec.BlockRNG` (caller-owned streams, advanced in
-    place).
+    Use ``repro.rl.evaluate(policy, envs, rng=..., ...)`` instead — the
+    unified front door applies the identical routing (a
+    :class:`ShardedVecEnvPool` gets the policy synced and evaluated
+    inside the workers; anything else runs the same kernel in-process),
+    so results are bit-identical.
     """
-    if isinstance(envs, ShardedVecEnvPool):
-        envs.sync_policy(policy)
-        return envs.evaluate_policy(
-            rng,
-            episodes=episodes,
-            gamma=gamma,
-            deterministic=deterministic,
-            max_steps=max_steps,
-        )
-    pool = envs if isinstance(envs, ShardableVecPool) else VecEnvPool(envs)
-    if isinstance(rng, BlockRNG):
-        rngs: List[np.random.Generator] = list(rng.rngs)
-    elif isinstance(rng, np.random.Generator):
-        rngs = split_rng(rng, pool.num_envs)
-    else:
-        rngs = list(rng)
-    return evaluate_policy_replica(
-        pool,
+    import warnings
+
+    warnings.warn(
+        "repro.rl.evaluate_policy_replicas is deprecated; use "
+        "repro.rl.evaluate(policy, envs, rng=..., ...) — the unified "
+        "evaluation front door (bit-identical results)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .evaluate import evaluate
+
+    totals = evaluate(
         policy,
-        rngs,
+        envs,
         episodes=episodes,
         gamma=gamma,
+        mode="replica",
+        rng=rng,
         deterministic=deterministic,
         max_steps=max_steps,
     )
+    return np.atleast_1d(np.asarray(totals, dtype=np.float64))

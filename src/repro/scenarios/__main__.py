@@ -24,7 +24,7 @@ import sys
 import numpy as np
 
 from ..core.config import scenario_small_config
-from ..envs.base import evaluate_policy
+from ..rl.evaluate import evaluate
 from .registry import (
     list_scenarios,
     make_scenario,
@@ -81,8 +81,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
             print(f"iter {trainer.iteration - 1:3d}  reward {metrics['reward']:9.3f}")
         policy = trainer.sim2rec_policy
     target = scenario.make_target_env()
-    reward = evaluate_policy(
-        target, policy.as_act_fn(np.random.default_rng(args.seed), deterministic=True)
+    reward = evaluate(
+        policy.as_act_fn(np.random.default_rng(args.seed), deterministic=True), target
     )
     print(f"target-env return (zero-shot): {reward:.3f}")
     return 0

@@ -4,24 +4,54 @@ The production boundary of the stack (see ``docs/serving.md``): a
 :class:`PolicyServer` stacks concurrent sessions' ``act`` requests into
 single batched policy forwards — bit-identical to serving each session
 alone — and swaps in new policy snapshots between batches with zero
-downtime. ``python -m repro.serve`` runs a self-contained demo that
-serves live environment sessions and verifies the parity contract.
+downtime. A :class:`ReplicaSet` holds several live policy versions with
+a deterministic seeded traffic split, and a :class:`Gateway` puts the
+whole thing on a TCP socket (length-prefixed JSON frames, typed
+``BUSY``/``TIMEOUT`` failure responses, LRU/TTL session eviction) for
+:class:`GatewayClient` connections. ``python -m repro.serve`` runs a
+self-contained demo that serves live environment sessions — in-process
+or through a real socket (``--gateway``) — and verifies the parity
+contract.
 """
 
+from .client import (
+    DeadlineExceeded,
+    GatewayBusy,
+    GatewayClient,
+    GatewayError,
+    RemoteSession,
+)
+from .gateway import Gateway, GatewayConfig
+from .protocol import FrameError, FrameReader
+from .replica_set import ReplicaSet
 from .server import (
     ActionResult,
     PolicyServer,
     ServeConfig,
+    Session,
     SessionError,
     Ticket,
     snapshot_policy,
 )
+from .sessions import SessionStore
 
 __all__ = [
     "ActionResult",
+    "DeadlineExceeded",
+    "FrameError",
+    "FrameReader",
+    "Gateway",
+    "GatewayBusy",
+    "GatewayClient",
+    "GatewayConfig",
+    "GatewayError",
     "PolicyServer",
+    "RemoteSession",
+    "ReplicaSet",
     "ServeConfig",
+    "Session",
     "SessionError",
+    "SessionStore",
     "Ticket",
     "snapshot_policy",
 ]

@@ -5,13 +5,17 @@ simulated environment (an LTS task per session, or a DPR city each for
 the Sim2Rec policy), drives every session through live microbatched
 serving for a full episode, then **replays each session solo** — a fresh
 policy acting for that session alone — and checks the served action
-streams are bit-identical. Prints a JSON summary.
+streams are bit-identical. With ``--gateway`` the same episode runs over
+a real TCP socket: one :class:`~repro.serve.GatewayClient` thread per
+session against a loopback :class:`~repro.serve.Gateway`, and the same
+bit-identity must hold. Prints a JSON summary.
 
 Examples::
 
     python -m repro.serve --policy lstm --sessions 8 --steps 20
     python -m repro.serve --policy sim2rec --sessions 4 --users 5
     python -m repro.serve --policy gru --background --max-wait-ms 1
+    python -m repro.serve --policy lstm --gateway
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 import time
 
 import numpy as np
@@ -26,6 +31,8 @@ import numpy as np
 from ..core import build_sim2rec_policy, dpr_small_config
 from ..envs import DPRConfig, DPRWorld, LTSConfig, LTSEnv
 from ..rl import MLPActorCritic, RecurrentActorCritic
+from .client import GatewayClient
+from .gateway import Gateway, GatewayConfig
 from .server import PolicyServer, ServeConfig
 
 
@@ -67,9 +74,9 @@ def make_envs(kind: str, sessions: int, users: int, steps: int, seed: int):
 
 def serve_episode(server, envs, session_seeds, steps, deterministic):
     """Drive every env one episode through the server; returns action streams."""
-    sids = [
-        server.create_session(num_users=env.num_users, seed=session_seeds[i],
-                              deterministic=deterministic)
+    handles = [
+        server.session(num_users=env.num_users, seed=session_seeds[i],
+                       deterministic=deterministic)
         for i, env in enumerate(envs)
     ]
     observations = [env.reset() for env in envs]
@@ -78,7 +85,7 @@ def serve_episode(server, envs, session_seeds, steps, deterministic):
     for _ in range(steps):
         begin = time.perf_counter()
         tickets = [
-            server.submit(sid, obs) for sid, obs in zip(sids, observations)
+            handle.submit(obs) for handle, obs in zip(handles, observations)
         ]
         if not server.running:
             server.flush()
@@ -87,9 +94,45 @@ def serve_episode(server, envs, session_seeds, steps, deterministic):
         for i, (env, result) in enumerate(zip(envs, results)):
             streams[i].append(result.actions)
             observations[i], _, _, _ = env.step(result.actions)
-    for sid in sids:
-        server.end_session(sid)
+    for handle in handles:
+        handle.end()
     return streams, latencies
+
+
+def serve_episode_gateway(address, envs, session_seeds, steps, deterministic):
+    """The same episode through a real socket: one client thread per session."""
+    streams = [[] for _ in envs]
+    latencies = [[] for _ in envs]
+    errors = []
+
+    def run(i, env):
+        try:
+            with GatewayClient(address) as client:
+                session = client.open_session(
+                    num_users=env.num_users, seed=session_seeds[i],
+                    deterministic=deterministic,
+                )
+                obs = env.reset()
+                for _ in range(steps):
+                    begin = time.perf_counter()
+                    result = session.act(obs)
+                    latencies[i].append(time.perf_counter() - begin)
+                    streams[i].append(result.actions)
+                    obs, _, _, _ = env.step(result.actions)
+                session.end()
+        except Exception as error:  # surface in the main thread
+            errors.append((i, error))
+
+    threads = [
+        threading.Thread(target=run, args=(i, env)) for i, env in enumerate(envs)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise RuntimeError(f"gateway session failed: {errors[0]}")
+    return streams, [value for per in latencies for value in per]
 
 
 def replay_solo(kind, state_dim, action_dim, env, session_seed, steps, deterministic):
@@ -127,6 +170,11 @@ def main(argv=None) -> int:
         action="store_true",
         help="serve through the background dispatcher thread",
     )
+    parser.add_argument(
+        "--gateway",
+        action="store_true",
+        help="serve over a loopback TCP gateway (one client thread per session)",
+    )
     args = parser.parse_args(argv)
 
     envs, state_dim, action_dim = make_envs(
@@ -138,15 +186,24 @@ def main(argv=None) -> int:
         ServeConfig(max_batch_size=args.max_batch, max_wait_ms=args.max_wait_ms,
                     seed=args.seed),
     )
-    if args.background:
-        server.start()
-    served, latencies = serve_episode(
-        server, envs, session_seeds, args.steps, args.deterministic
-    )
-    stats = server.stats()
-    if args.background:
-        server.stop()
-    server.close()
+    if args.gateway:
+        with Gateway(server, GatewayConfig()) as gateway:
+            gateway.start()
+            served, latencies = serve_episode_gateway(
+                gateway.address, envs, session_seeds, args.steps,
+                args.deterministic,
+            )
+            stats = server.stats()
+    else:
+        if args.background:
+            server.start()
+        served, latencies = serve_episode(
+            server, envs, session_seeds, args.steps, args.deterministic
+        )
+        stats = server.stats()
+        if args.background:
+            server.stop()
+        server.close()
 
     # Parity: replay each session solo on fresh envs (same seeds).
     reference_envs, _, _ = make_envs(
@@ -171,6 +228,7 @@ def main(argv=None) -> int:
                 "users_per_session": args.users,
                 "steps": args.steps,
                 "background": args.background,
+                "gateway": args.gateway,
                 "requests": stats["requests"],
                 "batches": stats["batches"],
                 "max_batch_rows": stats["max_batch_rows"],

@@ -1,0 +1,444 @@
+"""Networked serving gateway: the TCP front end of the policy servers.
+
+One :class:`Gateway` listens on a socket and speaks the length-prefixed
+JSON frame protocol (:mod:`repro.serve.protocol`), exposing a
+:class:`~repro.serve.replica_set.ReplicaSet` (or a single
+:class:`~repro.serve.server.PolicyServer`, auto-wrapped as a one-replica
+set) to remote clients. Each connection is served by its own thread
+(``socketserver.ThreadingTCPServer``) running a strict request/response
+loop — the client library is :class:`repro.serve.client.GatewayClient`.
+
+Operations (request ``{"op": ...}`` → response ``{"ok": ...}``):
+
+==========  ===========================================================
+``open``    open a session (``num_users``/``seed``/``deterministic``/
+            ``key``); returns session id, replica name, policy version
+``act``     serve one observation for a session; returns actions /
+            log_probs / values / version / step, bit-identical to
+            in-process serving (the codec ships raw float64 bytes)
+``end``     close a session
+``stats``   gateway + replica counters
+``ping``    liveness probe
+==========  ===========================================================
+
+Failure semantics are **typed, not exceptional**: the gateway answers
+``{"ok": false, "error": CODE, "message": ...}`` and keeps the
+connection alive wherever the client can act on the error:
+
+- ``BUSY`` — admission control: more than ``max_pending`` acts in
+  flight gateway-wide. The request was never submitted; back off and
+  retry. Backpressure is load-shedding at the door, not a queue.
+- ``TIMEOUT`` — the per-request deadline (``deadline_ms``, default
+  ``default_deadline_ms``) expired before the microbatch was served.
+  The session has an unresolved in-flight request, so the gateway
+  quarantines it and ends it as soon as the batch resolves (deferred
+  cleanup) — the session id is dead to the client either way.
+- ``SESSION`` — protocol misuse (unknown id, double submit, shape
+  mismatch): the server-side :class:`SessionError` message, verbatim.
+- ``BAD_REQUEST`` — unparseable operation or missing fields.
+
+Slow or vanished clients cannot pin resources: reads idle out after
+``idle_timeout_s`` and close the connection, and closing a connection
+ends every session it opened (waiting out in-flight batches). Sessions
+are additionally bounded gateway-wide by the LRU/TTL
+:class:`~repro.serve.sessions.SessionStore` (``max_sessions`` /
+``session_ttl_s``) so abandoned sessions are evicted, not leaked — the
+soak bench (``benchmarks/perf_serve.py --soak``) pins flat RSS over
+tens of thousands of session opens.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .protocol import FrameError, recv_frame, send_frame
+from .replica_set import ReplicaSet
+from .server import PolicyServer, Session, SessionError, Ticket
+from .sessions import SessionStore
+
+__all__ = ["Gateway", "GatewayConfig"]
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Knobs for :class:`Gateway`.
+
+    ``max_pending`` bounds gateway-wide in-flight ``act`` requests
+    (admission control; overflow answers ``BUSY``).
+    ``default_deadline_ms`` is the per-request deadline when the client
+    sends none; ``idle_timeout_s`` closes connections with no complete
+    request for that long. ``max_sessions``/``session_ttl_s`` feed the
+    LRU/TTL session store (``None`` disables either bound).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port is Gateway.address[1]
+    max_pending: int = 64
+    default_deadline_ms: float = 5000.0
+    idle_timeout_s: float = 30.0
+    max_sessions: Optional[int] = None
+    session_ttl_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.max_pending, bool) or not isinstance(
+            self.max_pending, (int, np.integer)
+        ):
+            raise ValueError(f"max_pending must be an int, got {self.max_pending!r}")
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
+        if not np.isfinite(self.default_deadline_ms) or self.default_deadline_ms <= 0:
+            raise ValueError(
+                f"default_deadline_ms must be finite and > 0, "
+                f"got {self.default_deadline_ms}"
+            )
+        if not np.isfinite(self.idle_timeout_s) or self.idle_timeout_s <= 0:
+            raise ValueError(
+                f"idle_timeout_s must be finite and > 0, got {self.idle_timeout_s}"
+            )
+        if self.max_sessions is not None and self.max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {self.max_sessions}")
+        if self.session_ttl_s is not None and not self.session_ttl_s > 0:
+            raise ValueError(f"session_ttl_s must be > 0, got {self.session_ttl_s}")
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One thread per connection: framed request/response loop."""
+
+    def handle(self) -> None:
+        gateway: "Gateway" = self.server.gateway  # type: ignore[attr-defined]
+        sock: socket.socket = self.request
+        sock.settimeout(gateway.config.idle_timeout_s)
+        opened: List[str] = []  # session ids this connection opened
+        try:
+            while True:
+                try:
+                    message = recv_frame(sock)
+                except socket.timeout:
+                    break  # idle client: reclaim the thread + sessions
+                except (FrameError, OSError):
+                    break
+                if message is None:
+                    break  # clean EOF
+                response = gateway._dispatch(message, opened)
+                try:
+                    send_frame(sock, response)
+                except OSError:
+                    break
+        finally:
+            gateway._connection_closed(opened)
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    # The stdlib default backlog of 5 drops SYNs when a client fleet
+    # connects at once; the kernel retransmit (~1s) then dominates any
+    # latency measurement. One slot per plausible concurrent connect.
+    request_queue_size = 128
+
+
+class Gateway:
+    """TCP gateway over a replica set; see the module docstring."""
+
+    def __init__(
+        self,
+        replicas: Union[ReplicaSet, PolicyServer],
+        config: Optional[GatewayConfig] = None,
+    ) -> None:
+        self.config = config or GatewayConfig()
+        if isinstance(replicas, PolicyServer):
+            # Single-server convenience: a one-replica set around it.
+            wrapper = ReplicaSet(config=replicas.config)
+            wrapper._servers["default"] = replicas
+            wrapper._weights["default"] = 1.0
+            wrapper._order.append("default")
+            replicas = wrapper
+        self.replicas = replicas
+        self._lock = threading.Lock()
+        self._pending = 0  # gateway-wide in-flight act requests
+        self._sessions = SessionStore(
+            max_sessions=self.config.max_sessions,
+            ttl_s=self.config.session_ttl_s,
+            on_evict=self._evicted,
+        )
+        # Sessions whose request outlived its deadline: (ticket, handle).
+        # They are ended once the batch resolves (_reap) — ending earlier
+        # is impossible (the server refuses to end a pending session) and
+        # dropping them would leak their serving state.
+        self._quarantine: List[Tuple[Ticket, Session, str]] = []
+        self._stats = {
+            "requests": 0,
+            "busy_rejections": 0,
+            "deadline_timeouts": 0,
+            "session_errors": 0,
+            "bad_requests": 0,
+            "connections_cleaned": 0,
+        }
+        self._tcp = _Server(
+            (self.config.host, self.config.port), _Handler, bind_and_activate=True
+        )
+        self._tcp.gateway = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — port is concrete even when 0 was asked."""
+        return self._tcp.server_address[:2]
+
+    def start(self) -> "Gateway":
+        """Serve connections in a background thread; replicas dispatch too."""
+        if self._thread is None:
+            self.replicas.start()
+            self._thread = threading.Thread(
+                target=self._tcp.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                name="serve-gateway",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self._reap(wait=True)
+        for session_id, handle in self._sessions.clear():
+            self._end_quietly(session_id, handle)
+        self.replicas.close()
+
+    def __enter__(self) -> "Gateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> Dict[str, Any]:
+        self._reap()  # deferred cleanup is observable through stats
+        with self._lock:
+            snapshot = dict(self._stats)
+            snapshot["pending"] = self._pending
+            snapshot["quarantined"] = len(self._quarantine)
+        snapshot["store"] = self._sessions.stats()
+        snapshot["replicas"] = self.replicas.stats()
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # request dispatch (called from connection threads)
+    # ------------------------------------------------------------------
+    def _dispatch(self, message: Any, opened: List[str]) -> Dict[str, Any]:
+        self._reap()
+        if not isinstance(message, dict) or "op" not in message:
+            return self._bad_request("message must be an object with an 'op'")
+        op = message.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "op": "ping"}
+            if op == "stats":
+                return {"ok": True, "stats": self.stats()}
+            if op == "open":
+                return self._op_open(message, opened)
+            if op == "act":
+                return self._op_act(message)
+            if op == "end":
+                return self._op_end(message, opened)
+            return self._bad_request(f"unknown op {op!r}")
+        except SessionError as error:
+            with self._lock:
+                self._stats["session_errors"] += 1
+            return {"ok": False, "error": "SESSION", "message": str(error)}
+        except (TypeError, ValueError) as error:
+            return self._bad_request(str(error))
+
+    def _op_open(self, message: Dict[str, Any], opened: List[str]) -> Dict[str, Any]:
+        num_users = int(message.get("num_users", 1))
+        seed = message.get("seed")
+        handle, replica = self.replicas.open_session(
+            num_users=num_users,
+            seed=None if seed is None else int(seed),
+            deterministic=bool(message.get("deterministic", False)),
+            key=message.get("key"),
+        )
+        self._sessions.put(handle.id, handle)
+        opened.append(handle.id)
+        with self._lock:
+            self._stats["requests"] += 1
+        return {
+            "ok": True,
+            "session": handle.id,
+            "replica": replica,
+            "version": handle.version,
+            "num_users": num_users,
+        }
+
+    def _op_act(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        session_id = message.get("session")
+        if not isinstance(session_id, str):
+            return self._bad_request("act needs a 'session' id")
+        obs = message.get("obs")
+        if obs is None:
+            return self._bad_request("act needs an 'obs' array")
+        deadline_ms = float(
+            message.get("deadline_ms", self.config.default_deadline_ms)
+        )
+        if not np.isfinite(deadline_ms) or deadline_ms <= 0:
+            return self._bad_request(f"deadline_ms must be > 0, got {deadline_ms}")
+        handle = self._sessions.get(session_id)
+        if handle is None:
+            with self._lock:
+                self._stats["session_errors"] += 1
+            return {
+                "ok": False,
+                "error": "SESSION",
+                "message": f"unknown session {session_id!r}",
+            }
+        # Admission control: shed load before touching the server.
+        with self._lock:
+            if self._pending >= self.config.max_pending:
+                self._stats["busy_rejections"] += 1
+                return {
+                    "ok": False,
+                    "error": "BUSY",
+                    "message": (
+                        f"{self._pending} requests in flight "
+                        f"(max_pending={self.config.max_pending}); retry later"
+                    ),
+                }
+            self._pending += 1
+            self._stats["requests"] += 1
+        try:
+            ticket = handle.submit(np.asarray(obs, dtype=np.float64))
+            if not handle.server.running:
+                handle.server.flush()
+            try:
+                result = ticket.result(timeout=deadline_ms / 1000.0)
+            except TimeoutError:
+                self._quarantine_session(ticket, handle, session_id)
+                with self._lock:
+                    self._stats["deadline_timeouts"] += 1
+                return {
+                    "ok": False,
+                    "error": "TIMEOUT",
+                    "message": (
+                        f"deadline of {deadline_ms:g} ms expired; "
+                        f"session {session_id!r} is closed"
+                    ),
+                }
+        finally:
+            with self._lock:
+                self._pending -= 1
+        return {
+            "ok": True,
+            "session": session_id,
+            "actions": result.actions,
+            "log_probs": result.log_probs,
+            "values": result.values,
+            "version": result.version,
+            "step": result.step,
+        }
+
+    def _op_end(self, message: Dict[str, Any], opened: List[str]) -> Dict[str, Any]:
+        session_id = message.get("session")
+        if not isinstance(session_id, str):
+            return self._bad_request("end needs a 'session' id")
+        handle = self._sessions.pop(session_id)
+        if handle is None:
+            with self._lock:
+                self._stats["session_errors"] += 1
+            return {
+                "ok": False,
+                "error": "SESSION",
+                "message": f"unknown session {session_id!r}",
+            }
+        handle.end()
+        self.replicas.forget_session(session_id)
+        if session_id in opened:
+            opened.remove(session_id)
+        with self._lock:
+            self._stats["requests"] += 1
+        return {"ok": True, "session": session_id}
+
+    def _bad_request(self, message: str) -> Dict[str, Any]:
+        with self._lock:
+            self._stats["bad_requests"] += 1
+        return {"ok": False, "error": "BAD_REQUEST", "message": message}
+
+    # ------------------------------------------------------------------
+    # cleanup paths
+    # ------------------------------------------------------------------
+    def _quarantine_session(
+        self, ticket: Ticket, handle: Session, session_id: str
+    ) -> None:
+        """A timed-out session: unusable now, ended when its batch lands."""
+        self._sessions.pop(session_id)
+        with self._lock:
+            self._quarantine.append((ticket, handle, session_id))
+
+    def _reap(self, wait: bool = False) -> None:
+        """End quarantined sessions whose in-flight batch has resolved."""
+        with self._lock:
+            quarantined, self._quarantine = self._quarantine, []
+        survivors = []
+        for ticket, handle, session_id in quarantined:
+            if wait:
+                try:
+                    ticket.result(timeout=5.0)
+                except Exception:
+                    pass
+            if ticket.done():
+                self._end_quietly(session_id, handle)
+            else:
+                survivors.append((ticket, handle, session_id))
+        if survivors:
+            with self._lock:
+                self._quarantine.extend(survivors)
+
+    def _evicted(self, session_id: str, handle: Session, reason: str) -> None:
+        """SessionStore eviction: close the underlying server session."""
+        self._end_quietly(session_id, handle)
+
+    def _connection_closed(self, opened: List[str]) -> None:
+        """End every session this connection opened (disconnect cleanup)."""
+        cleaned = 0
+        for session_id in opened:
+            handle = self._sessions.pop(session_id)
+            if handle is not None:
+                self._end_quietly(session_id, handle)
+                cleaned += 1
+        if cleaned:
+            with self._lock:
+                self._stats["connections_cleaned"] += cleaned
+
+    def _end_quietly(self, session_id: str, handle: Session) -> None:
+        try:
+            if handle.alive:
+                # A pending request means a batch is still in flight;
+                # give it a moment to land, then end.
+                for _ in range(50):
+                    try:
+                        handle.end()
+                        break
+                    except SessionError as error:
+                        if "unserved" not in str(error):
+                            break
+                        handle.server.flush()
+                        time.sleep(0.002)
+        except Exception:
+            pass
+        self.replicas.forget_session(session_id)

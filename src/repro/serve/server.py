@@ -64,6 +64,7 @@ __all__ = [
     "ActionResult",
     "PolicyServer",
     "ServeConfig",
+    "Session",
     "SessionError",
     "Ticket",
     "snapshot_policy",
@@ -104,10 +105,26 @@ class ServeConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
+        if isinstance(self.max_batch_size, bool) or not isinstance(
+            self.max_batch_size, (int, np.integer)
+        ):
+            raise ValueError(
+                f"max_batch_size must be an int, got {self.max_batch_size!r}"
+            )
         if self.max_batch_size < 1:
-            raise ValueError("max_batch_size must be >= 1")
-        if self.max_wait_ms < 0:
-            raise ValueError("max_wait_ms must be >= 0")
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if isinstance(self.max_wait_ms, bool) or not isinstance(
+            self.max_wait_ms, (int, float, np.integer, np.floating)
+        ):
+            raise ValueError(f"max_wait_ms must be a number, got {self.max_wait_ms!r}")
+        if not np.isfinite(self.max_wait_ms) or self.max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be finite and >= 0, got {self.max_wait_ms}"
+            )
+        if isinstance(self.seed, bool) or not isinstance(self.seed, (int, np.integer)):
+            raise ValueError(f"seed must be an int, got {self.seed!r}")
 
 
 @dataclass
@@ -168,6 +185,7 @@ class _Session:
         "recurrent_state",
         "steps",
         "pending",
+        "version",
     )
 
     def __init__(
@@ -176,6 +194,7 @@ class _Session:
         num_users: int,
         rng: np.random.Generator,
         deterministic: bool,
+        version: int,
     ) -> None:
         self.id = session_id
         self.num_users = num_users
@@ -185,6 +204,81 @@ class _Session:
         self.recurrent_state: Optional[Any] = None  # fresh = initial state
         self.steps = 0
         self.pending = False
+        self.version = version  # policy version that last served this session
+
+
+class Session:
+    """Handle for one open serving session — the primary request surface.
+
+    Obtained from :meth:`PolicyServer.session` (create) or
+    :meth:`PolicyServer.get_session` (attach to an existing id). The
+    handle owns no state of its own: every call goes straight to the
+    server, so any number of handles to the same id behave identically,
+    and a handle whose session was ended (by anyone) raises
+    :class:`SessionError` on use. The stringly-typed server methods
+    (``submit(session_id, obs)`` etc.) survive as thin wrappers that
+    resolve the id and delegate here.
+    """
+
+    __slots__ = ("_server", "_state")
+
+    def __init__(self, server: "PolicyServer", state: _Session) -> None:
+        self._server = server
+        self._state = state
+
+    @property
+    def id(self) -> str:
+        return self._state.id
+
+    @property
+    def num_users(self) -> int:
+        return self._state.num_users
+
+    @property
+    def steps(self) -> int:
+        """1-based count of served acts (0 before the first)."""
+        return self._state.steps
+
+    @property
+    def version(self) -> int:
+        """Policy version that last served this session.
+
+        Before the first act: the serving version when the session was
+        opened. Updated by every served batch, so a hot swap between two
+        acts is visible as a version step on the handle.
+        """
+        return self._state.version
+
+    @property
+    def server(self) -> "PolicyServer":
+        """The :class:`PolicyServer` this session lives on."""
+        return self._server
+
+    @property
+    def alive(self) -> bool:
+        """Whether the session is still registered with the server."""
+        return self._server._is_registered(self._state)
+
+    def submit(self, obs: np.ndarray) -> Ticket:
+        """Queue one ``act`` request; see :meth:`PolicyServer.submit`."""
+        return self._server._submit(self._state, obs)
+
+    def act(self, obs: np.ndarray, timeout: Optional[float] = None) -> ActionResult:
+        """Submit and wait for the served result (single-call convenience)."""
+        ticket = self.submit(obs)
+        if not self._server._running:
+            self._server.flush()
+        return ticket.result(timeout)
+
+    def end(self) -> None:
+        """Close the session; pending requests must be served first."""
+        self._server._end(self._state)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Session(id={self._state.id!r}, num_users={self._state.num_users}, "
+            f"steps={self._state.steps}, alive={self.alive})"
+        )
 
 
 class _Request:
@@ -245,15 +339,15 @@ class PolicyServer:
     # ------------------------------------------------------------------
     # session lifecycle
     # ------------------------------------------------------------------
-    def create_session(
+    def session(
         self,
         session_id: Optional[str] = None,
         num_users: int = 1,
         seed: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
         deterministic: bool = False,
-    ) -> str:
-        """Open a session; returns its id.
+    ) -> Session:
+        """Open a session; returns its :class:`Session` handle.
 
         ``num_users`` is the session's row count (a "session" may be a
         whole user group, Sim2Rec-style). Noise stream precedence:
@@ -275,23 +369,56 @@ class PolicyServer:
                     rng = np.random.default_rng(seed)
                 else:
                     rng = np.random.default_rng(self._seed_seq.spawn(1)[0])
-            self._sessions[session_id] = _Session(
-                session_id, num_users, rng, deterministic
-            )
-            return session_id
+            state = _Session(session_id, num_users, rng, deterministic, self._version)
+            self._sessions[session_id] = state
+            return Session(self, state)
+
+    def get_session(self, session_id: str) -> Session:
+        """Attach a :class:`Session` handle to an already-open session."""
+        with self._lock:
+            state = self._sessions.get(session_id)
+            if state is None:
+                raise SessionError(f"unknown session {session_id!r}")
+            return Session(self, state)
+
+    def create_session(
+        self,
+        session_id: Optional[str] = None,
+        num_users: int = 1,
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        deterministic: bool = False,
+    ) -> str:
+        """Open a session; returns its id (legacy stringly-typed surface).
+
+        Thin wrapper over :meth:`session` — prefer the handle it returns.
+        """
+        return self.session(
+            session_id,
+            num_users=num_users,
+            seed=seed,
+            rng=rng,
+            deterministic=deterministic,
+        ).id
 
     def end_session(self, session_id: str) -> None:
-        """Close a session; its queued request (if any) must be served first."""
+        """Close a session by id (legacy wrapper over ``Session.end``)."""
+        self.get_session(session_id).end()
+
+    def _is_registered(self, state: _Session) -> bool:
         with self._lock:
-            session = self._sessions.get(session_id)
-            if session is None:
-                raise SessionError(f"unknown session {session_id!r}")
-            if session.pending:
+            return self._sessions.get(state.id) is state
+
+    def _end(self, state: _Session) -> None:
+        with self._lock:
+            if self._sessions.get(state.id) is not state:
+                raise SessionError(f"unknown session {state.id!r}")
+            if state.pending:
                 raise SessionError(
-                    f"session {session_id!r} has an unserved request; "
+                    f"session {state.id!r} has an unserved request; "
                     "flush (or await the ticket) before ending it"
                 )
-            del self._sessions[session_id]
+            del self._sessions[state.id]
 
     @property
     def num_sessions(self) -> int:
@@ -321,6 +448,18 @@ class PolicyServer:
     # request path
     # ------------------------------------------------------------------
     def submit(self, session_id: str, obs: np.ndarray) -> Ticket:
+        """Queue one ``act`` request by id (legacy wrapper over
+        ``Session.submit``); returns a :class:`Ticket`."""
+        return self._submit(self._require(session_id), obs)
+
+    def _require(self, session_id: str) -> _Session:
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is None:
+                raise SessionError(f"unknown session {session_id!r}")
+            return session
+
+    def _submit(self, session: _Session, obs: np.ndarray) -> Ticket:
         """Queue one ``act`` request; returns a :class:`Ticket`.
 
         ``obs`` is the session's stacked observation block
@@ -335,16 +474,15 @@ class PolicyServer:
             obs = obs.reshape(1, -1)
         with self._cond:
             self._check_serving()
-            session = self._sessions.get(session_id)
-            if session is None:
-                raise SessionError(f"unknown session {session_id!r}")
+            if self._sessions.get(session.id) is not session:
+                raise SessionError(f"unknown session {session.id!r}")
             if session.pending:
                 raise SessionError(
-                    f"session {session_id!r} already has a request in flight"
+                    f"session {session.id!r} already has a request in flight"
                 )
             if obs.shape != (session.num_users, self._policy.state_dim):
                 raise SessionError(
-                    f"session {session_id!r} expects observations of shape "
+                    f"session {session.id!r} expects observations of shape "
                     f"{(session.num_users, self._policy.state_dim)}, got {obs.shape}"
                 )
             request = _Request(session, obs, time.monotonic())
@@ -374,16 +512,13 @@ class PolicyServer:
     def act(
         self, session_id: str, obs: np.ndarray, timeout: Optional[float] = None
     ) -> ActionResult:
-        """Submit and wait: the single-call convenience path.
+        """Submit and wait by id (legacy wrapper over ``Session.act``).
 
         Without the background dispatcher the request is flushed
         immediately (a one-request batch); with it, the call blocks until
         the dispatcher's window closes.
         """
-        ticket = self.submit(session_id, obs)
-        if not self._running:
-            self.flush()
-        return ticket.result(timeout)
+        return self.get_session(session_id).act(obs, timeout)
 
     # ------------------------------------------------------------------
     # microbatch kernel
@@ -463,6 +598,7 @@ class PolicyServer:
             session.prev_actions = np.array(actions[block])
             session.steps += 1
             session.pending = False
+            session.version = self._version
             request.ticket._resolve(
                 ActionResult(
                     actions=np.array(actions[block]),

@@ -11,10 +11,10 @@ from repro.envs import (
     MU_C_REAL,
     MU_K_REAL,
     admissible_omega_g,
-    evaluate_policy,
     make_lts_task,
     oracle_constant_policy_return,
 )
+from repro.rl import evaluate
 
 
 def make_env(**kwargs) -> LTSEnv:
@@ -160,7 +160,7 @@ class TestOracle:
     def test_oracle_matches_rollout(self):
         env = make_env(num_users=2000, horizon=20)
         oracle = oracle_constant_policy_return(env, 0.5)
-        measured = evaluate_policy(env, lambda s, t: np.full((2000, 1), 0.5), episodes=2)
+        measured = evaluate(lambda s, t: np.full((2000, 1), 0.5), env, episodes=2)
         np.testing.assert_allclose(measured, oracle, rtol=0.02)
 
     def test_optimal_action_increases_with_mu_c(self):

@@ -11,7 +11,8 @@ import pytest
 
 from repro.baselines import lts_single_sampler, make_direct_trainer
 from repro.core import Sim2RecLTSTrainer, build_sim2rec_policy, lts_small_config
-from repro.envs import evaluate_policy, make_lts_task, oracle_constant_policy_return
+from repro.envs import make_lts_task, oracle_constant_policy_return
+from repro.rl import evaluate
 
 
 @pytest.fixture(scope="module")
@@ -43,7 +44,7 @@ def trained(task):
 def target_reward(task, policy, seed=0):
     env = task.make_target_env(seed_offset=500 + seed)
     act_fn = policy.as_act_fn(np.random.default_rng(seed), deterministic=True)
-    return evaluate_policy(env, act_fn, episodes=2)
+    return evaluate(act_fn, env, episodes=2)
 
 
 class TestLTSPipeline:

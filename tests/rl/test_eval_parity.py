@@ -1,13 +1,13 @@
 """Cross-mode evaluation parity: replica-side eval equals solo eval.
 
-The evaluation counterpart of ``test_rollout_parity.py``, covering the
-fix for ``evaluate_policy_vec``'s parent-side-acting note: evaluation
-now routes through **policy replicas** wherever a sharded pool is
-available (:func:`repro.rl.evaluate_policy_replicas` /
-:meth:`repro.rl.workers.ShardedVecEnvPool.evaluate_policy`). The kernel
-(:func:`repro.rl.vec.evaluate_policy_replica`) draws each env's action
-noise from that env's own stream and computes context per env block, so
-per-env returns must be **bit-identical** across
+The evaluation counterpart of ``test_rollout_parity.py``: every sweep
+here goes through the one evaluation front door,
+:func:`repro.rl.evaluate`, which routes through **policy replicas**
+wherever a sharded pool is available
+(:meth:`repro.rl.workers.ShardedVecEnvPool.evaluate_policy`). The kernel
+draws each env's action noise from that env's own stream and computes
+context per env block, so per-env returns must be **bit-identical**
+across
 
 - per-env solo evaluation (each env alone in its own pool),
 - one in-process pool over all envs,
@@ -16,7 +16,11 @@ per-env returns must be **bit-identical** across
 for MLP / recurrent / Sim2Rec policies, deterministic and stochastic
 action modes, multi-episode sweeps with discounting, and heterogeneous
 horizons (the pool masks finished members' rewards to zero, so totals
-are layout-invariant).
+are layout-invariant). The four retired entry points
+(``evaluate_policy`` / ``evaluate_policy_vec`` /
+``evaluate_policy_replica`` / ``evaluate_policy_replicas``) survive as
+deprecated aliases; ``TestDeprecatedAliases`` pins that each one warns
+and returns bits identical to the front door.
 
 Caveat pinned here too: with heterogeneous horizons the *pool* keeps
 drawing from a finished env's stream until the pool ends, so caller-owned
@@ -30,10 +34,12 @@ import pytest
 
 from repro.core import build_sim2rec_policy, dpr_small_config
 from repro.envs import DPRConfig, DPRWorld, LTSConfig, LTSEnv
+from repro.envs import evaluate_policy as legacy_evaluate_policy
 from repro.rl import (
     MLPActorCritic,
     RecurrentActorCritic,
     ShardedVecEnvPool,
+    evaluate,
     evaluate_policy_replica,
     evaluate_policy_replicas,
     evaluate_policy_vec,
@@ -93,10 +99,10 @@ def solo_eval(env_factory, policy, deterministic, episodes=EPISODES):
     envs = env_factory()
     return np.array(
         [
-            evaluate_policy_replica(
-                [env],
+            evaluate(
                 policy,
-                [np.random.default_rng(seed)],
+                [env],
+                rng=[np.random.default_rng(seed)],
                 episodes=episodes,
                 gamma=GAMMA,
                 deterministic=deterministic,
@@ -111,14 +117,14 @@ def pooled_eval(env_factory, policy, deterministic, workers=0, episodes=EPISODES
     envs = env_factory()
     rngs = [np.random.default_rng(seed) for seed in env_seeds(len(envs))]
     if workers == 0:
-        totals = evaluate_policy_replicas(
-            envs, policy, rngs, episodes=episodes, gamma=GAMMA,
+        totals = evaluate(
+            policy, envs, rng=rngs, episodes=episodes, gamma=GAMMA,
             deterministic=deterministic,
         )
     else:
         with ShardedVecEnvPool(envs, num_workers=workers) as pool:
-            totals = evaluate_policy_replicas(
-                pool, policy, rngs, episodes=episodes, gamma=GAMMA,
+            totals = evaluate(
+                policy, pool, rng=rngs, episodes=episodes, gamma=GAMMA,
                 deterministic=deterministic,
             )
     return totals, [rng.bit_generator.state for rng in rngs]
@@ -199,37 +205,66 @@ class TestHeteroHorizons:
 
 
 class TestFrontDoor:
-    """`evaluate_policy_replicas` routing and RNG-normalisation semantics."""
+    """`repro.rl.evaluate` dispatch, routing and RNG-normalisation semantics."""
 
     @needs_sharding
     def test_single_generator_split_is_mode_invariant(self):
         """A lone generator splits into the same per-env children everywhere."""
         policy = make_policy("mlp", 2, 1)
-        inproc = evaluate_policy_replicas(
-            make_lts_envs(), policy, np.random.default_rng(11),
+        inproc = evaluate(
+            policy, make_lts_envs(), rng=np.random.default_rng(11),
             episodes=EPISODES, gamma=GAMMA, deterministic=False,
         )
         with ShardedVecEnvPool(make_lts_envs(), num_workers=2) as pool:
-            sharded = evaluate_policy_replicas(
-                pool, policy, np.random.default_rng(11),
+            sharded = evaluate(
+                policy, pool, rng=np.random.default_rng(11),
                 episodes=EPISODES, gamma=GAMMA, deterministic=False,
             )
         assert np.array_equal(inproc, sharded)
 
     def test_deterministic_agrees_with_act_fn_path(self):
-        """Replica eval == the legacy `evaluate_policy_vec` + `as_act_fn`."""
+        """Replica path == the callable-protocol path under `as_act_fn`."""
         policy = make_policy("recurrent", 2, 1)
-        replica = evaluate_policy_replicas(
-            make_lts_envs(), policy, np.random.default_rng(13),
+        replica = evaluate(
+            policy, make_lts_envs(), rng=np.random.default_rng(13),
             episodes=EPISODES, gamma=GAMMA, deterministic=True,
         )
-        legacy = evaluate_policy_vec(
-            make_lts_envs(),
+        act_fn = evaluate(
             policy.as_act_fn(np.random.default_rng(13), deterministic=True),
+            make_lts_envs(),
             episodes=EPISODES,
             gamma=GAMMA,
         )
-        assert np.array_equal(replica, legacy)
+        assert np.array_equal(replica, act_fn)
+
+    def test_single_env_returns_scalar(self):
+        policy = make_policy("mlp", 2, 1)
+        result = evaluate(policy, make_lts_envs()[0], episodes=1)
+        assert isinstance(result, float)
+
+    def test_act_fn_auto_dispatch(self):
+        """Callable + single env -> solo; callable + sequence -> per-env."""
+        policy = make_policy("mlp", 2, 1)
+        solo = evaluate(
+            policy.as_act_fn(np.random.default_rng(5)), make_lts_envs()[0]
+        )
+        assert isinstance(solo, float)
+        per_env = evaluate(
+            policy.as_act_fn(np.random.default_rng(5)), make_lts_envs()
+        )
+        assert per_env.shape == (5,)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            evaluate(make_policy("mlp", 2, 1), make_lts_envs(), mode="warp")
+
+    def test_replica_mode_needs_a_policy(self):
+        with pytest.raises(TypeError, match="ActorCriticBase"):
+            evaluate(lambda s, t: s[:, :1], make_lts_envs(), mode="replica")
+
+    def test_empty_env_sequence_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            evaluate(make_policy("mlp", 2, 1), [])
 
     @needs_sharding
     def test_eval_before_sync_raises(self):
@@ -241,6 +276,85 @@ class TestFrontDoor:
     def test_rng_count_mismatch_raises(self):
         policy = make_policy("mlp", 2, 1)
         with pytest.raises(ValueError, match="generator"):
-            evaluate_policy_replicas(
-                make_lts_envs(), policy, [np.random.default_rng(0)]
+            evaluate(policy, make_lts_envs(), rng=[np.random.default_rng(0)])
+
+
+class TestDeprecatedAliases:
+    """The four retired names warn and return front-door-identical bits."""
+
+    def test_evaluate_policy_alias(self):
+        policy = make_policy("mlp", 2, 1)
+        front = evaluate(
+            policy.as_act_fn(np.random.default_rng(3)), make_lts_envs()[0],
+            episodes=EPISODES, gamma=GAMMA,
+        )
+        with pytest.warns(DeprecationWarning, match="repro.rl.evaluate"):
+            alias = legacy_evaluate_policy(
+                make_lts_envs()[0],
+                policy.as_act_fn(np.random.default_rng(3)),
+                episodes=EPISODES,
+                gamma=GAMMA,
             )
+        assert front == alias
+
+    def test_evaluate_policy_vec_alias(self):
+        policy = make_policy("recurrent", 2, 1)
+        front = evaluate(
+            policy.as_act_fn(np.random.default_rng(4)), make_lts_envs(),
+            mode="vec", episodes=EPISODES, gamma=GAMMA,
+        )
+        with pytest.warns(DeprecationWarning, match="repro.rl.evaluate"):
+            alias = evaluate_policy_vec(
+                make_lts_envs(),
+                policy.as_act_fn(np.random.default_rng(4)),
+                episodes=EPISODES,
+                gamma=GAMMA,
+            )
+        assert np.array_equal(front, alias)
+
+    def test_evaluate_policy_replica_alias(self):
+        policy = make_policy("mlp", 2, 1)
+        seeds = env_seeds(5)
+        front = evaluate(
+            policy, make_lts_envs(),
+            rng=[np.random.default_rng(s) for s in seeds],
+            episodes=EPISODES, gamma=GAMMA, deterministic=False,
+        )
+        with pytest.warns(DeprecationWarning, match="repro.rl.evaluate"):
+            alias = evaluate_policy_replica(
+                make_lts_envs(),
+                policy,
+                [np.random.default_rng(s) for s in seeds],
+                episodes=EPISODES,
+                gamma=GAMMA,
+                deterministic=False,
+            )
+        assert np.array_equal(front, alias)
+
+    def test_evaluate_policy_replicas_alias(self):
+        policy = make_policy("mlp", 2, 1)
+        front = evaluate(
+            policy, make_lts_envs(), rng=np.random.default_rng(21),
+            episodes=EPISODES, gamma=GAMMA, deterministic=False,
+        )
+        with pytest.warns(DeprecationWarning, match="repro.rl.evaluate"):
+            alias = evaluate_policy_replicas(
+                make_lts_envs(), policy, np.random.default_rng(21),
+                episodes=EPISODES, gamma=GAMMA, deterministic=False,
+            )
+        assert np.array_equal(front, alias)
+
+    def test_internal_repro_callers_escalate(self):
+        """The pytest config turns repro-internal alias calls into errors."""
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.filterwarnings(
+                "error", category=DeprecationWarning, module=r"repro\."
+            )
+            # A call attributed to a test module only warns ...
+            with pytest.warns(DeprecationWarning):
+                evaluate_policy_vec(
+                    make_lts_envs(),
+                    make_policy("mlp", 2, 1).as_act_fn(np.random.default_rng(0)),
+                )

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.envs import LTSConfig, LTSEnv, evaluate_policy
+from repro.envs import LTSConfig, LTSEnv
+from repro.rl import evaluate
 from repro.envs.base import MultiUserEnv
 from repro.envs.spaces import Box
 from repro.rl import (
@@ -158,9 +159,9 @@ class TestPPOConvergence:
             env.observation_dim, env.action_dim, np.random.default_rng(2), hidden_sizes=(32, 32)
         )
         rng = np.random.default_rng(0)
-        before = evaluate_policy(env, policy.as_act_fn(rng), episodes=2)
+        before = evaluate(policy.as_act_fn(rng), env, episodes=2)
         self.train(policy, env, iterations=30, config=PPOConfig(learning_rate=1e-3))
-        after = evaluate_policy(env, policy.as_act_fn(np.random.default_rng(0)), episodes=2)
+        after = evaluate(policy.as_act_fn(np.random.default_rng(0)), env, episodes=2)
         assert after > before
 
     def test_recurrent_learns_target_action(self):

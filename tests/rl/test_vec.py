@@ -11,14 +11,14 @@ import numpy as np
 import pytest
 
 from repro.core import build_sim2rec_policy, dpr_small_config
-from repro.envs import DPRConfig, DPRWorld, evaluate_policy
+from repro.envs import DPRConfig, DPRWorld
 from repro.rl import (
     BlockRNG,
     RecurrentActorCritic,
     VecEnvPool,
     collect_segment,
     collect_segments_vec,
-    evaluate_policy_vec,
+    evaluate,
 )
 from repro.rl.parity import assert_segments_identical
 
@@ -94,13 +94,13 @@ class TestEvaluatePolicyVec:
         )
         seq_returns = np.array(
             [
-                evaluate_policy(env, policy.as_act_fn(np.random.default_rng(0)), episodes=1)
+                evaluate(policy.as_act_fn(np.random.default_rng(0)), env, episodes=1)
                 for env in world.make_all_city_envs()
             ]
         )
-        vec_returns = evaluate_policy_vec(
-            world.make_all_city_envs(),
+        vec_returns = evaluate(
             policy.as_act_fn(np.random.default_rng(0)),
+            world.make_all_city_envs(),
             episodes=1,
         )
         # Deterministic act_fn + identical env streams: identical numbers.
@@ -110,10 +110,12 @@ class TestEvaluatePolicyVec:
         world = make_world()
         policy = build_sim2rec_policy(13, 2, dpr_small_config(seed=1))
         pool = VecEnvPool(world.make_all_city_envs())
-        pooled = evaluate_policy(pool, policy.as_act_fn(np.random.default_rng(0)), episodes=1)
-        per_env = evaluate_policy_vec(
-            VecEnvPool(world.make_all_city_envs()),
+        pooled = evaluate(
+            policy.as_act_fn(np.random.default_rng(0)), pool, mode="solo", episodes=1
+        )
+        per_env = evaluate(
             policy.as_act_fn(np.random.default_rng(0)),
+            VecEnvPool(world.make_all_city_envs()),
             episodes=1,
         )
         # The pool's aggregate mean weights every user equally.

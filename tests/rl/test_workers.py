@@ -17,7 +17,7 @@ import sys
 import numpy as np
 import pytest
 
-from repro.envs import DPRConfig, DPRWorld, LTSConfig, LTSEnv, evaluate_policy
+from repro.envs import DPRConfig, DPRWorld, LTSConfig, LTSEnv
 from repro.rl import (
     MLPActorCritic,
     RecurrentActorCritic,
@@ -29,7 +29,7 @@ from repro.rl import (
     collect_segment,
     collect_segments_shard_parallel,
     collect_segments_vec,
-    evaluate_policy_vec,
+    evaluate,
     sharding_available,
 )
 from repro.rl.parity import SEGMENT_FIELDS, assert_segments_identical
@@ -94,14 +94,14 @@ class TestPoolProtocol:
         policy = RecurrentActorCritic(
             13, 2, np.random.default_rng(6), lstm_hidden=16, head_hidden=(32,)
         )
-        sequential = evaluate_policy_vec(
-            world.make_all_city_envs(),
+        sequential = evaluate(
             policy.as_act_fn(np.random.default_rng(0)),
+            world.make_all_city_envs(),
             episodes=1,
         )
         with ShardedVecEnvPool(world.make_all_city_envs(), num_workers=2) as pool:
-            pooled = evaluate_policy(
-                pool, policy.as_act_fn(np.random.default_rng(0)), episodes=1
+            pooled = evaluate(
+                policy.as_act_fn(np.random.default_rng(0)), pool, mode="solo", episodes=1
             )
         weights = np.array([env.num_users for env in world.make_all_city_envs()])
         assert pooled == pytest.approx(

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import scenario_small_config
-from repro.envs import evaluate_policy
+from repro.rl import evaluate
 from repro.scenarios import (
     collect_scenario_state_sets,
     make_scenario,
@@ -53,8 +53,8 @@ class TestScenarioTrainer:
             assert np.isfinite(metrics["reward"])
             policy = trainer.sim2rec_policy
         target = trainer.scenario.make_target_env()
-        reward = evaluate_policy(
-            target, policy.as_act_fn(np.random.default_rng(0), deterministic=True)
+        reward = evaluate(
+            policy.as_act_fn(np.random.default_rng(0), deterministic=True), target
         )
         assert np.isfinite(reward)
 

@@ -1,0 +1,380 @@
+"""Gateway wire protocol + failure semantics + many-client parity.
+
+Three layers:
+
+- **framing** — pure codec tests: fragmentation-proof incremental
+  decoding, bit-exact ndarray transport (including NaN payloads),
+  oversized-frame rejection;
+- **protocol** — one live loopback gateway per test: typed ``TIMEOUT``
+  on deadline expiry (with deferred session cleanup), ``BUSY`` under
+  admission overflow, disconnect/idle cleanup, LRU/TTL session bounds,
+  ``BAD_REQUEST`` resilience;
+- **parity** — the contract the transport must not break: actions served
+  through TCP by many concurrent clients are bit-identical to direct
+  in-process ``PolicyServer`` serving.
+"""
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    DeadlineExceeded,
+    FrameError,
+    FrameReader,
+    Gateway,
+    GatewayBusy,
+    GatewayClient,
+    GatewayConfig,
+    PolicyServer,
+    ReplicaSet,
+    ServeConfig,
+    SessionError,
+)
+from repro.serve.protocol import pack_frame
+
+from .helpers import STATE_DIM, make_obs_streams, make_policy, solo_serve
+
+
+def wait_until(predicate, timeout=5.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def make_gateway(kind="mlp", serve_overrides=None, **gateway_overrides):
+    server = PolicyServer(
+        make_policy(kind),
+        ServeConfig(**{"max_batch_size": 8, "max_wait_ms": 1.0, "seed": 0,
+                       **(serve_overrides or {})}),
+    )
+    gateway = Gateway(server, GatewayConfig(**gateway_overrides))
+    gateway.start()
+    return gateway, server
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_roundtrip_preserves_structure(self):
+        message = {"op": "act", "nested": [1, 2.5, None, "x", {"y": True}]}
+        reader = FrameReader()
+        (decoded,) = reader.feed(pack_frame(message))
+        assert decoded == message
+        assert reader.pending_bytes == 0
+
+    def test_ndarray_transport_is_bit_exact(self):
+        array = np.array([[0.1 + 0.2, -0.0, np.nan, np.inf, 1e-308]])
+        (decoded,) = FrameReader().feed(pack_frame({"obs": array}))
+        out = decoded["obs"]
+        assert out.dtype == array.dtype
+        assert out.tobytes() == array.tobytes()  # bitwise, NaN included
+        out[0, 0] = 7.0  # decoded arrays are writable copies
+
+    def test_one_byte_at_a_time_fragmentation(self):
+        frame = pack_frame({"op": "ping", "obs": np.arange(6.0).reshape(2, 3)})
+        reader = FrameReader()
+        messages = []
+        for index in range(len(frame)):
+            messages.extend(reader.feed(frame[index:index + 1]))
+        assert len(messages) == 1
+        assert np.array_equal(messages[0]["obs"], np.arange(6.0).reshape(2, 3))
+
+    def test_many_frames_in_one_chunk_and_a_tail(self):
+        frames = pack_frame({"i": 0}) + pack_frame({"i": 1}) + pack_frame({"i": 2})
+        split = len(frames) - 3  # last frame arrives incomplete
+        reader = FrameReader()
+        first = reader.feed(frames[:split])
+        assert [m["i"] for m in first] == [0, 1]
+        assert reader.pending_bytes > 0
+        second = reader.feed(frames[split:])
+        assert [m["i"] for m in second] == [2]
+
+    def test_oversized_length_prefix_rejected(self):
+        reader = FrameReader()
+        with pytest.raises(FrameError, match="exceeds"):
+            reader.feed((2**31).to_bytes(4, "big") + b"x")
+
+    def test_bad_ndarray_tag_rejected(self):
+        from repro.serve.protocol import decode_payload
+
+        with pytest.raises(FrameError, match="ndarray"):
+            decode_payload({"__ndarray__": [2], "dtype": "not-a-dtype", "b64": "AA=="})
+        with pytest.raises(FrameError, match="ndarray"):
+            decode_payload({"__ndarray__": [4], "dtype": "<f8", "b64": "AA=="})
+
+
+# ----------------------------------------------------------------------
+# protocol semantics over a live socket
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_open_act_end_happy_path(self):
+        gateway, server = make_gateway()
+        with gateway, GatewayClient(gateway.address) as client:
+            assert client.ping()
+            session = client.open_session(num_users=2, seed=5)
+            assert session.replica == "default"
+            result = session.act(np.zeros((2, STATE_DIM)))
+            assert result.actions.shape == (2, 1)
+            assert result.step == 1
+            assert session.steps == 1
+            session.end()
+            assert server.num_sessions == 0
+
+    def test_act_on_unknown_session_is_typed_session_error(self):
+        gateway, _ = make_gateway()
+        with gateway, GatewayClient(gateway.address) as client:
+            session = client.open_session()
+            session.end()
+            session._ended = False  # force the dead id onto the wire
+            with pytest.raises(SessionError, match="unknown session"):
+                session.act(np.zeros((1, STATE_DIM)))
+
+    def test_shape_mismatch_reports_server_message(self):
+        gateway, _ = make_gateway()
+        with gateway, GatewayClient(gateway.address) as client:
+            session = client.open_session(num_users=1)
+            with pytest.raises(SessionError, match="shape"):
+                session.act(np.zeros((3, STATE_DIM)))
+            # the connection survives a typed error
+            assert client.ping()
+
+    def test_bad_requests_keep_the_connection_alive(self):
+        gateway, _ = make_gateway()
+        with gateway:
+            with socket.create_connection(gateway.address, timeout=5.0) as sock:
+                reader = FrameReader()
+
+                def roundtrip(message):
+                    sock.sendall(pack_frame(message))
+                    while True:
+                        chunk = sock.recv(65536)
+                        assert chunk, "gateway closed the connection"
+                        messages = reader.feed(chunk)
+                        if messages:
+                            return messages[0]
+
+                for bad in (
+                    {"op": "warp"},
+                    {"no_op": 1},
+                    {"op": "act"},
+                    {"op": "act", "session": "s", "obs": None},
+                    {"op": "end"},
+                    "just a string",
+                ):
+                    reply = roundtrip(bad)
+                    assert reply["ok"] is False
+                    assert reply["error"] in ("BAD_REQUEST", "SESSION")
+                assert roundtrip({"op": "ping"})["ok"] is True
+
+    def test_deadline_expiry_returns_typed_timeout(self):
+        # A wide-open batching window (huge max_wait, huge batch) parks
+        # the lone request: its 50 ms deadline must expire, typed.
+        gateway, server = make_gateway(
+            serve_overrides={"max_wait_ms": 60_000.0, "max_batch_size": 64}
+        )
+        with gateway, GatewayClient(gateway.address) as client:
+            session = client.open_session(num_users=1)
+            begin = time.monotonic()
+            with pytest.raises(DeadlineExceeded, match="deadline"):
+                session.act(np.zeros((1, STATE_DIM)), deadline_ms=50)
+            assert time.monotonic() - begin < 5.0
+            assert gateway.stats()["deadline_timeouts"] == 1
+            # The session is quarantined: dead to the client, ended
+            # server-side once its in-flight batch resolves (the reaper
+            # runs on any later request or stats call).
+            server.flush()
+            assert wait_until(
+                lambda: gateway.stats() is not None and server.num_sessions == 0
+            )
+
+    def test_busy_under_admission_overflow(self):
+        gateway, _ = make_gateway(
+            serve_overrides={"max_wait_ms": 60_000.0, "max_batch_size": 64},
+            max_pending=1,
+        )
+        with gateway:
+            blocked_error = []
+
+            def occupant():
+                with GatewayClient(gateway.address) as client:
+                    session = client.open_session(num_users=1)
+                    try:
+                        session.act(np.zeros((1, STATE_DIM)), deadline_ms=2000)
+                    except DeadlineExceeded as error:
+                        blocked_error.append(error)
+
+            thread = threading.Thread(target=occupant)
+            thread.start()
+            try:
+                assert wait_until(lambda: gateway.stats()["pending"] == 1)
+                with GatewayClient(gateway.address) as client:
+                    session = client.open_session(num_users=1)
+                    with pytest.raises(GatewayBusy, match="retry"):
+                        session.act(np.zeros((1, STATE_DIM)))
+                assert gateway.stats()["busy_rejections"] == 1
+            finally:
+                thread.join()
+
+    def test_disconnect_mid_session_cleans_up(self):
+        gateway, server = make_gateway()
+        with gateway:
+            client = GatewayClient(gateway.address)
+            session = client.open_session(num_users=1)
+            session.act(np.zeros((1, STATE_DIM)))
+            assert server.num_sessions == 1
+            client.close()  # vanish without an `end`
+            assert wait_until(lambda: server.num_sessions == 0)
+            assert gateway.stats()["connections_cleaned"] >= 1
+
+    def test_disconnect_with_request_in_flight_cleans_up(self):
+        """Closing the socket while a batch is pending must not leak."""
+        gateway, server = make_gateway(
+            serve_overrides={"max_wait_ms": 200.0, "max_batch_size": 64}
+        )
+        with gateway:
+            client = GatewayClient(gateway.address)
+            session = client.open_session(num_users=1)
+            worker = threading.Thread(
+                target=lambda: self._swallow(
+                    lambda: session.act(np.zeros((1, STATE_DIM)), deadline_ms=50)
+                )
+            )
+            worker.start()
+            worker.join()
+            client.close()
+            assert wait_until(
+                lambda: gateway.stats() is not None and server.num_sessions == 0
+            )
+
+    @staticmethod
+    def _swallow(fn):
+        try:
+            fn()
+        except Exception:
+            pass
+
+    def test_lru_session_cap_is_enforced(self):
+        gateway, server = make_gateway(max_sessions=4)
+        with gateway, GatewayClient(gateway.address) as client:
+            for _ in range(10):
+                client.open_session(num_users=1)
+            stats = gateway.stats()
+            assert stats["store"]["sessions"] <= 4
+            assert stats["store"]["evicted_lru"] >= 6
+            assert wait_until(lambda: server.num_sessions <= 4)
+
+    def test_ttl_evicts_idle_sessions(self):
+        gateway, server = make_gateway(session_ttl_s=0.1)
+        with gateway, GatewayClient(gateway.address) as client:
+            idle = client.open_session(num_users=1)
+            time.sleep(0.25)
+            client.open_session(num_users=1)  # mutation sweeps expired entries
+            stats = gateway.stats()
+            assert stats["store"]["evicted_ttl"] >= 1
+            with pytest.raises(SessionError, match="unknown session"):
+                idle._ended = False
+                idle.act(np.zeros((1, STATE_DIM)))
+
+    def test_idle_connection_is_closed(self):
+        gateway, _ = make_gateway(idle_timeout_s=0.15)
+        with gateway:
+            client = GatewayClient(gateway.address)
+            assert client.ping()
+            time.sleep(0.4)
+            with pytest.raises(Exception):
+                client.ping()
+            client.close()
+
+    def test_config_validation(self):
+        for knobs in (
+            {"max_pending": 0},
+            {"max_pending": 1.5},
+            {"default_deadline_ms": 0.0},
+            {"default_deadline_ms": float("nan")},
+            {"idle_timeout_s": -1.0},
+            {"max_sessions": 0},
+            {"session_ttl_s": 0.0},
+        ):
+            with pytest.raises(ValueError):
+                GatewayConfig(**knobs)
+
+
+# ----------------------------------------------------------------------
+# parity: TCP serving must not perturb a single bit
+# ----------------------------------------------------------------------
+class TestGatewayParity:
+    @pytest.mark.parametrize("kind", ["mlp", "lstm", "sim2rec"])
+    def test_threaded_many_client_parity(self, kind):
+        """N concurrent TCP clients == N solo in-process sessions, bitwise."""
+        num_sessions, steps = 6, 5
+        user_counts = [1 + (i % 3) for i in range(num_sessions)]
+        obs_streams = make_obs_streams(user_counts, steps, seed=23)
+        session_seeds = [500 + i for i in range(num_sessions)]
+
+        gateway, _ = make_gateway(kind=kind)
+        served = [None] * num_sessions
+        errors = []
+
+        def run(index):
+            try:
+                with GatewayClient(gateway.address) as client:
+                    session = client.open_session(
+                        num_users=user_counts[index], seed=session_seeds[index]
+                    )
+                    served[index] = [
+                        session.act(obs) for obs in obs_streams[index]
+                    ]
+                    session.end()
+            except Exception as error:
+                errors.append((index, error))
+
+        with gateway:
+            threads = [
+                threading.Thread(target=run, args=(index,))
+                for index in range(num_sessions)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors, errors
+
+        for index in range(num_sessions):
+            reference = solo_serve(
+                kind, user_counts[index], session_seeds[index], obs_streams[index]
+            )
+            for step, (result, expected) in enumerate(zip(served[index], reference)):
+                actions, log_probs, values = expected
+                assert np.array_equal(result.actions, actions), (index, step)
+                assert np.array_equal(result.log_probs, log_probs), (index, step)
+                assert np.array_equal(result.values, values), (index, step)
+
+    def test_two_replica_ab_split_serves_both_arms(self):
+        """A/B routing: sessions land per the seeded split, both arms serve."""
+        replica_set = ReplicaSet(config=ServeConfig(max_wait_ms=1.0, seed=0), seed=11)
+        replica_set.add("control", make_policy("mlp"), weight=0.5)
+        treatment = make_policy("mlp")
+        for param in treatment.parameters():
+            param.data = param.data + 0.05
+        replica_set.add("treatment", treatment, weight=0.5)
+
+        with Gateway(replica_set) as gateway:
+            gateway.start()
+            arms = {}
+            with GatewayClient(gateway.address) as client:
+                for index in range(16):
+                    session = client.open_session(num_users=1, key=f"user{index}")
+                    result = session.act(np.zeros((1, STATE_DIM)))
+                    arms.setdefault(session.replica, []).append(result.actions)
+                    session.end()
+            assert set(arms) == {"control", "treatment"}
+            # the two arms really serve different weights
+            assert not np.array_equal(arms["control"][0], arms["treatment"][0])

@@ -35,6 +35,39 @@ class TestConfig:
         with pytest.raises(ValueError):
             ServeConfig(max_wait_ms=-1.0)
 
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            {"max_batch_size": 1.5},
+            {"max_batch_size": True},
+            {"max_batch_size": "8"},
+            {"max_wait_ms": float("nan")},
+            {"max_wait_ms": float("inf")},
+            {"max_wait_ms": "2.0"},
+            {"max_wait_ms": None},
+            {"seed": 1.5},
+            {"seed": True},
+            {"seed": "0"},
+        ],
+    )
+    def test_rejects_wrong_types_and_non_finite(self, knobs):
+        with pytest.raises(ValueError):
+            ServeConfig(**knobs)
+
+    def test_numpy_integers_accepted(self):
+        config = ServeConfig(
+            max_batch_size=np.int64(4), max_wait_ms=np.float64(1.0), seed=np.int32(7)
+        )
+        assert config.max_batch_size == 4
+
+    def test_error_messages_name_the_knob(self):
+        with pytest.raises(ValueError, match="max_batch_size"):
+            ServeConfig(max_batch_size=-3)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            ServeConfig(max_wait_ms=float("nan"))
+        with pytest.raises(ValueError, match="seed"):
+            ServeConfig(seed="bad")
+
 
 class TestSessionLifecycle:
     def test_auto_ids_are_unique(self):
@@ -103,6 +136,86 @@ class TestSessionLifecycle:
         again = server.act(sid2, obs[0], timeout=5.0)
         assert again.step == 1
         assert np.array_equal(first.actions, again.actions)
+
+
+class TestSessionHandle:
+    """The `Session` handle surface and its parity with the legacy id API."""
+
+    def test_session_returns_live_handle(self):
+        server = make_server()
+        handle = server.session(num_users=2, seed=3)
+        assert handle.alive
+        assert handle.num_users == 2
+        assert handle.steps == 0
+        assert handle.version == server.version
+
+    def test_handle_act_matches_legacy_act(self):
+        obs = make_obs_streams([1], 3, seed=9)[0]
+        server_a = make_server(kind="lstm")
+        server_b = make_server(kind="lstm")
+        handle = server_a.session(num_users=1, seed=5)
+        sid = server_b.create_session(num_users=1, seed=5)
+        for t in range(3):
+            via_handle = handle.act(obs[t], timeout=5.0)
+            via_id = server_b.act(sid, obs[t], timeout=5.0)
+            assert np.array_equal(via_handle.actions, via_id.actions)
+            assert via_handle.step == via_id.step == t + 1
+
+    def test_get_session_attaches_to_same_state(self):
+        server = make_server()
+        handle = server.session(session_id="alice", num_users=1, seed=0)
+        other = server.get_session("alice")
+        handle.act(np.zeros(STATE_DIM), timeout=5.0)
+        assert other.steps == 1
+        other.end()
+        assert not handle.alive
+
+    def test_get_session_unknown_id_rejected(self):
+        with pytest.raises(SessionError, match="unknown session"):
+            make_server().get_session("ghost")
+
+    def test_handle_after_end_rejected(self):
+        server = make_server()
+        handle = server.session(num_users=1)
+        handle.end()
+        assert not handle.alive
+        with pytest.raises(SessionError, match="unknown session"):
+            handle.submit(np.zeros((1, STATE_DIM)))
+        with pytest.raises(SessionError, match="unknown session"):
+            handle.end()
+
+    def test_stale_handle_does_not_touch_reused_id(self):
+        """A handle outlived by its session must not act on the id's successor."""
+        server = make_server()
+        old = server.session(session_id="s", num_users=1)
+        old.end()
+        fresh = server.session(session_id="s", num_users=1)
+        with pytest.raises(SessionError, match="unknown session"):
+            old.submit(np.zeros((1, STATE_DIM)))
+        assert fresh.alive
+
+    def test_version_tracks_swaps(self):
+        server = make_server()
+        handle = server.session(num_users=1, seed=0)
+        handle.act(np.zeros(STATE_DIM), timeout=5.0)
+        assert handle.version == 1
+        swapped = make_policy("mlp")
+        for param in swapped.parameters():
+            param.data = param.data + 0.25  # different bytes -> the swap applies
+        server.publish(swapped)
+        assert server.version == 2
+        assert handle.version == 1  # not served since the swap
+        handle.act(np.zeros(STATE_DIM), timeout=5.0)
+        assert handle.version == 2
+
+    def test_end_with_pending_request_rejected_via_handle(self):
+        server = make_server()
+        handle = server.session(num_users=1)
+        handle.submit(np.zeros((1, STATE_DIM)))
+        with pytest.raises(SessionError, match="unserved"):
+            handle.end()
+        server.flush()
+        handle.end()
 
 
 class TestWindows:

@@ -1,0 +1,153 @@
+"""SessionStore semantics: LRU capacity, TTL idling, counters, callbacks.
+
+The store is pure bookkeeping (the gateway wires ``on_evict`` to real
+session teardown), so everything here runs with an injected fake clock —
+no sleeps, no wall-time flakiness.
+"""
+
+import pytest
+
+from repro.serve import SessionStore
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+class TestValidation:
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError, match="max_sessions"):
+            SessionStore(max_sessions=0)
+
+    def test_bad_ttl_rejected(self):
+        with pytest.raises(ValueError, match="ttl_s"):
+            SessionStore(ttl_s=0.0)
+        with pytest.raises(ValueError, match="ttl_s"):
+            SessionStore(ttl_s=-1.0)
+
+
+class TestBasics:
+    def test_put_get_pop(self):
+        store = SessionStore()
+        store.put("a", 1)
+        assert store.get("a") == 1
+        assert "a" in store
+        assert len(store) == 1
+        assert store.pop("a") == 1
+        assert store.get("a") is None
+        assert store.pop("a") is None
+
+    def test_put_refreshes_value(self):
+        store = SessionStore()
+        store.put("a", 1)
+        store.put("a", 2)
+        assert store.get("a") == 2
+        assert len(store) == 1
+
+    def test_clear_returns_entries_without_callback(self):
+        fired = []
+        store = SessionStore(on_evict=lambda *args: fired.append(args))
+        store.put("a", 1)
+        store.put("b", 2)
+        assert store.clear() == [("a", 1), ("b", 2)]
+        assert len(store) == 0
+        assert fired == []
+
+
+class TestLRU:
+    def test_capacity_evicts_least_recently_used(self):
+        evicted = []
+        store = SessionStore(
+            max_sessions=2, on_evict=lambda key, value, why: evicted.append((key, why))
+        )
+        store.put("a", 1)
+        store.put("b", 2)
+        store.get("a")  # touch: b is now the LRU entry
+        store.put("c", 3)
+        assert evicted == [("b", "lru")]
+        assert store.keys() == ["a", "c"]
+        assert store.stats()["evicted_lru"] == 1
+
+    def test_pop_does_not_count_as_eviction(self):
+        store = SessionStore(max_sessions=2)
+        store.put("a", 1)
+        store.pop("a")
+        assert store.stats() == {"sessions": 0, "evicted_lru": 0, "evicted_ttl": 0}
+
+    def test_eviction_cascade_bounded(self):
+        """Thousands of inserts through a small store stay at capacity."""
+        store = SessionStore(max_sessions=16)
+        for index in range(5000):
+            store.put(f"s{index}", index)
+        stats = store.stats()
+        assert stats["sessions"] == 16
+        assert stats["evicted_lru"] == 5000 - 16
+        # survivors are exactly the 16 most recent inserts
+        assert store.keys() == [f"s{index}" for index in range(5000 - 16, 5000)]
+
+
+class TestTTL:
+    def test_idle_entries_expire(self, clock):
+        evicted = []
+        store = SessionStore(
+            ttl_s=10.0,
+            on_evict=lambda key, value, why: evicted.append((key, why)),
+            clock=clock,
+        )
+        store.put("a", 1)
+        clock.advance(11.0)
+        assert store.evict_expired() == 1
+        assert evicted == [("a", "ttl")]
+        assert store.stats()["evicted_ttl"] == 1
+
+    def test_touch_resets_the_clock(self, clock):
+        store = SessionStore(ttl_s=10.0, clock=clock)
+        store.put("a", 1)
+        clock.advance(8.0)
+        assert store.get("a") == 1  # touch at t=8
+        clock.advance(8.0)
+        assert store.evict_expired() == 0  # idle 8s < 10s
+        clock.advance(11.0)
+        assert store.evict_expired() == 1
+
+    def test_expiry_is_lazy_on_access(self, clock):
+        """get/put sweep expired entries without an explicit evict call."""
+        store = SessionStore(ttl_s=5.0, clock=clock)
+        store.put("old", 1)
+        clock.advance(6.0)
+        assert store.get("old") is None
+        assert store.stats()["evicted_ttl"] == 1
+        store.put("older", 2)
+        clock.advance(6.0)
+        store.put("fresh", 3)
+        assert store.keys() == ["fresh"]
+
+    def test_only_idle_entries_expire(self, clock):
+        store = SessionStore(ttl_s=10.0, clock=clock)
+        store.put("a", 1)
+        clock.advance(6.0)
+        store.put("b", 2)
+        clock.advance(6.0)  # a idle 12s, b idle 6s
+        assert store.evict_expired() == 1
+        assert store.keys() == ["b"]
+
+
+class TestCallbackReentrancy:
+    def test_callback_may_reenter_the_store(self):
+        """on_evict runs outside the lock: re-entrant calls must not deadlock."""
+        store = SessionStore(max_sessions=1, on_evict=lambda key, value, why: store.pop("x"))
+        store.put("a", 1)
+        store.put("b", 2)  # evicts a -> callback pops (absent) "x"
+        assert store.keys() == ["b"]

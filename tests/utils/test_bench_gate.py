@@ -281,7 +281,17 @@ class TestRun:
         )
 
 
-def serve_payload(speedup=2.0, equivalent=True, cpu_count=4):
+def serve_payload(
+    speedup=2.0,
+    equivalent=True,
+    cpu_count=4,
+    gateway_rps=1500.0,
+    gateway_equivalent=True,
+    soak_sessions=3000,
+    soak_evictions=1700,
+    rss_growth_mb=0.5,
+    rss_tracked=True,
+):
     return {
         "cpu_count": cpu_count,
         "mode": "smoke",
@@ -296,6 +306,22 @@ def serve_payload(speedup=2.0, equivalent=True, cpu_count=4):
             }
             for name in ("sessions_2", "sessions_4", "sessions_8")
         ],
+        "gateway": {
+            "name": "gateway",
+            "throughput_rps": gateway_rps,
+            "p50_ms": 2.0,
+            "p99_ms": 4.0,
+            "equivalent": gateway_equivalent,
+        },
+        "soak": {
+            "name": "soak",
+            "sessions_opened": soak_sessions,
+            "evictions": soak_evictions,
+            "evicted_lru": soak_evictions,
+            "evicted_ttl": 0,
+            "rss_growth_mb": rss_growth_mb if rss_tracked else None,
+            "rss_tracked": rss_tracked,
+        },
     }
 
 
@@ -308,7 +334,13 @@ class TestServeFloors:
             "sessions_2": {"min_speedup": 1.0},
             "sessions_4": {"min_speedup": 1.2},
             "sessions_8": {"min_speedup": 1.5},
-        }
+        },
+        "gateway": {"min_throughput_rps": 100.0},
+        "soak": {
+            "min_sessions_opened": 3000,
+            "min_evictions": 1000,
+            "max_rss_growth_mb": 64.0,
+        },
     }
 
     def test_passes_when_floors_hold(self, gate):
@@ -334,6 +366,61 @@ class TestServeFloors:
         assert "serve" in baselines
         for mode in ("smoke", "full"):
             assert baselines["serve"][mode]["scenarios"]
+            assert "min_throughput_rps" in baselines["serve"][mode]["gateway"]
+            soak = baselines["serve"][mode]["soak"]
+            assert soak["min_evictions"] > 0
+            assert soak["max_rss_growth_mb"] > 0
+
+    def test_gateway_floor_and_equivalence(self, gate):
+        # floor 100 x tolerance 0.8 = 80: 90 rps passes, 50 fails
+        assert gate.check_payload(
+            serve_payload(gateway_rps=90.0), self.BASELINE, 0.8, "serve"
+        ) == []
+        failures = gate.check_payload(
+            serve_payload(gateway_rps=50.0), self.BASELINE, 0.8, "serve"
+        )
+        assert any("gateway" in f and "throughput_rps" in f for f in failures)
+        failures = gate.check_payload(
+            serve_payload(gateway_equivalent=False), self.BASELINE, 0.8, "serve"
+        )
+        assert any("gateway" in f and "equivalence" in f for f in failures)
+
+    def test_soak_floors(self, gate):
+        # min_evictions 1000 x tolerance 0.8 = 800
+        failures = gate.check_payload(
+            serve_payload(soak_evictions=700), self.BASELINE, 0.8, "serve"
+        )
+        assert any("soak" in f and "evictions" in f for f in failures)
+        failures = gate.check_payload(
+            serve_payload(soak_sessions=100), self.BASELINE, 0.8, "serve"
+        )
+        assert any("soak" in f and "sessions_opened" in f for f in failures)
+
+    def test_soak_rss_ceiling_is_absolute(self, gate):
+        """No tolerance band on the leak ceiling: 64 MiB means 64 MiB."""
+        assert gate.check_payload(
+            serve_payload(rss_growth_mb=63.0), self.BASELINE, 0.8, "serve"
+        ) == []
+        failures = gate.check_payload(
+            serve_payload(rss_growth_mb=65.0), self.BASELINE, 0.8, "serve"
+        )
+        assert any("rss_growth_mb" in f for f in failures)
+
+    def test_soak_rss_skipped_when_untracked(self, gate, capsys):
+        """Off-Linux artifacts record rss_tracked=false; the ceiling is
+        skipped, not failed (the eviction floors still apply)."""
+        failures = gate.check_payload(
+            serve_payload(rss_tracked=False), self.BASELINE, 0.8, "serve"
+        )
+        assert failures == []
+        assert "skip serve/soak/rss" in capsys.readouterr().out
+
+    def test_missing_sections_fail(self, gate):
+        payload = serve_payload()
+        del payload["gateway"], payload["soak"]
+        failures = gate.check_payload(payload, self.BASELINE, 0.8, "serve")
+        assert any("gateway: missing" in f for f in failures)
+        assert any("soak: missing" in f for f in failures)
 
     def test_run_gates_serve_artifact(self, gate, tmp_path):
         """run() checks the serve artifact when handed a path to one."""
