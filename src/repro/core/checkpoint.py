@@ -22,7 +22,12 @@ exact trajectory** an unbroken run would have taken:
 - ``aux.*``   — trainer-specific continuation state (shared training-env
   objects with their internal RNGs, the SADAE replay window, the DPR env
   seed counter) via the ``checkpoint_extra_state`` hook;
-- ``meta.*``  — format version and the completed-iteration counter.
+- ``meta.*``  — format version and the completed-iteration counter;
+- ``prefetch.*`` — present only when a pipelined trainer
+  (``determinism="pipelined"``) had a prefetched collection in flight:
+  the drained segments and their sampled envs, consumed (not
+  re-collected) by the resumed run. See
+  :meth:`~repro.core.trainer.PolicyTrainer.drain_prefetch`.
 
 Loading refuses archives whose checksum, format version or parameter
 shapes do not match — a torn or bit-flipped checkpoint fails loudly
@@ -78,7 +83,16 @@ def save_checkpoint(path: PathLike, trainer) -> None:
     ``trainer`` is any :class:`~repro.core.trainer.PolicyTrainer`; the
     archive is written atomically, so an existing checkpoint at ``path``
     survives a crash mid-save.
+
+    A pipelined trainer with a prefetch in flight **drains** it first
+    (``trainer.drain_prefetch()``): the wait commits the same side
+    effects the next iteration's consume would have, so the env / RNG
+    state written below is bit-identical to the unbroken run's, and the
+    drained segments are stashed under ``prefetch.*`` so the resumed
+    trainer consumes them instead of re-collecting. Strict-mode
+    checkpoints never carry ``prefetch.*`` keys and are unchanged.
     """
+    drained = trainer.drain_prefetch() if hasattr(trainer, "drain_prefetch") else None
     state: Dict[str, np.ndarray] = {
         "meta.version": np.array([CHECKPOINT_VERSION], dtype=np.int64),
         "meta.iteration": np.array([trainer.iteration], dtype=np.int64),
@@ -97,6 +111,9 @@ def save_checkpoint(path: PathLike, trainer) -> None:
         state["rng.eval"] = pickle_to_array(eval_rng)
     for key, value in trainer.checkpoint_extra_state().items():
         state[f"aux.{key}"] = np.asarray(value)
+    if drained is not None:
+        state["prefetch.envs"] = pickle_to_array(drained["envs"])
+        state["prefetch.segments"] = pickle_to_array(drained["segments"])
     save_state(path, state)
 
 
@@ -143,6 +160,14 @@ def load_checkpoint(path: PathLike, trainer) -> int:
     if "rng.eval" in state:
         trainer.policy._eval_rng = unpickle_array(state["rng.eval"])
     trainer.load_checkpoint_extra_state(prefixed("aux."))
+    if "prefetch.segments" in state:
+        # The drained prefetch resumes exactly where the unbroken run's
+        # consume would pick it up: finished segments, no pool attached.
+        trainer._prefetch = {
+            "envs": unpickle_array(state["prefetch.envs"]),
+            "segments": unpickle_array(state["prefetch.segments"]),
+            "pool": None,
+        }
     trainer._iteration = iteration
     return iteration
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import pickle
 import warnings
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -118,6 +118,11 @@ class PolicyTrainer:
         # attached loggers, lambdas, ...) degrades to step-server
         # sharding instead of failing the run (set on first failure).
         self._replica_unpicklable = False
+        # Pipelined determinism: iteration N+1's collection, launched
+        # before iteration N's update. Either finished segments (the
+        # launch collected synchronously, or a checkpoint drained it) or
+        # an async dispatch still rolling in the worker pool.
+        self._prefetch: Optional[Dict[str, Any]] = None
 
     def close(self) -> None:
         """Release the rollout worker processes (idempotent, exception-safe).
@@ -125,8 +130,11 @@ class PolicyTrainer:
         The cached pool reference is dropped *before* its ``close()``
         runs, so a teardown that raises (e.g. a worker that already
         crashed) still leaves the trainer in the no-pool state and a
-        second ``close()`` is always a no-op.
+        second ``close()`` is always a no-op. An in-flight prefetch is
+        discarded with the pool (no side effect was committed at
+        dispatch, so nothing is left half-applied).
         """
+        self._prefetch = None
         pool, self._worker_pool = self._worker_pool, None
         self._worker_pool_key = None
         if pool is not None:
@@ -272,12 +280,31 @@ class PolicyTrainer:
 
         envs = [self.env_sampler(self.rng) for _ in range(config.segments_per_iteration)]
         streams = split_rng(self.rng, len(envs))
+        segments = self._collect_batches(envs, streams)
+        for env, segment in zip(envs, segments):
+            raw_rewards.append(float(segment.rewards.sum(axis=0).mean()))
+            self.post_process_segment(segment, env)
+            buffer.add(segment)
+        return buffer, raw_rewards
+
+    def _collect_batches(
+        self,
+        envs: Sequence[MultiUserEnv],
+        streams: List[np.random.Generator],
+        batches: Optional[List[List[Tuple[int, MultiUserEnv]]]] = None,
+    ) -> List[RolloutSegment]:
+        """Collect one segment per sampled env, pool round by pool round."""
+        if batches is None:
+            batches = _poolable_batches(envs)
         segments: List[Optional[RolloutSegment]] = [None] * len(envs)
-        for batch in _poolable_batches(envs):
+        for batch in batches:
             if len(batch) == 1:
                 index, env = batch[0]
                 segments[index] = collect_segment(
-                    env, self.policy, streams[index], max_steps=config.truncate_horizon
+                    env,
+                    self.policy,
+                    streams[index],
+                    max_steps=self.config.truncate_horizon,
                 )
             else:
                 indices = [index for index, _ in batch]
@@ -287,14 +314,190 @@ class PolicyTrainer:
                 )
                 for index, segment in zip(indices, collected):
                     segments[index] = segment
-        for env, segment in zip(envs, segments):
+        return segments
+
+    # Pipelined determinism (config.determinism == "pipelined") ----------
+    def _begin_collect(self) -> Dict[str, Any]:
+        """Sample this collection's simulators and start collecting.
+
+        The launch half of the pipelined schedule: every RNG draw that
+        shapes the collection (env sampling, stream splitting) happens
+        here, so the trajectory is fixed at launch time no matter when —
+        or where — the rollouts actually run. When the iteration is one
+        shard_parallel round over a multi-env batch, the rollout is
+        dispatched asynchronously and the returned pending holds the
+        live pool; every other setup (sequential/interleaved samplers,
+        in-process pools, multi-round batches) collects synchronously
+        right here, which executes the *same* schedule without overlap —
+        pipelined trajectories are therefore identical across worker
+        counts.
+        """
+        config = self.config
+        if config.resolved_rollout_mode() == "sequential" or self._sequential_collect:
+            envs: List[MultiUserEnv] = []
+            segments: List[RolloutSegment] = []
+            for _ in range(config.segments_per_iteration):
+                env = self.env_sampler(self.rng)
+                envs.append(env)
+                segments.append(
+                    collect_segment(
+                        env, self.policy, self.rng, max_steps=config.truncate_horizon
+                    )
+                )
+            return {"envs": envs, "segments": segments, "pool": None}
+        envs = [self.env_sampler(self.rng) for _ in range(config.segments_per_iteration)]
+        streams = split_rng(self.rng, len(envs))
+        batches = _poolable_batches(envs)
+        pool = self._async_prefetch_pool(envs, batches)
+        if pool is not None:
+            pool.collect_rollouts_async(streams, max_steps=config.truncate_horizon)
+            return {"envs": envs, "segments": None, "pool": pool}
+        return {
+            "envs": envs,
+            "segments": self._collect_batches(envs, streams, batches),
+            "pool": None,
+        }
+
+    def _async_prefetch_pool(
+        self,
+        envs: Sequence[MultiUserEnv],
+        batches: List[List[Tuple[int, MultiUserEnv]]],
+    ) -> Optional[ShardedVecEnvPool]:
+        """The synced sharded pool to dispatch an async collect on, or None.
+
+        Overlap needs the whole iteration to be a single shard_parallel
+        round: singleton or multi-round batches would serialise against
+        the in-flight collect anyway, and the step-server / in-process
+        modes act in the parent. The policy replica is broadcast here —
+        the *pre-update* weights, which is exactly the stale-by-one
+        contract.
+        """
+        config = self.config
+        if len(batches) != 1 or len(batches[0]) != len(envs) or len(envs) <= 1:
+            return None
+        if config.resolved_rollout_mode() != "shard_parallel" or self._replica_unpicklable:
+            return None
+        workers = self._effective_workers(len(envs))
+        if workers <= 1:
+            return None
+        pool = self._sharded_pool(envs, workers)
+        try:
+            pool.sync_policy(self.policy)
+        except (TypeError, AttributeError, pickle.PicklingError) as error:
+            if pool.replica_version != 0 or config.rollout_mode is not None:
+                raise
+            warnings.warn(
+                f"policy cannot be shipped to rollout workers ({error!r}); "
+                "degrading to step-server sharding (rollout_mode='sharded') "
+                "for the rest of this run",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self._replica_unpicklable = True
+            return None
+        return pool
+
+    def _wait_collect(self, pending: Dict[str, Any]) -> None:
+        """Resolve an in-flight pending collect to finished segments, in place.
+
+        Commits exactly the side effects the synchronous path would
+        have: the workers' advanced env state is synced back into the
+        parent's objects (when the sampler shares them) and the pool's
+        owner-RNG/journal bookkeeping is applied by
+        ``collect_rollouts_wait`` itself.
+        """
+        pool = pending["pool"]
+        if pool is None:
+            return
+        segments = pool.collect_rollouts_wait()
+        if self._sync_worker_envs:
+            for mine, theirs in zip(pending["envs"], pool.fetch_member_envs()):
+                vars(mine).update(vars(theirs))
+        pending["segments"] = segments
+        pending["pool"] = None
+
+    def _finish_collect(
+        self, pending: Dict[str, Any]
+    ) -> Tuple[RolloutBuffer, List[float]]:
+        """Wait on a pending collect and post-process it into a buffer."""
+        self._wait_collect(pending)
+        buffer = RolloutBuffer()
+        raw_rewards: List[float] = []
+        for env, segment in zip(pending["envs"], pending["segments"]):
             raw_rewards.append(float(segment.rewards.sum(axis=0).mean()))
             self.post_process_segment(segment, env)
             buffer.add(segment)
         return buffer, raw_rewards
 
+    def drain_prefetch(self) -> Optional[Dict[str, Any]]:
+        """Resolve an in-flight prefetch to finished segments, in place.
+
+        Called before a checkpoint is taken: waiting now (instead of at
+        the next ``train_iteration``) commits exactly the side effects
+        the next consume would have committed — worker env state synced
+        back, pool RNG streams advanced — so the snapshot captures a
+        state bit-identical to the unbroken run's, and the stashed
+        segments let the resumed trainer consume the collect without
+        re-running it (post-processing still happens at consume time).
+        Returns the drained prefetch, or None when nothing is pending.
+        A failed wait discards the prefetch before propagating.
+        """
+        pending = self._prefetch
+        if pending is None:
+            return None
+        try:
+            self._wait_collect(pending)
+        except BaseException:
+            self._prefetch = None
+            raise
+        return pending
+
+    def _train_iteration_pipelined(self) -> Dict[str, float]:
+        """One pipelined iteration: consume prefetch N, launch N+1, update N.
+
+        The buffer consumed here was collected against the policy as it
+        stood *before* the previous iteration's update — staleness
+        exactly one iteration (zero only at iteration 0, when the
+        collect is fresh). The next iteration's collection is dispatched
+        before this iteration's update, so the workers roll while the
+        parent learns. ``collect_lag`` in the returned metrics records
+        how stale the consumed buffer was (0.0 fresh / 1.0 prefetched).
+        """
+        config = self.config
+        pending, self._prefetch = self._prefetch, None
+        lag = 1.0
+        if pending is None:
+            lag = 0.0
+            pending = self._begin_collect()
+        buffer, raw_rewards = self._finish_collect(pending)
+        self._prefetch = self._begin_collect()
+        buffer.finalize(
+            config.ppo.gamma,
+            config.ppo.gae_lambda,
+            bootstrap_last=config.ppo.bootstrap_truncated,
+        )
+        stats = self.ppo.update(buffer)
+        self.after_update()
+        metrics = {
+            "reward": float(np.mean(raw_rewards)),
+            "shaped_reward": buffer.mean_reward(),
+            "collect_lag": lag,
+            **stats,
+        }
+        self.logger.log(self._iteration, **metrics)
+        self._iteration += 1
+        if (
+            config.checkpoint_every > 0
+            and config.checkpoint_path is not None
+            and self._iteration % config.checkpoint_every == 0
+        ):
+            self.save_checkpoint(config.checkpoint_path)
+        return metrics
+
     def train_iteration(self) -> Dict[str, float]:
         config = self.config
+        if config.resolved_determinism() == "pipelined":
+            return self._train_iteration_pipelined()
         buffer, raw_rewards = self.collect()
         buffer.finalize(
             config.ppo.gamma,

@@ -33,6 +33,7 @@ from .parity import (
     assert_segments_identical,
     collect_rollout_mode,
     verify_rollout_parity,
+    verify_training_reproducibility,
 )
 
 __all__ = [
@@ -71,4 +72,5 @@ __all__ = [
     "split_rng",
     "valid_step_mask",
     "verify_rollout_parity",
+    "verify_training_reproducibility",
 ]

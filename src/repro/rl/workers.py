@@ -768,6 +768,7 @@ class ShardedVecEnvPool(ShardableVecPool):
         self._steps = np.zeros(len(envs), dtype=np.int64)
         self._step_count = 0
         self._pending_slot: Optional[int] = None
+        self._collect_pending: Optional[Dict[str, Any]] = None
         self._closed = False
         self._finalizer = weakref.finalize(
             self, _cleanup, self._procs, self._conns, self._shm_segments
@@ -818,6 +819,11 @@ class ShardedVecEnvPool(ShardableVecPool):
     def restart_counts(self) -> List[int]:
         """Per-worker respawn counts (copy; index = original worker slot)."""
         return list(self._restarts)
+
+    @property
+    def collect_pending(self) -> bool:
+        """True while a :meth:`collect_rollouts_async` awaits its wait."""
+        return self._collect_pending is not None
 
     # ------------------------------------------------------------------
     # process management: spawn / reap / supervised exchange
@@ -888,6 +894,19 @@ class ShardedVecEnvPool(ShardableVecPool):
     def _check_open(self) -> None:
         if self._closed:
             raise RuntimeError("pool is closed")
+
+    def _check_no_collect(self, op: str) -> None:
+        """Fence: the workers are busy rolling an async collect.
+
+        Every command that would interleave pipe traffic with the
+        in-flight rollout replies (or mutate state the rollout is
+        reading) must wait for :meth:`collect_rollouts_wait` first.
+        """
+        if self._collect_pending is not None:
+            raise RuntimeError(
+                f"{op} during an in-flight collect_rollouts_async(); call "
+                "collect_rollouts_wait() first"
+            )
 
     def _recv(self, worker: int, deadline: Optional[float] = None, op: str = "command"):
         """Liveness- and deadline-checked receive.
@@ -1152,6 +1171,7 @@ class ShardedVecEnvPool(ShardableVecPool):
     # ------------------------------------------------------------------
     def reset(self) -> np.ndarray:
         self._check_open()
+        self._check_no_collect("reset()")
         if self._inner is not None:
             self._inner.max_steps = self.max_steps
             self._pending_slot = None
@@ -1184,6 +1204,7 @@ class ShardedVecEnvPool(ShardableVecPool):
 
     def step_async(self, actions: np.ndarray) -> None:
         self._check_open()
+        self._check_no_collect("step_async()")
         if self._pending_slot is not None:
             raise RuntimeError("step_wait() must drain the previous step_async()")
         actions = self._validate_actions(actions)
@@ -1307,6 +1328,7 @@ class ShardedVecEnvPool(ShardableVecPool):
         recovered or the pool degrades in-process).
         """
         self._check_open()
+        self._check_no_collect("sync_policy()")
         state = _replica_state(policy)
         signature = tuple(sorted((key, value.shape) for key, value in state.items()))
         if (
@@ -1421,19 +1443,62 @@ class ShardedVecEnvPool(ShardableVecPool):
         policy, caller-owned RNG states are applied only after *every*
         worker answered, so an interrupted collect replays (or degrades)
         with pristine inputs — recovered rollouts are bit-identical.
+
+        Implemented as :meth:`collect_rollouts_async` followed
+        immediately by :meth:`collect_rollouts_wait`; use the pair
+        directly to overlap parent-side work (e.g. a PPO update) with
+        the workers' collection.
+        """
+        self.collect_rollouts_async(
+            rng, max_steps=max_steps, extras_from_info=extras_from_info
+        )
+        return self.collect_rollouts_wait()
+
+    def collect_rollouts_async(
+        self,
+        rng: RNGLike,
+        max_steps: Optional[int] = None,
+        extras_from_info: Tuple[str, ...] = (),
+    ) -> None:
+        """Dispatch a full rollout to every worker without waiting.
+
+        The workers start their act → step → record loops against the
+        last-broadcast replica immediately; the parent is free to run
+        other work (a policy update, metric logging) and must call
+        :meth:`collect_rollouts_wait` to gather the segments. Exactly
+        one collect can be in flight, and every other pool command
+        (step/reset/broadcast/evaluate/load/fetch) is fenced until the
+        wait — only :meth:`close` is allowed, which discards the
+        in-flight collect. All side effects (caller-owned RNG
+        advancement, snapshot/journal refresh) are applied by the wait,
+        after every worker answered, so the fault-recovery contract is
+        unchanged. On a degraded pool the in-process collect is deferred
+        to the wait as well: the caller's dispatch→update→wait schedule
+        executes identically, just without overlap.
         """
         self._check_open()
         if self._pending_slot is not None:
-            raise RuntimeError("collect_rollouts() during an in-flight step_async()")
+            raise RuntimeError(
+                "collect_rollouts_async() during an in-flight step_async()"
+            )
+        self._check_no_collect("collect_rollouts_async()")
         if self._replica_version == 0:
             raise RuntimeError(
-                "collect_rollouts() needs a policy replica: call sync_policy() first"
+                "collect_rollouts_async() needs a policy replica: call "
+                "sync_policy() first"
             )
         if max_steps is None:
             max_steps = self.max_steps
         rngs, owners = self._as_env_rngs(rng)
+        extras = tuple(extras_from_info)
         if self._inner is not None:
-            return self._collect_degraded(rngs, max_steps, extras_from_info)
+            self._collect_pending = {
+                "degraded": True,
+                "rngs": rngs,
+                "max_steps": max_steps,
+                "extras": extras,
+            }
+            return
         capacity = max(max_steps or horizon for horizon in self._horizons)
         traj_name = self._ensure_traj(capacity)
         commands = []
@@ -1445,19 +1510,58 @@ class ShardedVecEnvPool(ShardableVecPool):
                         "version": self._replica_version,
                         "traj": (traj_name, self._traj_capacity),
                         "max_steps": max_steps,
-                        "extras": tuple(extras_from_info),
+                        "extras": extras,
                         "rngs": rngs[shard.start : shard.stop],
                         "return_envs": self._fault is not None,
                     },
                 )
             )
+        # Fail-fast pools close-and-raise inside _send_commands; with a
+        # fault policy the send failures are recorded and recovered at
+        # wait time, exactly like the synchronous path.
+        failed = self._send_commands(commands, op="rollout")
+        self._collect_pending = {
+            "degraded": False,
+            "commands": commands,
+            "failed": failed,
+            "rngs": rngs,
+            "owners": owners,
+            "max_steps": max_steps,
+            "extras": extras,
+        }
+
+    def collect_rollouts_wait(self) -> List[RolloutSegment]:
+        """Gather the in-flight async collect and commit its side effects.
+
+        Blocks until every worker answered (recovering crashed workers
+        under a :class:`FaultPolicy`, degrading on budget exhaustion),
+        then — and only then — applies caller-owned RNG states,
+        refreshes the recovery snapshots, clears the journal and cuts
+        the :class:`~repro.rl.buffer.RolloutSegment` objects. A failed
+        wait clears the pending collect before propagating, so the pool
+        is never left half-waiting.
+        """
+        self._check_open()
+        pending = self._collect_pending
+        if pending is None:
+            raise RuntimeError(
+                "collect_rollouts_wait() without a collect_rollouts_async()"
+            )
+        self._collect_pending = None
+        max_steps = pending["max_steps"]
+        extras_from_info = pending["extras"]
+        rngs = pending["rngs"]
+        if pending["degraded"]:
+            return self._collect_degraded(rngs, max_steps, extras_from_info)
+        commands = pending["commands"]
+        owners = pending["owners"]
         lengths: List[Optional[int]] = [None] * self.num_envs
         extras_per_env: List[Optional[Dict[str, np.ndarray]]] = [None] * self.num_envs
         rng_states: List[Any] = [None] * self.num_envs
         env_blobs: List[Optional[bytes]] = [None] * len(self._shards)
         deadline = self._deadline_for("rollout")
         try:
-            failed = self._send_commands(commands, op="rollout")
+            failed = dict(pending["failed"])
             for worker, shard in enumerate(self._shards):
                 if worker in failed:
                     reply = self._recover(
@@ -1568,6 +1672,7 @@ class ShardedVecEnvPool(ShardableVecPool):
         env RNGs, so the old snapshots no longer describe the shard).
         """
         self._check_open()
+        self._check_no_collect("evaluate_policy()")
         if self._pending_slot is not None:
             raise RuntimeError("evaluate_policy() during an in-flight step_async()")
         if self._replica_version == 0:
@@ -1678,6 +1783,7 @@ class ShardedVecEnvPool(ShardableVecPool):
         if len({id(env) for env in envs}) != len(envs):
             raise ValueError("load_envs members must be distinct objects")
         self._check_open()
+        self._check_no_collect("load_envs()")
         if self._inner is None:
             try:
                 self._exchange(
@@ -1705,6 +1811,7 @@ class ShardedVecEnvPool(ShardableVecPool):
         whole training run.
         """
         self._check_open()
+        self._check_no_collect("fetch_member_envs()")
         if self._inner is None:
             try:
                 replies = self._exchange(
@@ -1724,6 +1831,9 @@ class ShardedVecEnvPool(ShardableVecPool):
         if self._closed:
             return
         self._closed = True
+        # An in-flight async collect is discarded: the workers are about
+        # to be reaped, and no side effect was committed at dispatch.
+        self._collect_pending = None
         # Drop our buffer views so the segments' mmaps can actually close.
         self._obs = self._act = self._rew = self._done = None
         self._traj_stacked = self._traj_last = None

@@ -17,6 +17,13 @@ The gateway's typed failure responses surface as typed exceptions:
   misuse, same message as in-process),
 - ``BAD_REQUEST`` and transport faults → :class:`GatewayError`.
 
+A transport fault (socket timeout or error mid-frame) **poisons the
+connection**: the client closes itself, and every later call raises
+``GatewayError("client is closed")``. The alternative — reusing the
+socket — would desynchronise the strict request/response stream: the
+timed-out reply is still in flight, so the next request would read the
+previous request's answer. Reconnect with a fresh client instead.
+
 A client is **not** thread-safe: it runs a strict request/response loop
 on one socket. Concurrency comes from many clients (each gateway
 connection gets its own server thread), which is what the many-client
@@ -94,7 +101,10 @@ class RemoteSession:
         if deadline_ms is not None:
             message["deadline_ms"] = float(deadline_ms)
         try:
-            reply = self._client._roundtrip(message)
+            reply = self._client._roundtrip(
+                message,
+                deadline_s=None if deadline_ms is None else float(deadline_ms) / 1000.0,
+            )
         except DeadlineExceeded:
             self._ended = True  # the gateway quarantined the session
             raise
@@ -125,9 +135,15 @@ class RemoteSession:
 class GatewayClient:
     """One connection to a gateway; open sessions, act, read stats."""
 
+    #: Slack added on top of a per-request deadline when it is used to
+    #: raise the socket timeout: the gateway needs time to encode and
+    #: flush its (typed) TIMEOUT reply after the deadline itself lapses.
+    DEADLINE_MARGIN_S = 2.0
+
     def __init__(
         self, address: Tuple[str, int], timeout_s: float = 30.0
     ) -> None:
+        self._timeout_s = timeout_s
         self._sock = socket.create_connection(address, timeout=timeout_s)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._closed = False
@@ -180,14 +196,40 @@ class GatewayClient:
         self.close()
 
     # ------------------------------------------------------------------
-    def _roundtrip(self, message: Dict[str, Any]) -> Dict[str, Any]:
+    def _roundtrip(
+        self, message: Dict[str, Any], deadline_s: Optional[float] = None
+    ) -> Dict[str, Any]:
         if self._closed:
             raise GatewayError("client is closed")
+        restore: Optional[float] = None
         try:
+            if deadline_s is not None:
+                # A per-request deadline larger than the socket timeout
+                # must not be cut short by it: the gateway would answer
+                # with a typed TIMEOUT, but the socket would give up
+                # first and surface a generic transport failure (tearing
+                # down a healthy connection with it). Raise the timeout
+                # for this exchange only.
+                current = self._sock.gettimeout()
+                needed = deadline_s + self.DEADLINE_MARGIN_S
+                if current is not None and needed > current:
+                    restore = current
+                    self._sock.settimeout(needed)
             send_frame(self._sock, message)
             reply = recv_frame(self._sock)
         except (OSError, ValueError) as error:
+            # The exchange died mid-frame: the stream may still carry a
+            # late or partial reply, so any further request would read
+            # the *previous* request's answer (off-by-one desync).
+            # Poison the connection — the caller must reconnect.
+            self.close()
             raise GatewayError(f"transport failure: {error}") from error
+        finally:
+            if restore is not None and not self._closed:
+                try:
+                    self._sock.settimeout(restore)
+                except OSError:  # pragma: no cover - socket already dead
+                    pass
         if reply is None:
             raise GatewayError("gateway closed the connection")
         if reply.get("ok"):

@@ -30,9 +30,14 @@ connection alive wherever the client can act on the error:
   retry. Backpressure is load-shedding at the door, not a queue.
 - ``TIMEOUT`` — the per-request deadline (``deadline_ms``, default
   ``default_deadline_ms``) expired before the microbatch was served.
-  The session has an unresolved in-flight request, so the gateway
-  quarantines it and ends it as soon as the batch resolves (deferred
-  cleanup) — the session id is dead to the client either way.
+  The deadline clock starts when the request frame arrives off the
+  socket — decode, dispatch and admission spend the same budget the
+  batch wait does, so a slow decode cannot grant a request extra
+  server time. If the request is still unresolved in flight, the
+  gateway quarantines the session and ends it as soon as the batch
+  resolves (deferred cleanup); if the budget lapsed before the request
+  ever reached the server, the session is ended directly. The session
+  id is dead to the client either way.
 - ``SESSION`` — protocol misuse (unknown id, double submit, shape
   mismatch): the server-side :class:`SessionError` message, verbatim.
 - ``BAD_REQUEST`` — unparseable operation or missing fields.
@@ -54,7 +59,7 @@ import socketserver
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -126,7 +131,10 @@ class _Handler(socketserver.BaseRequestHandler):
                     break
                 if message is None:
                     break  # clean EOF
-                response = gateway._dispatch(message, opened)
+                # Deadline clock zero for this request: the moment its
+                # frame finished arriving, before any decode/dispatch.
+                arrival = gateway._clock()
+                response = gateway._dispatch(message, opened, arrival)
                 try:
                     send_frame(sock, response)
                 except OSError:
@@ -151,8 +159,12 @@ class Gateway:
         self,
         replicas: Union[ReplicaSet, PolicyServer],
         config: Optional[GatewayConfig] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.config = config or GatewayConfig()
+        # Monotonic seconds; injectable so tests can model a slow decode
+        # or dispatch between frame arrival and the batch wait.
+        self._clock = clock if clock is not None else time.monotonic
         if isinstance(replicas, PolicyServer):
             # Single-server convenience: a one-replica set around it.
             wrapper = ReplicaSet(config=replicas.config)
@@ -242,7 +254,9 @@ class Gateway:
     # ------------------------------------------------------------------
     # request dispatch (called from connection threads)
     # ------------------------------------------------------------------
-    def _dispatch(self, message: Any, opened: List[str]) -> Dict[str, Any]:
+    def _dispatch(
+        self, message: Any, opened: List[str], arrival: Optional[float] = None
+    ) -> Dict[str, Any]:
         self._reap()
         if not isinstance(message, dict) or "op" not in message:
             return self._bad_request("message must be an object with an 'op'")
@@ -255,7 +269,7 @@ class Gateway:
             if op == "open":
                 return self._op_open(message, opened)
             if op == "act":
-                return self._op_act(message)
+                return self._op_act(message, arrival)
             if op == "end":
                 return self._op_end(message, opened)
             return self._bad_request(f"unknown op {op!r}")
@@ -287,7 +301,9 @@ class Gateway:
             "num_users": num_users,
         }
 
-    def _op_act(self, message: Dict[str, Any]) -> Dict[str, Any]:
+    def _op_act(
+        self, message: Dict[str, Any], arrival: Optional[float] = None
+    ) -> Dict[str, Any]:
         session_id = message.get("session")
         if not isinstance(session_id, str):
             return self._bad_request("act needs a 'session' id")
@@ -323,11 +339,33 @@ class Gateway:
             self._pending += 1
             self._stats["requests"] += 1
         try:
+            # The deadline clock started at frame arrival: whatever
+            # decode, dispatch and admission already spent comes out of
+            # the same budget the batch wait gets.
+            remaining_s = deadline_ms / 1000.0
+            if arrival is not None:
+                remaining_s -= self._clock() - arrival
+            if remaining_s <= 0.0:
+                # Lapsed before the request ever reached the server:
+                # nothing is in flight, so end the session directly
+                # instead of quarantining it behind a ticket.
+                self._sessions.pop(session_id)
+                self._end_quietly(session_id, handle)
+                with self._lock:
+                    self._stats["deadline_timeouts"] += 1
+                return {
+                    "ok": False,
+                    "error": "TIMEOUT",
+                    "message": (
+                        f"deadline of {deadline_ms:g} ms expired before "
+                        f"dispatch; session {session_id!r} is closed"
+                    ),
+                }
             ticket = handle.submit(np.asarray(obs, dtype=np.float64))
             if not handle.server.running:
                 handle.server.flush()
             try:
-                result = ticket.result(timeout=deadline_ms / 1000.0)
+                result = ticket.result(timeout=remaining_s)
             except TimeoutError:
                 self._quarantine_session(ticket, handle, session_id)
                 with self._lock:

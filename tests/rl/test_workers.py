@@ -500,3 +500,140 @@ class TestTrainerIntegration:
             assert trainer._worker_pool is None  # single-env batch stays in-process
         finally:
             trainer.close()
+
+
+class TestAsyncCollect:
+    """The collect_rollouts_async()/collect_rollouts_wait() split."""
+
+    def _pool_and_policy(self, **pool_kwargs):
+        policy = make_policy()
+        pool = ShardedVecEnvPool(
+            make_world().make_all_city_envs(), num_workers=2, **pool_kwargs
+        )
+        pool.sync_policy(policy)
+        return pool, policy
+
+    def test_async_then_wait_matches_synchronous_collect(self):
+        """Splitting dispatch from gather changes no bytes."""
+        policy = make_policy()
+        rngs = lambda: [np.random.default_rng(900 + i) for i in range(5)]  # noqa: E731
+        with ShardedVecEnvPool(
+            make_world().make_all_city_envs(), num_workers=2
+        ) as pool:
+            pool.sync_policy(policy)
+            reference = pool.collect_rollouts(rngs())
+        with ShardedVecEnvPool(
+            make_world().make_all_city_envs(), num_workers=2
+        ) as pool:
+            pool.sync_policy(policy)
+            assert not pool.collect_pending
+            pool.collect_rollouts_async(rngs())
+            assert pool.collect_pending
+            collected = pool.collect_rollouts_wait()
+            assert not pool.collect_pending
+        assert_segments_identical(reference, collected, label="async_split")
+
+    def test_wait_without_async_raises(self):
+        pool, _ = self._pool_and_policy()
+        with pool:
+            with pytest.raises(RuntimeError, match="without a collect_rollouts_async"):
+                pool.collect_rollouts_wait()
+
+    def test_conflicting_commands_are_fenced_until_wait(self):
+        """Every command that would interleave with the in-flight rollout
+        replies raises; the wait still gathers clean segments after."""
+        pool, policy = self._pool_and_policy()
+        rngs = [np.random.default_rng(910 + i) for i in range(5)]
+        with pool:
+            pool.collect_rollouts_async(rngs)
+            for call in (
+                lambda: pool.collect_rollouts_async(rngs),
+                lambda: pool.collect_rollouts(rngs),
+                pool.reset,
+                lambda: pool.step_async(np.zeros((pool.num_users, 2))),
+                lambda: pool.sync_policy(policy),
+                lambda: pool.evaluate_policy(np.random.default_rng(0)),
+                lambda: pool.load_envs(make_world().make_all_city_envs()),
+                pool.fetch_member_envs,
+            ):
+                with pytest.raises(RuntimeError, match="in-flight collect"):
+                    call()
+            segments = pool.collect_rollouts_wait()
+            assert len(segments) == 5
+
+    def test_close_discards_inflight_collect(self):
+        """close() during an async collect tears down cleanly (no hang,
+        shm unlinked) and the pool reports no pending collect."""
+        pool, _ = self._pool_and_policy()
+        name = pool.shared_memory_name
+        pool.collect_rollouts_async(
+            [np.random.default_rng(920 + i) for i in range(5)]
+        )
+        pool.close()
+        assert not pool.collect_pending
+        assert shm_segment_exists(name) is not True
+
+    def test_owner_rng_commit_happens_at_wait(self):
+        """Caller-owned generators advance only when the wait lands —
+        dispatching alone must not mutate them."""
+        pool, _ = self._pool_and_policy()
+        rngs = [np.random.default_rng(930 + i) for i in range(5)]
+        states_before = [rng.bit_generator.state for rng in rngs]
+        with pool:
+            pool.collect_rollouts_async(rngs)
+            assert [rng.bit_generator.state for rng in rngs] == states_before
+            pool.collect_rollouts_wait()
+            assert [rng.bit_generator.state for rng in rngs] != states_before
+
+    def test_worker_killed_mid_async_collect_recovers_bit_identically(self):
+        """A SIGKILL while the prefetch is in flight is recovered by the
+        wait under a FaultPolicy, with byte-identical segments."""
+        from repro.rl.workers import FaultPolicy
+
+        policy = make_policy()
+        rngs = lambda: [np.random.default_rng(940 + i) for i in range(5)]  # noqa: E731
+        with ShardedVecEnvPool(
+            make_world().make_all_city_envs(), num_workers=2
+        ) as pool:
+            pool.sync_policy(policy)
+            reference = pool.collect_rollouts(rngs())
+        fault = FaultPolicy(
+            max_restarts=2, backoff=0.0, collect_deadline=30.0, graceful_join=0.5
+        )
+        with ShardedVecEnvPool(
+            make_world().make_all_city_envs(), num_workers=2, fault_policy=fault
+        ) as pool:
+            pool.sync_policy(policy)
+            pool.collect_rollouts_async(rngs())
+            os.kill(pool._procs[0].pid, signal.SIGKILL)
+            collected = pool.collect_rollouts_wait()
+            assert pool.restart_counts[0] >= 1
+        assert_segments_identical(reference, collected, label="async_recovery")
+
+    def test_degraded_pool_defers_collect_to_wait(self):
+        """On a degraded pool the async dispatch records inputs and the
+        wait runs the in-process collect — same bits as synchronous."""
+        from repro.rl.workers import FaultPolicy
+
+        policy = make_policy()
+        rngs = lambda: [np.random.default_rng(950 + i) for i in range(5)]  # noqa: E731
+        fault = FaultPolicy(max_restarts=0, backoff=0.0, graceful_join=0.5)
+
+        def degraded_pool():
+            pool = ShardedVecEnvPool(
+                make_world().make_all_city_envs(), num_workers=2, fault_policy=fault
+            )
+            pool.sync_policy(policy)
+            os.kill(pool._procs[0].pid, signal.SIGKILL)
+            with pytest.warns(RuntimeWarning, match="degrading"):
+                pool.reset()
+            assert pool.degraded
+            return pool
+
+        with degraded_pool() as pool:
+            reference = pool.collect_rollouts(rngs())
+        with degraded_pool() as pool:
+            pool.collect_rollouts_async(rngs())
+            assert pool.collect_pending
+            collected = pool.collect_rollouts_wait()
+        assert_segments_identical(reference, collected, label="async_degraded")

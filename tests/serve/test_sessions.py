@@ -86,6 +86,22 @@ class TestLRU:
         store.pop("a")
         assert store.stats() == {"sessions": 0, "evicted_lru": 0, "evicted_ttl": 0}
 
+    def test_refresh_at_exact_capacity_does_not_evict(self):
+        """Re-putting an existing key while the store is full is a
+        refresh, not an insert: nothing may be evicted for it."""
+        evicted = []
+        store = SessionStore(
+            max_sessions=2, on_evict=lambda key, value, why: evicted.append((key, why))
+        )
+        store.put("a", 1)
+        store.put("b", 2)  # exactly at capacity
+        store.put("a", 10)  # refresh, not insert
+        assert evicted == []
+        assert store.stats() == {"sessions": 2, "evicted_lru": 0, "evicted_ttl": 0}
+        # The refresh also touched "a": "b" is now the LRU entry.
+        assert store.keys() == ["b", "a"]
+        assert store.get("a") == 10
+
     def test_eviction_cascade_bounded(self):
         """Thousands of inserts through a small store stay at capacity."""
         store = SessionStore(max_sessions=16)
@@ -133,6 +149,24 @@ class TestTTL:
         clock.advance(6.0)
         store.put("fresh", 3)
         assert store.keys() == ["fresh"]
+
+    def test_get_of_just_expired_key_is_none_and_fires_ttl_once(self, clock):
+        """A get that sweeps the key it asked for returns None and fires
+        on_evict(reason="ttl") exactly once — not zero times (the sweep
+        is real) and not twice (swept entries are gone, not re-swept)."""
+        evicted = []
+        store = SessionStore(
+            ttl_s=5.0,
+            on_evict=lambda key, value, why: evicted.append((key, why)),
+            clock=clock,
+        )
+        store.put("a", 1)
+        clock.advance(5.1)
+        assert store.get("a") is None
+        assert evicted == [("a", "ttl")]
+        assert store.get("a") is None  # still gone, no second callback
+        assert evicted == [("a", "ttl")]
+        assert store.stats() == {"sessions": 0, "evicted_lru": 0, "evicted_ttl": 1}
 
     def test_only_idle_entries_expire(self, clock):
         store = SessionStore(ttl_s=10.0, clock=clock)

@@ -248,6 +248,32 @@ class TestScenarioSweepFloors:
         assert any("scenario_new_family" in f for f in failures)
 
 
+def train_payload(
+    pipelined_speedup=1.5,
+    pipelined_equivalent=True,
+    cpu_count=4,
+    with_pipelined=True,
+):
+    payload = {
+        "cpu_count": cpu_count,
+        "mode": "smoke",
+        "scenarios": [
+            {"name": "smoke_ppo", "speedup": 3.5, "equivalent": True},
+            {"name": "smoke_sadae", "speedup": 1.5, "equivalent": True},
+        ],
+    }
+    if with_pipelined:
+        payload["pipelined"] = {
+            "name": "smoke_pipelined",
+            "kind": "pipelined_train",
+            "strict_s": 1.0,
+            "pipelined_s": round(1.0 / pipelined_speedup, 6),
+            "speedup": pipelined_speedup,
+            "equivalent": pipelined_equivalent,
+        }
+    return payload
+
+
 class TestRun:
     def write(self, tmp_path, name, payload):
         path = tmp_path / name
@@ -260,17 +286,7 @@ class TestRun:
         baselines = json.loads(baselines_path.read_text())
         assert "rollout" in baselines and "train" in baselines
         rollout = self.write(tmp_path, "r.json", rollout_payload())
-        train = self.write(
-            tmp_path,
-            "t.json",
-            {
-                "cpu_count": 4,
-                "scenarios": [
-                    {"name": "smoke_ppo", "speedup": 3.5, "equivalent": True},
-                    {"name": "smoke_sadae", "speedup": 1.5, "equivalent": True},
-                ],
-            },
-        )
+        train = self.write(tmp_path, "t.json", train_payload())
         assert gate.run(rollout, train, baselines_path) == 0
 
     def test_run_fails_on_missing_artifact(self, gate, tmp_path):
@@ -279,6 +295,63 @@ class TestRun:
             gate.run(rollout, tmp_path / "absent.json", ROOT / ".github" / "bench_baselines.json")
             == 1
         )
+
+
+class TestPipelinedFloor:
+    """The train bench's 'pipelined' singleton: cpu-gated speed floor,
+    machine-independent equivalence (seeded reproducibility) flag."""
+
+    BASELINE = {
+        "scenarios": {
+            "smoke_ppo": {"min_speedup": 2.0},
+            "smoke_sadae": {"min_speedup": 1.2},
+        },
+        "pipelined": {"min_speedup": 1.05, "min_cpus": 2},
+    }
+
+    def test_passes_when_floor_holds(self, gate):
+        assert gate.check_payload(train_payload(), self.BASELINE, 0.8, "train") == []
+
+    def test_fails_on_overlap_regression(self, gate):
+        # floor 1.05 x tolerance 0.8 = 0.84: a 0.8x overlap fails
+        failures = gate.check_payload(
+            train_payload(pipelined_speedup=0.8), self.BASELINE, 0.8, "train"
+        )
+        assert any("pipelined" in f and "0.8" in f for f in failures)
+
+    def test_speed_floor_skipped_on_single_core(self, gate, capsys):
+        """One CPU has nothing to overlap: the speed floor is skipped,
+        not failed."""
+        failures = gate.check_payload(
+            train_payload(pipelined_speedup=0.6, cpu_count=1),
+            self.BASELINE, 0.8, "train",
+        )
+        assert failures == []
+        assert "skip train/pipelined" in capsys.readouterr().out
+
+    def test_equivalence_enforced_even_on_single_core(self, gate):
+        """Seeded reproducibility is machine-independent: a false flag
+        fails the gate regardless of cpu_count."""
+        failures = gate.check_payload(
+            train_payload(pipelined_equivalent=False, cpu_count=1),
+            self.BASELINE, 0.8, "train",
+        )
+        assert any("pipelined" in f and "equivalence" in f for f in failures)
+
+    def test_missing_section_fails(self, gate):
+        failures = gate.check_payload(
+            train_payload(with_pipelined=False), self.BASELINE, 0.8, "train"
+        )
+        assert any("pipelined: missing" in f for f in failures)
+
+    def test_committed_baselines_carry_pipelined_floors(self, gate):
+        baselines = json.loads(
+            (ROOT / ".github" / "bench_baselines.json").read_text()
+        )
+        for mode in ("smoke", "full"):
+            floors = baselines["train"][mode]["pipelined"]
+            assert floors["min_speedup"] > 1.0
+            assert floors["min_cpus"] == 2
 
 
 def serve_payload(
@@ -427,17 +500,7 @@ class TestServeFloors:
         baselines_path = ROOT / ".github" / "bench_baselines.json"
         write = TestRun().write
         rollout = write(tmp_path, "r.json", rollout_payload())
-        train = write(
-            tmp_path,
-            "t.json",
-            {
-                "cpu_count": 4,
-                "scenarios": [
-                    {"name": "smoke_ppo", "speedup": 3.5, "equivalent": True},
-                    {"name": "smoke_sadae", "speedup": 1.5, "equivalent": True},
-                ],
-            },
-        )
+        train = write(tmp_path, "t.json", train_payload())
         good = write(tmp_path, "s.json", serve_payload())
         assert gate.run(rollout, train, baselines_path, serve_path=good) == 0
         bad = write(tmp_path, "s_bad.json", serve_payload(speedup=0.5))
