@@ -34,7 +34,11 @@ Compares the smoke-run ``BENCH_rollout.json`` / ``BENCH_train.json`` /
 - singleton sections gate one record each: the serve bench's
   ``gateway``/``soak`` and the train bench's ``pipelined``
   (strict-vs-pipelined training overlap). ``min_*`` floors take the
-  tolerance band; a section's ``min_cpus`` skips its speed floors on
+  tolerance band; ``max_*`` ceilings (latency splits and queue depth
+  from the observability layer) are the inverse — measured must stay at
+  or below ``ceiling / tolerance``, with ``max_rss_growth_mb`` keeping
+  its absolute, RSS-tracked-only semantics; a section's ``min_cpus``
+  skips its speed floors on
   machines too small to show the effect, while equivalence flags —
   for ``pipelined``, seeded run-to-run reproducibility of the
   overlapped trajectory — are enforced on every machine;
@@ -201,8 +205,13 @@ def check_payload(payload: dict, baseline: dict, tolerance: float, label: str) -
     # to show the effect (the overlap needs a second core), while the
     # equivalence flag — for 'pipelined', seeded run-to-run
     # reproducibility — is enforced on every machine.
-    # max_rss_growth_mb is an absolute leak ceiling, applied as-is and
-    # only when the artifact actually tracked RSS (Linux /proc).
+    # max_* ceilings are the inverse: the measured value must stay at or
+    # below ceiling / tolerance (the same band, loosened upward), so
+    # latency splits recorded by the observability layer (queue-wait /
+    # compute p99s, queue depth) cannot silently blow up.
+    # max_rss_growth_mb keeps its special absolute semantics: a leak
+    # ceiling applied as-is and only when the artifact tracked RSS
+    # (Linux /proc).
     for section in ("gateway", "soak", "pipelined"):
         floors = baseline.get(section)
         if not floors:
@@ -230,6 +239,17 @@ def check_payload(payload: dict, baseline: dict, tolerance: float, label: str) -
                     failures.append(
                         f"{label}/{section}: {key} {measured} < floor {floor} x "
                         f"tolerance {tolerance} = {floor * tolerance:.3f}"
+                    )
+            elif metric.startswith("max_") and metric != "max_rss_growth_mb":
+                if skip_speed:
+                    continue
+                key = metric[len("max_"):]
+                measured = record.get(key)
+                allowed = floor / tolerance if tolerance else floor
+                if measured is None or measured > allowed:
+                    failures.append(
+                        f"{label}/{section}: {key} {measured} > ceiling {floor} / "
+                        f"tolerance {tolerance} = {allowed:.3f}"
                     )
         ceiling = floors.get("max_rss_growth_mb")
         if ceiling is not None and section == "soak":

@@ -60,6 +60,7 @@ except ImportError:  # running from a checkout: fall back to the src/ layout
 
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.obs import quantile_from_buckets
 from repro.rl import RecurrentActorCritic
 from repro.serve import (
     Gateway,
@@ -210,6 +211,21 @@ def rss_mb():
     return None
 
 
+def _histogram_quantiles_ms(snapshot: dict, name: str) -> tuple:
+    """(p50_ms, p99_ms) across all series of one latency histogram."""
+    series = snapshot[name]["series"]
+    if not series:
+        return None, None
+    edges = series[0]["buckets"]
+    counts = [
+        sum(s["counts"][i] for s in series) for i in range(len(series[0]["counts"]))
+    ]
+    total = sum(s["count"] for s in series)
+    p50 = quantile_from_buckets(edges, counts, total, 0.50)
+    p99 = quantile_from_buckets(edges, counts, total, 0.99)
+    return round(p50 * 1000.0, 4), round(p99 * 1000.0, 4)
+
+
 def bench_gateway(sessions: int, users: int, steps: int) -> dict:
     """The serving load over a real socket: parity first, then the clocks."""
     streams = make_streams(sessions, users, steps, seed=29)
@@ -251,6 +267,7 @@ def bench_gateway(sessions: int, users: int, steps: int) -> dict:
         for thread in threads:
             thread.join()
         elapsed = time.perf_counter() - start
+        snapshot = gateway.metrics.snapshot()
     if errors:
         raise RuntimeError(f"gateway bench session failed: {errors[0]}")
 
@@ -261,6 +278,19 @@ def bench_gateway(sessions: int, users: int, steps: int) -> dict:
     )
     latencies_ms = np.array([v for per in latencies for v in per]) * 1000.0
     requests = sessions * steps
+    # The server-side split the registry gives for free: how much of the
+    # request latency was spent waiting for a batch window vs computing
+    # the stacked forward, plus the queue's high-water mark.
+    wait_p50, wait_p99 = _histogram_quantiles_ms(
+        snapshot, "serve_request_queue_wait_seconds"
+    )
+    compute_p50, compute_p99 = _histogram_quantiles_ms(
+        snapshot, "serve_request_compute_seconds"
+    )
+    max_queue_depth = max(
+        (s["value"] for s in snapshot["serve_queue_depth_peak"]["series"]),
+        default=0.0,
+    )
     record = {
         "name": "gateway",
         "sessions": sessions,
@@ -271,12 +301,18 @@ def bench_gateway(sessions: int, users: int, steps: int) -> dict:
         "throughput_rps": round(requests / elapsed, 1),
         "p50_ms": round(float(np.percentile(latencies_ms, 50)), 4),
         "p99_ms": round(float(np.percentile(latencies_ms, 99)), 4),
+        "queue_wait_p50_ms": wait_p50,
+        "queue_wait_p99_ms": wait_p99,
+        "compute_p50_ms": compute_p50,
+        "compute_p99_ms": compute_p99,
+        "max_queue_depth": int(max_queue_depth),
         "equivalent": equivalent,
     }
     print(
         f"[gateway] {sessions} TCP clients x {steps} steps: "
         f"{record['throughput_rps']:.0f} req/s, p50={record['p50_ms']:.2f}ms "
-        f"p99={record['p99_ms']:.2f}ms"
+        f"p99={record['p99_ms']:.2f}ms, queue-wait p99={wait_p99}ms "
+        f"compute p99={compute_p99}ms, max depth={record['max_queue_depth']}"
         + ("" if equivalent else "  [PARITY FAILED]")
     )
     return record

@@ -117,6 +117,14 @@ class Sim2RecConfig:
     checkpoint_every: int = 0
     checkpoint_path: Optional[str] = None
 
+    # --- observability ---------------------------------------------------
+    # When set, the trainer appends one CRC32-framed JSONL record per
+    # completed iteration — the full metrics-registry snapshot plus the
+    # logged metrics dict — to this path (repro.obs.JSONLMetricsSink).
+    # Purely additive: instrumentation never feeds back into training
+    # state, so runs with and without a sink are bit-identical.
+    metrics_path: Optional[str] = None
+
     # --- scenario (registry-driven environment family) ------------------
     # A registered-family config dict resolved by repro.scenarios, e.g.
     # {"family": "slate", "num_envs": 48, "num_users": 10}. Consumed by

@@ -18,13 +18,16 @@ environment sampler). :class:`Sim2RecLTSTrainer` and
 from __future__ import annotations
 
 import pickle
+import time
 import warnings
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..envs.base import MultiUserEnv
 from ..envs.lts_tasks import LTSTask
+from ..obs import JSONLMetricsSink, MetricsRegistry, PHASE_SECONDS_BUCKETS
 from ..rl.buffer import RolloutBuffer, RolloutSegment
 from ..rl.policies import ActorCriticBase
 from ..rl.ppo import PPO
@@ -99,6 +102,28 @@ class PolicyTrainer:
         self.rng = make_rng(config.seed)
         self.logger = logger or MetricLogger()
         self._iteration = 0
+        # Observability (docs/observability.md): wall-clock phase timings
+        # and supervision counters live in a metrics registry, *never* in
+        # the metrics dict ``train_iteration`` returns — that dict is the
+        # determinism contract's witness and must stay timing-free. The
+        # registry is also what the per-iteration JSONL sink
+        # (``config.metrics_path``) snapshots.
+        self.metrics = MetricsRegistry()
+        self._m_phase = self.metrics.histogram(
+            "train_phase_seconds",
+            "wall-clock seconds per training phase",
+            ("phase",),
+            buckets=PHASE_SECONDS_BUCKETS,
+        )
+        self._m_iterations = self.metrics.counter(
+            "train_iterations_total", "completed training iterations"
+        )
+        self._m_collect_lag = self.metrics.gauge(
+            "train_collect_lag",
+            "staleness of the last consumed rollout buffer in iterations "
+            "(0 fresh, 1 prefetched under the pipelined contract)",
+        )
+        self._metrics_sink: Optional[JSONLMetricsSink] = None
         # Samplers with side effects (e.g. resampling user gaps on shared
         # env objects) need the sample→rollout interleaving of the
         # sequential path; subclasses set this to opt out of pooling.
@@ -135,6 +160,9 @@ class PolicyTrainer:
         dispatch, so nothing is left half-applied).
         """
         self._prefetch = None
+        sink, self._metrics_sink = self._metrics_sink, None
+        if sink is not None:
+            sink.close()
         pool, self._worker_pool = self._worker_pool, None
         self._worker_pool_key = None
         if pool is not None:
@@ -145,6 +173,53 @@ class PolicyTrainer:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # Observability plumbing --------------------------------------------
+    @contextmanager
+    def _phase_timer(self, phase: str) -> Iterator[None]:
+        """Record the enclosed block's wall-clock under ``phase``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._m_phase.labels(phase).observe(time.perf_counter() - start)
+
+    def _write_metrics_record(self, iteration: int, logged: Dict[str, float]) -> None:
+        """Append one registry snapshot to ``config.metrics_path`` (lazy open)."""
+        path = self.config.metrics_path
+        if path is None:
+            return
+        if self._metrics_sink is None:
+            self._metrics_sink = JSONLMetricsSink(path)
+        self._metrics_sink.append(
+            {
+                "iteration": iteration,
+                "logged": {key: float(value) for key, value in logged.items()},
+                "metrics": self.metrics.snapshot(),
+            }
+        )
+
+    def _finish_iteration(self, metrics: Dict[str, float]) -> Dict[str, float]:
+        """Shared iteration epilogue: log, count, checkpoint, snapshot.
+
+        Everything observability-related happens *after* the metrics dict
+        is final, so instrumentation cannot perturb the values the
+        determinism harness compares run-to-run.
+        """
+        config = self.config
+        iteration = self._iteration
+        self.logger.log(iteration, **metrics)
+        self._iteration += 1
+        self._m_iterations.inc()
+        if (
+            config.checkpoint_every > 0
+            and config.checkpoint_path is not None
+            and self._iteration % config.checkpoint_every == 0
+        ):
+            with self._phase_timer("checkpoint"):
+                self.save_checkpoint(config.checkpoint_path)
+        self._write_metrics_record(iteration, metrics)
+        return metrics
 
     # Worker-pool plumbing ----------------------------------------------
     def _effective_workers(self, batch_size: int) -> int:
@@ -178,6 +253,7 @@ class PolicyTrainer:
         self._worker_pool = ShardedVecEnvPool(
             envs, num_workers=workers, fault_policy=self.config.fault_policy
         )
+        self._worker_pool.set_metrics(self.metrics)
         self._worker_pool_key = key
         return self._worker_pool
 
@@ -469,57 +545,50 @@ class PolicyTrainer:
         if pending is None:
             lag = 0.0
             pending = self._begin_collect()
-        buffer, raw_rewards = self._finish_collect(pending)
-        self._prefetch = self._begin_collect()
+        with self._phase_timer("collect"):
+            buffer, raw_rewards = self._finish_collect(pending)
+        with self._phase_timer("collect_dispatch"):
+            self._prefetch = self._begin_collect()
+        self._m_collect_lag.set(lag)
         buffer.finalize(
             config.ppo.gamma,
             config.ppo.gae_lambda,
             bootstrap_last=config.ppo.bootstrap_truncated,
         )
-        stats = self.ppo.update(buffer)
-        self.after_update()
+        with self._phase_timer("update"):
+            stats = self.ppo.update(buffer)
+        with self._phase_timer("sadae"):
+            self.after_update()
         metrics = {
             "reward": float(np.mean(raw_rewards)),
             "shaped_reward": buffer.mean_reward(),
             "collect_lag": lag,
             **stats,
         }
-        self.logger.log(self._iteration, **metrics)
-        self._iteration += 1
-        if (
-            config.checkpoint_every > 0
-            and config.checkpoint_path is not None
-            and self._iteration % config.checkpoint_every == 0
-        ):
-            self.save_checkpoint(config.checkpoint_path)
-        return metrics
+        return self._finish_iteration(metrics)
 
     def train_iteration(self) -> Dict[str, float]:
         config = self.config
         if config.resolved_determinism() == "pipelined":
             return self._train_iteration_pipelined()
-        buffer, raw_rewards = self.collect()
+        with self._phase_timer("collect"):
+            buffer, raw_rewards = self.collect()
+        self._m_collect_lag.set(0.0)
         buffer.finalize(
             config.ppo.gamma,
             config.ppo.gae_lambda,
             bootstrap_last=config.ppo.bootstrap_truncated,
         )
-        stats = self.ppo.update(buffer)
-        self.after_update()
+        with self._phase_timer("update"):
+            stats = self.ppo.update(buffer)
+        with self._phase_timer("sadae"):
+            self.after_update()
         metrics = {
             "reward": float(np.mean(raw_rewards)),
             "shaped_reward": buffer.mean_reward(),
             **stats,
         }
-        self.logger.log(self._iteration, **metrics)
-        self._iteration += 1
-        if (
-            config.checkpoint_every > 0
-            and config.checkpoint_path is not None
-            and self._iteration % config.checkpoint_every == 0
-        ):
-            self.save_checkpoint(config.checkpoint_path)
-        return metrics
+        return self._finish_iteration(metrics)
 
     def train(self, iterations: int) -> MetricLogger:
         for _ in range(iterations):
@@ -646,13 +715,14 @@ class Sim2RecLTSTrainer(PolicyTrainer):
         sets = collect_lts_state_sets(
             self.task, users_per_set=users_per_set, rng=self.rng
         )
-        return train_sadae(
-            self.sim2rec_policy.sadae,
-            sets,
-            epochs=epochs or self.config.sadae_pretrain_epochs,
-            rng=self.rng,
-            batched=self.config.batched_sadae,
-        )
+        with self._phase_timer("sadae_pretrain"):
+            return train_sadae(
+                self.sim2rec_policy.sadae,
+                sets,
+                epochs=epochs or self.config.sadae_pretrain_epochs,
+                rng=self.rng,
+                batched=self.config.batched_sadae,
+            )
 
     def post_process_segment(self, segment: RolloutSegment, env: MultiUserEnv) -> None:
         for t in range(0, segment.horizon, max(segment.horizon // 4, 1)):
@@ -784,13 +854,14 @@ class Sim2RecDPRTrainer(PolicyTrainer):
         )
 
     def pretrain_sadae(self, epochs: Optional[int] = None) -> List[float]:
-        return train_sadae(
-            self.sim2rec_policy.sadae,
-            self._sadae_sets,
-            epochs=epochs or self.config.sadae_pretrain_epochs,
-            rng=self.rng,
-            batched=self.config.batched_sadae,
-        )
+        with self._phase_timer("sadae_pretrain"):
+            return train_sadae(
+                self.sim2rec_policy.sadae,
+                self._sadae_sets,
+                epochs=epochs or self.config.sadae_pretrain_epochs,
+                rng=self.rng,
+                batched=self.config.batched_sadae,
+            )
 
     def post_process_segment(self, segment: RolloutSegment, env: MultiUserEnv) -> None:
         config = self.config

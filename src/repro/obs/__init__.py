@@ -1,0 +1,57 @@
+"""Cross-stack observability: metrics registry, tracing, exporters.
+
+Stdlib-only and determinism-neutral by construction — attaching a
+registry or tracer to the trainer, the rollout pool, or the serving
+stack never touches RNG state or changes any computed result (the
+bit-parity proof lives in ``tests/obs/test_train_metrics.py``).
+
+- :class:`MetricsRegistry` — labeled counters / gauges / fixed-bucket
+  histograms with per-family locks.
+- :class:`Tracer` — bounded span recorder; trace ids ride the gateway
+  wire protocol end to end.
+- Exporters — Prometheus text over HTTP, JSONL training sink, and the
+  raw snapshot on the gateway ``stats`` op.
+
+See ``docs/observability.md`` for the metric catalog and conventions.
+"""
+
+from repro.obs.registry import (
+    BATCH_ROWS_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS_S,
+    PHASE_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    quantile_from_buckets,
+)
+from repro.obs.tracing import SpanRecord, Tracer
+from repro.obs.export import (
+    JSONLMetricsSink,
+    MetricsHTTPExporter,
+    REQUIRED_GATEWAY_SERIES,
+    parse_prometheus_text,
+    read_metrics_jsonl,
+    to_prometheus_text,
+)
+
+__all__ = [
+    "BATCH_ROWS_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "PHASE_SECONDS_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "quantile_from_buckets",
+    "SpanRecord",
+    "Tracer",
+    "JSONLMetricsSink",
+    "MetricsHTTPExporter",
+    "REQUIRED_GATEWAY_SERIES",
+    "parse_prometheus_text",
+    "read_metrics_jsonl",
+    "to_prometheus_text",
+]

@@ -1,0 +1,347 @@
+"""Exporters for registry snapshots: Prometheus text, HTTP, JSONL.
+
+Three ways out, matching three consumers:
+
+- :func:`to_prometheus_text` renders a snapshot in text exposition
+  format 0.0.4 (the format every Prometheus scraper speaks), and
+  :class:`MetricsHTTPExporter` serves it from a stdlib
+  ``ThreadingHTTPServer`` at ``/metrics`` (plus the raw snapshot at
+  ``/metrics.json``) — wired to ``GatewayConfig.metrics_port``.
+- :class:`JSONLMetricsSink` appends one snapshot per training iteration
+  to a file. Each line is a self-contained JSON record carrying a CRC32
+  of its own body, written with a single ``os.write`` on an
+  ``O_APPEND`` descriptor — a torn tail line (crash mid-write) is
+  detected by :func:`read_metrics_jsonl` instead of corrupting the run
+  history.
+- The gateway wire protocol's ``stats`` op ships the raw snapshot dict;
+  no code needed here beyond the snapshot being JSON-safe.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+import zlib
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "REQUIRED_GATEWAY_SERIES",
+    "to_prometheus_text",
+    "parse_prometheus_text",
+    "MetricsHTTPExporter",
+    "JSONLMetricsSink",
+    "read_metrics_jsonl",
+]
+
+# The serving catalog's must-have series: the CI metrics smoke leg
+# scrapes a live gateway and fails if any of these is missing from the
+# exposition (docs/observability.md documents the full catalog).
+REQUIRED_GATEWAY_SERIES: Tuple[str, ...] = (
+    "gateway_requests_total",
+    "gateway_request_seconds",
+    "gateway_pending_requests",
+    "gateway_store_sessions",
+    "serve_requests_total",
+    "serve_batches_total",
+    "serve_batch_rows",
+    "serve_queue_depth",
+    "serve_request_queue_wait_seconds",
+    "serve_request_compute_seconds",
+    "serve_sessions",
+    "serve_policy_version",
+)
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in labels.items()]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus_text(snapshot: Dict[str, dict]) -> str:
+    """Render a registry snapshot as Prometheus text exposition 0.0.4."""
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        kind = family.get("type", "untyped")
+        help_text = str(family.get("help", "")).replace("\\", "\\\\").replace("\n", "\\n")
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for series in family.get("series", []):
+            labels = series.get("labels", {})
+            if kind == "histogram":
+                cumulative = 0
+                for edge, count in zip(series["buckets"], series["counts"]):
+                    cumulative += count
+                    le = _format_labels(labels, f'le="{_format_value(edge)}"')
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                cumulative += series["counts"][len(series["buckets"])]
+                le = _format_labels(labels, 'le="+Inf"')
+                lines.append(f"{name}_bucket{le} {cumulative}")
+                lines.append(
+                    f"{name}_sum{_format_labels(labels)} {_format_value(series['sum'])}"
+                )
+                lines.append(f"{name}_count{_format_labels(labels)} {series['count']}")
+            else:
+                lines.append(
+                    f"{name}{_format_labels(labels)} {_format_value(series['value'])}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> Dict[str, List[Tuple[Dict[str, str], float]]]:
+    """Parse text exposition back into ``{series_name: [(labels, value)]}``.
+
+    Minimal but strict parser used by the exposition tests and the CLI
+    metrics smoke check (``python -m repro.serve --metrics-port``):
+    every non-comment line must be ``name[{labels}] value``. Histogram
+    sample names keep their ``_bucket``/``_sum``/``_count`` suffixes.
+    Raises ``ValueError`` on any malformed line.
+    """
+    out: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            label_blob, value_part = rest.rsplit("}", 1)
+            labels: Dict[str, str] = {}
+            for item in _split_labels(label_blob):
+                key, _, quoted = item.partition("=")
+                if not (quoted.startswith('"') and quoted.endswith('"')):
+                    raise ValueError(f"malformed label in line: {raw!r}")
+                labels[key.strip()] = (
+                    quoted[1:-1]
+                    .replace('\\"', '"')
+                    .replace("\\n", "\n")
+                    .replace("\\\\", "\\")
+                )
+        else:
+            name, _, value_part = line.partition(" ")
+            labels = {}
+        name = name.strip()
+        value_text = value_part.strip().split()[0]
+        try:
+            value = float(value_text)
+        except ValueError as exc:
+            raise ValueError(f"malformed value in line: {raw!r}") from exc
+        if not name:
+            raise ValueError(f"malformed metric name in line: {raw!r}")
+        out.setdefault(name, []).append((labels, value))
+    return out
+
+
+def _split_labels(blob: str) -> List[str]:
+    """Split ``a="x",b="y"`` on commas outside quotes."""
+    items: List[str] = []
+    current: List[str] = []
+    in_quotes = False
+    escaped = False
+    for ch in blob:
+        if escaped:
+            current.append(ch)
+            escaped = False
+            continue
+        if ch == "\\":
+            current.append(ch)
+            escaped = True
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+        if ch == "," and not in_quotes:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        items.append("".join(current))
+    return [item for item in (i.strip() for i in items) if item]
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    server_version = "repro-metrics/1"
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        registry = self.server.registry  # type: ignore[attr-defined]
+        if self.path in ("/metrics", "/"):
+            body = to_prometheus_text(registry.snapshot()).encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif self.path == "/metrics.json":
+            body = json.dumps(registry.snapshot(), sort_keys=True).encode("utf-8")
+            content_type = "application/json"
+        elif self.path == "/healthz":
+            body = b"ok\n"
+            content_type = "text/plain; charset=utf-8"
+        else:
+            self.send_error(404, "unknown path (try /metrics)")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # noqa: A002 - http.server API
+        pass  # scrapes are high-frequency; stay quiet
+
+
+class MetricsHTTPExporter:
+    """Serve a registry over HTTP: ``/metrics`` (Prometheus text),
+    ``/metrics.json`` (raw snapshot), ``/healthz``.
+
+    ``port=0`` binds an ephemeral port; read ``address`` after
+    ``start()``. ``close()`` is idempotent.
+    """
+
+    def __init__(self, registry, host: str = "127.0.0.1", port: int = 0):
+        self.registry = registry
+        self._host = host
+        self._port = int(port)
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "MetricsHTTPExporter":
+        if self._httpd is not None:
+            return self
+        httpd = ThreadingHTTPServer((self._host, self._port), _MetricsHandler)
+        httpd.daemon_threads = True
+        httpd.registry = self.registry  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="metrics-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._httpd is None:
+            raise RuntimeError("exporter is not started")
+        return self._httpd.server_address[:2]
+
+    def close(self) -> None:
+        httpd, self._httpd = self._httpd, None
+        thread, self._thread = self._thread, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsHTTPExporter":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _record_line(record: dict) -> bytes:
+    """Serialize a record with an embedded CRC32 of its own body.
+
+    The CRC is computed over the canonical JSON of the record *without*
+    the ``crc32`` field; readers recompute it the same way, so any torn
+    or bit-flipped line fails validation instead of parsing as data.
+    """
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    framed = dict(record)
+    framed["crc32"] = crc
+    return (json.dumps(framed, sort_keys=True, separators=(",", ":")) + "\n").encode(
+        "utf-8"
+    )
+
+
+class JSONLMetricsSink:
+    """Append-only JSONL metrics log with per-line CRC framing.
+
+    Each ``append()`` is a single ``os.write`` on an ``O_APPEND``
+    descriptor: concurrent writers never interleave within a line and a
+    crash can only tear the final line, which the CRC catches on read.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._fd: Optional[int] = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        self._lock = threading.Lock()
+
+    def append(self, record: dict) -> None:
+        if "crc32" in record:
+            raise ValueError("'crc32' is reserved for the sink's own framing")
+        line = _record_line(record)
+        with self._lock:
+            if self._fd is None:
+                raise ValueError(f"sink for {self.path!r} is closed")
+            os.write(self._fd, line)
+
+    def close(self) -> None:
+        with self._lock:
+            fd, self._fd = self._fd, None
+        if fd is not None:
+            os.close(fd)
+
+    def __enter__(self) -> "JSONLMetricsSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_metrics_jsonl(path: str, strict: bool = False) -> List[dict]:
+    """Read back a sink file, validating each line's CRC.
+
+    Invalid lines (torn tail after a crash, manual edits) are skipped —
+    or raise ``ValueError`` when ``strict``. The returned records have
+    the ``crc32`` framing field removed.
+    """
+    records: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                framed = json.loads(line)
+                crc = framed.pop("crc32")
+                body = json.dumps(framed, sort_keys=True, separators=(",", ":"))
+                if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != crc:
+                    raise ValueError("crc mismatch")
+            except (ValueError, KeyError, TypeError) as exc:
+                if strict:
+                    raise ValueError(
+                        f"{path}:{lineno}: invalid metrics line ({exc})"
+                    ) from exc
+                continue
+            records.append(framed)
+    return records

@@ -1,0 +1,117 @@
+"""Lightweight span recorder for request tracing across serving layers.
+
+A trace id is minted (or supplied by the client) when a request enters
+the :class:`~repro.serve.gateway.Gateway`, travels in-band through
+``ReplicaSet`` routing into the ``PolicyServer`` microbatch queue, and
+comes back in the ``act`` reply — so one id links the gateway's
+end-to-end span to the per-request queue-wait and compute spans recorded
+inside the replica that actually served it.
+
+The recorder is deliberately small: a bounded ring of finished spans
+under one lock. It is a debugging aid, not a metrics store — aggregate
+numbers live in :class:`repro.obs.MetricsRegistry`; spans carry the
+per-request "where did this one request spend its time" story.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["SpanRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span: a named, timed segment of a traced request."""
+
+    name: str
+    trace_id: str
+    start_s: float
+    duration_s: float
+    tags: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Thread-safe bounded recorder of finished spans.
+
+    ``capacity`` bounds memory: the oldest spans fall off once the ring
+    is full (``stats()["dropped"]`` counts them). Trace ids are a
+    per-tracer random prefix plus a monotone counter — unique without
+    consulting any seeded RNG, so tracing can never perturb determinism.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._spans: deque = deque(maxlen=capacity)
+        self._recorded = 0
+        self._prefix = uuid.uuid4().hex[:12]
+        self._counter = itertools.count(1)
+
+    def new_trace_id(self) -> str:
+        return f"{self._prefix}-{next(self._counter):08x}"
+
+    def record(
+        self,
+        name: str,
+        trace_id: str,
+        start_s: float,
+        duration_s: float,
+        **tags: Any,
+    ) -> SpanRecord:
+        span = SpanRecord(
+            name=str(name),
+            trace_id=str(trace_id),
+            start_s=float(start_s),
+            duration_s=float(duration_s),
+            tags=tags,
+        )
+        with self._lock:
+            self._spans.append(span)
+            self._recorded += 1
+        return span
+
+    @contextmanager
+    def span(self, name: str, trace_id: Optional[str] = None, **tags: Any):
+        """Time a block; yields the trace id (minted if not given)."""
+        tid = trace_id or self.new_trace_id()
+        start = time.perf_counter()
+        try:
+            yield tid
+        finally:
+            self.record(name, tid, start, time.perf_counter() - start, **tags)
+
+    def spans(
+        self, trace_id: Optional[str] = None, name: Optional[str] = None
+    ) -> List[SpanRecord]:
+        """Retained spans, oldest first, optionally filtered."""
+        with self._lock:
+            spans = list(self._spans)
+        if trace_id is not None:
+            spans = [s for s in spans if s.trace_id == trace_id]
+        if name is not None:
+            spans = [s for s in spans if s.name == name]
+        return spans
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            retained = len(self._spans)
+            recorded = self._recorded
+        return {
+            "recorded": recorded,
+            "retained": retained,
+            "dropped": recorded - retained,
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()

@@ -142,6 +142,7 @@ import numpy as np
 
 from ..envs.base import MultiUserEnv
 from ..nn.serialization import state_from_bytes, state_to_bytes
+from ..obs import PHASE_SECONDS_BUCKETS, MetricsRegistry
 from .buffer import RolloutSegment
 from .chaos import ChaosSchedule, apply_fault
 from .policies import ActorCriticBase
@@ -738,6 +739,7 @@ class ShardedVecEnvPool(ShardableVecPool):
         self._fault = fault_policy
         self._chaos = chaos
         self._restarts = [0] * len(self._shards)
+        self._metrics: Optional[MetricsRegistry] = None
         self._journal: List[Tuple[str, Any]] = []
         self._snapshots: Optional[List[bytes]] = None
         self._replica_struct: Optional[bytes] = None
@@ -824,6 +826,38 @@ class ShardedVecEnvPool(ShardableVecPool):
     def collect_pending(self) -> bool:
         """True while a :meth:`collect_rollouts_async` awaits its wait."""
         return self._collect_pending is not None
+
+    def set_metrics(self, registry: MetricsRegistry) -> None:
+        """Attach a metrics registry (purely additive; idempotent).
+
+        Registers per-shard timing histograms plus the supervision
+        counters (:class:`~repro.rl.workers.FaultPolicy` respawns and
+        the degradation gauge). Observation points only read wall-clock
+        and existing state — attaching a registry can never perturb the
+        bit-parity contracts.
+        """
+        self._metrics = registry
+        self._m_step_wait = registry.histogram(
+            "rollout_step_wait_seconds",
+            "parent-side wait for one worker's step reply",
+            ("shard",),
+        )
+        self._m_collect_wait = registry.histogram(
+            "rollout_collect_seconds",
+            "parent-side wait for one worker's full-rollout reply",
+            ("shard",),
+            buckets=PHASE_SECONDS_BUCKETS,
+        )
+        self._m_respawns = registry.counter(
+            "rollout_worker_respawns_total",
+            "supervised worker respawns (crash/hang recovery)",
+            ("shard",),
+        )
+        self._m_degraded = registry.gauge(
+            "rollout_pool_degraded",
+            "1 once the restart budget ran out and the pool went in-process",
+        )
+        self._m_degraded.set(1.0 if self._inner is not None else 0.0)
 
     # ------------------------------------------------------------------
     # process management: spawn / reap / supervised exchange
@@ -1061,6 +1095,8 @@ class ShardedVecEnvPool(ShardableVecPool):
         replica (structure + state in one command).
         """
         assert self._snapshots is not None
+        if self._metrics is not None:
+            self._m_respawns.labels(str(worker)).inc()
         self._reap_worker(worker)
         envs = pickle.loads(self._snapshots[worker])
         self._spawn_worker(worker, envs, fresh=False)
@@ -1145,6 +1181,8 @@ class ShardedVecEnvPool(ShardableVecPool):
         self._journal.clear()
         self._inner = inner
         self._degraded_replica = None
+        if self._metrics is not None:
+            self._m_degraded.set(1.0)
         warnings.warn(
             f"rollout worker restart budget exhausted "
             f"(max_restarts={self._fault.max_restarts} per worker): degrading "
@@ -1240,6 +1278,7 @@ class ShardedVecEnvPool(ShardableVecPool):
         deadline = self._deadline_for("step")
         try:
             for worker, shard in enumerate(self._shards):
+                wait_start = time.perf_counter() if self._metrics is not None else 0.0
                 if worker in failed:
                     reply = self._recover(worker, command, "step", failed.pop(worker))
                 else:
@@ -1258,6 +1297,10 @@ class ShardedVecEnvPool(ShardableVecPool):
                     except WorkerStepError:
                         self.close()
                         raise
+                if self._metrics is not None:
+                    self._m_step_wait.labels(str(worker)).observe(
+                        time.perf_counter() - wait_start
+                    )
                 _, per_env, active, steps = reply
                 infos[shard] = per_env
                 self._active[shard] = active
@@ -1563,6 +1606,7 @@ class ShardedVecEnvPool(ShardableVecPool):
         try:
             failed = dict(pending["failed"])
             for worker, shard in enumerate(self._shards):
+                wait_start = time.perf_counter() if self._metrics is not None else 0.0
                 if worker in failed:
                     reply = self._recover(
                         worker, commands[worker], "rollout", failed.pop(worker)
@@ -1578,6 +1622,10 @@ class ShardedVecEnvPool(ShardableVecPool):
                     except WorkerStepError:
                         self.close()
                         raise
+                if self._metrics is not None:
+                    self._m_collect_wait.labels(str(worker)).observe(
+                        time.perf_counter() - wait_start
+                    )
                 _, shard_lengths, shard_extras, shard_states, env_blob = reply
                 env_blobs[worker] = env_blob
                 for offset, env_index in enumerate(range(shard.start, shard.stop)):

@@ -60,6 +60,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
     config.rollout_workers = args.workers
     config.checkpoint_path = args.checkpoint
     config.checkpoint_every = args.checkpoint_every if args.checkpoint else 0
+    config.metrics_path = args.metrics
     scenario = make_scenario(config.scenario)
     print(
         f"scenario {scenario.spec.family!r}: {scenario.num_train_envs} training "
@@ -110,6 +111,13 @@ def main(argv=None) -> int:
         help="snapshot path; written every --checkpoint-every iterations",
     )
     train_parser.add_argument("--checkpoint-every", type=int, default=1)
+    train_parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="append one CRC-framed JSONL metrics snapshot per iteration "
+        "(phase timings, rollout-pool counters; see docs/observability.md)",
+    )
     train_parser.add_argument(
         "--resume",
         action="store_true",

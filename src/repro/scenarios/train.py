@@ -101,13 +101,14 @@ class ScenarioTrainer(PolicyTrainer):
         sets = collect_scenario_state_sets(
             self.scenario, steps_per_env=steps_per_env, rng=self.rng
         )
-        return train_sadae(
-            self.sim2rec_policy.sadae,
-            sets,
-            epochs=epochs or self.config.sadae_pretrain_epochs,
-            rng=self.rng,
-            batched=self.config.batched_sadae,
-        )
+        with self._phase_timer("sadae_pretrain"):
+            return train_sadae(
+                self.sim2rec_policy.sadae,
+                sets,
+                epochs=epochs or self.config.sadae_pretrain_epochs,
+                rng=self.rng,
+                batched=self.config.batched_sadae,
+            )
 
     def post_process_segment(self, segment: RolloutSegment, env: MultiUserEnv) -> None:
         for t in range(0, segment.horizon, max(segment.horizon // 4, 1)):

@@ -12,6 +12,12 @@ whole thing on a TCP socket (length-prefixed JSON frames, typed
 self-contained demo that serves live environment sessions — in-process
 or through a real socket (``--gateway``) — and verifies the parity
 contract.
+
+Every layer publishes into one shared :class:`repro.obs.MetricsRegistry`
+(per-replica latency histograms, queue-depth gauges, typed failure
+counters) and stamps requests with trace ids; see
+``docs/observability.md`` for the catalog, the wire ``stats`` op's
+snapshot, and the ``GatewayConfig.metrics_port`` Prometheus endpoint.
 """
 
 from .client import (

@@ -30,6 +30,7 @@ import numpy as np
 
 from ..core import build_sim2rec_policy, dpr_small_config
 from ..envs import DPRConfig, DPRWorld, LTSConfig, LTSEnv
+from ..obs import REQUIRED_GATEWAY_SERIES, parse_prometheus_text
 from ..rl import MLPActorCritic, RecurrentActorCritic
 from .client import GatewayClient
 from .gateway import Gateway, GatewayConfig
@@ -151,6 +152,29 @@ def replay_solo(kind, state_dim, action_dim, env, session_seed, steps, determini
     return stream
 
 
+def scrape_metrics(address) -> dict:
+    """Scrape and parse a live ``/metrics`` endpoint (CI smoke check).
+
+    Returns ``{"series": <count>, "missing": [names...]}`` where a
+    required family counts as present when its own sample name — or its
+    histogram ``_count`` companion — appears in the parsed exposition.
+    """
+    import urllib.request
+
+    host, port = address
+    with urllib.request.urlopen(
+        f"http://{host}:{port}/metrics", timeout=10.0
+    ) as response:
+        text = response.read().decode("utf-8")
+    parsed = parse_prometheus_text(text)
+    missing = [
+        name
+        for name in REQUIRED_GATEWAY_SERIES
+        if name not in parsed and f"{name}_count" not in parsed
+    ]
+    return {"series": len(parsed), "missing": missing}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -175,7 +199,18 @@ def main(argv=None) -> int:
         action="store_true",
         help="serve over a loopback TCP gateway (one client thread per session)",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --gateway: expose Prometheus /metrics on this port "
+        "(0 = ephemeral), scrape it after the episode, and fail if any "
+        "required series is missing",
+    )
     args = parser.parse_args(argv)
+    if args.metrics_port is not None and not args.gateway:
+        parser.error("--metrics-port requires --gateway")
 
     envs, state_dim, action_dim = make_envs(
         args.policy, args.sessions, args.users, args.steps, args.seed
@@ -186,14 +221,19 @@ def main(argv=None) -> int:
         ServeConfig(max_batch_size=args.max_batch, max_wait_ms=args.max_wait_ms,
                     seed=args.seed),
     )
+    metrics_check = None
     if args.gateway:
-        with Gateway(server, GatewayConfig()) as gateway:
+        with Gateway(
+            server, GatewayConfig(metrics_port=args.metrics_port)
+        ) as gateway:
             gateway.start()
             served, latencies = serve_episode_gateway(
                 gateway.address, envs, session_seeds, args.steps,
                 args.deterministic,
             )
             stats = server.stats()
+            if args.metrics_port is not None:
+                metrics_check = scrape_metrics(gateway.metrics_address)
     else:
         if args.background:
             server.start()
@@ -220,26 +260,33 @@ def main(argv=None) -> int:
         )
 
     latencies_ms = np.array(latencies) * 1000.0
-    print(
-        json.dumps(
-            {
-                "policy": args.policy,
-                "sessions": len(envs),
-                "users_per_session": args.users,
-                "steps": args.steps,
-                "background": args.background,
-                "gateway": args.gateway,
-                "requests": stats["requests"],
-                "batches": stats["batches"],
-                "max_batch_rows": stats["max_batch_rows"],
-                "mean_request_ms": round(float(latencies_ms.mean()), 4),
-                "parity_vs_solo": parity,
-            },
-            indent=2,
-        )
-    )
+    summary = {
+        "policy": args.policy,
+        "sessions": len(envs),
+        "users_per_session": args.users,
+        "steps": args.steps,
+        "background": args.background,
+        "gateway": args.gateway,
+        "requests": stats["requests"],
+        "batches": stats["batches"],
+        "max_batch_rows": stats["max_batch_rows"],
+        "mean_request_ms": round(float(latencies_ms.mean()), 4),
+        "parity_vs_solo": parity,
+    }
+    if metrics_check is not None:
+        summary["metrics_series"] = metrics_check["series"]
+        summary["metrics_missing"] = metrics_check["missing"]
+        summary["metrics_ok"] = not metrics_check["missing"]
+    print(json.dumps(summary, indent=2))
     if not parity:
         print("FAIL: microbatched serving diverged from solo serving", file=sys.stderr)
+        return 1
+    if metrics_check is not None and metrics_check["missing"]:
+        print(
+            "FAIL: required metrics series missing from /metrics: "
+            + ", ".join(metrics_check["missing"]),
+            file=sys.stderr,
+        )
         return 1
     return 0
 

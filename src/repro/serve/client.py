@@ -64,7 +64,10 @@ class DeadlineExceeded(GatewayError):
 class RemoteSession:
     """Handle for one gateway-hosted session (mirrors ``serve.Session``)."""
 
-    __slots__ = ("_client", "id", "replica", "num_users", "_version", "_step", "_ended")
+    __slots__ = (
+        "_client", "id", "replica", "num_users", "_version", "_step",
+        "_ended", "last_trace",
+    )
 
     def __init__(
         self, client: "GatewayClient", session_id: str, replica: str,
@@ -77,6 +80,10 @@ class RemoteSession:
         self._version = version
         self._step = 0
         self._ended = False
+        #: Trace id of the most recent ``act`` exchange (set from the
+        #: reply, so a gateway-minted id is visible too); look spans up
+        #: with it on the gateway's tracer or in its span dumps.
+        self.last_trace: Optional[str] = None
 
     @property
     def version(self) -> int:
@@ -88,9 +95,16 @@ class RemoteSession:
         return self._step
 
     def act(
-        self, obs: np.ndarray, deadline_ms: Optional[float] = None
+        self,
+        obs: np.ndarray,
+        deadline_ms: Optional[float] = None,
+        trace: Optional[str] = None,
     ) -> ActionResult:
-        """Serve one observation; bit-identical to in-process serving."""
+        """Serve one observation; bit-identical to in-process serving.
+
+        ``trace`` pins the request's trace id (default: the gateway
+        mints one); either way the id used comes back in ``last_trace``.
+        """
         if self._ended:
             raise SessionError(f"session {self.id!r} already ended")
         message: Dict[str, Any] = {
@@ -100,6 +114,8 @@ class RemoteSession:
         }
         if deadline_ms is not None:
             message["deadline_ms"] = float(deadline_ms)
+        if trace is not None:
+            message["trace"] = str(trace)
         try:
             reply = self._client._roundtrip(
                 message,
@@ -108,6 +124,7 @@ class RemoteSession:
         except DeadlineExceeded:
             self._ended = True  # the gateway quarantined the session
             raise
+        self.last_trace = reply.get("trace")
         result = ActionResult(
             actions=reply["actions"],
             log_probs=reply["log_probs"],
@@ -180,6 +197,16 @@ class GatewayClient:
 
     def stats(self) -> Dict[str, Any]:
         return self._roundtrip({"op": "stats"})["stats"]
+
+    def metrics(self) -> Dict[str, Any]:
+        """Full metrics-registry snapshot from the gateway's ``stats`` op.
+
+        The same point-in-time capture the legacy ``stats()`` dict is
+        derived from: every family (gateway, store, per-replica serve
+        metrics incl. latency histograms) in the registry's snapshot
+        format.
+        """
+        return self._roundtrip({"op": "stats"})["metrics"]
 
     def close(self) -> None:
         if not self._closed:

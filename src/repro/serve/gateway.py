@@ -63,6 +63,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..obs import MetricsHTTPExporter
 from .protocol import FrameError, recv_frame, send_frame
 from .replica_set import ReplicaSet
 from .server import PolicyServer, Session, SessionError, Ticket
@@ -81,6 +82,10 @@ class GatewayConfig:
     sends none; ``idle_timeout_s`` closes connections with no complete
     request for that long. ``max_sessions``/``session_ttl_s`` feed the
     LRU/TTL session store (``None`` disables either bound).
+    ``metrics_port`` (``None`` = off, ``0`` = ephemeral) serves the
+    gateway's metrics registry as Prometheus text exposition on
+    ``http://host:metrics_port/metrics`` while the gateway runs; the
+    bound address is ``Gateway.metrics_address``.
     """
 
     host: str = "127.0.0.1"
@@ -90,6 +95,7 @@ class GatewayConfig:
     idle_timeout_s: float = 30.0
     max_sessions: Optional[int] = None
     session_ttl_s: Optional[float] = None
+    metrics_port: Optional[int] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.max_pending, bool) or not isinstance(
@@ -111,6 +117,30 @@ class GatewayConfig:
             raise ValueError(f"max_sessions must be >= 1, got {self.max_sessions}")
         if self.session_ttl_s is not None and not self.session_ttl_s > 0:
             raise ValueError(f"session_ttl_s must be > 0, got {self.session_ttl_s}")
+        if self.metrics_port is not None:
+            if isinstance(self.metrics_port, bool) or not isinstance(
+                self.metrics_port, (int, np.integer)
+            ):
+                raise ValueError(
+                    f"metrics_port must be an int, got {self.metrics_port!r}"
+                )
+            if self.metrics_port < 0:
+                raise ValueError(
+                    f"metrics_port must be >= 0, got {self.metrics_port}"
+                )
+
+
+def _sum_series(snapshot: Dict[str, dict], name: str, **labels: str) -> float:
+    """Sum a family's series values, filtered by label equality."""
+    family = snapshot.get(name)
+    if not family:
+        return 0.0
+    total = 0.0
+    for series in family.get("series", []):
+        series_labels = series.get("labels", {})
+        if all(series_labels.get(k) == v for k, v in labels.items()):
+            total += series.get("value", 0.0)
+    return total
 
 
 class _Handler(socketserver.BaseRequestHandler):
@@ -167,12 +197,21 @@ class Gateway:
         self._clock = clock if clock is not None else time.monotonic
         if isinstance(replicas, PolicyServer):
             # Single-server convenience: a one-replica set around it.
-            wrapper = ReplicaSet(config=replicas.config)
-            wrapper._servers["default"] = replicas
-            wrapper._weights["default"] = 1.0
-            wrapper._order.append("default")
+            # The wrapper adopts the server's registry/tracer so the
+            # server's existing series (keyed by its name) and the
+            # gateway's land in one snapshot.
+            wrapper = ReplicaSet(
+                config=replicas.config,
+                metrics=replicas.metrics,
+                tracer=replicas.tracer,
+            )
+            wrapper._servers[replicas.name] = replicas
+            wrapper._weights[replicas.name] = 1.0
+            wrapper._order.append(replicas.name)
             replicas = wrapper
         self.replicas = replicas
+        self.metrics = replicas.metrics
+        self.tracer = replicas.tracer
         self._lock = threading.Lock()
         self._pending = 0  # gateway-wide in-flight act requests
         self._sessions = SessionStore(
@@ -185,14 +224,35 @@ class Gateway:
         # is impossible (the server refuses to end a pending session) and
         # dropping them would leak their serving state.
         self._quarantine: List[Tuple[Ticket, Session, str]] = []
-        self._stats = {
-            "requests": 0,
-            "busy_rejections": 0,
-            "deadline_timeouts": 0,
-            "session_errors": 0,
-            "bad_requests": 0,
-            "connections_cleaned": 0,
-        }
+        m = self.metrics
+        self._m_requests = m.counter(
+            "gateway_requests_total", "accepted gateway operations", ("op",)
+        )
+        self._m_failures = m.counter(
+            "gateway_failures_total", "typed gateway failures", ("code",)
+        )
+        self._m_latency = m.histogram(
+            "gateway_request_seconds",
+            "frame-arrival to reply-ready latency of served acts",
+            ("replica",),
+        )
+        m.gauge(
+            "gateway_pending_requests", "acts in flight gateway-wide"
+        ).set_function(lambda: float(self._pending))
+        m.gauge(
+            "gateway_quarantined_sessions", "timed-out sessions awaiting cleanup"
+        ).set_function(lambda: float(len(self._quarantine)))
+        self._m_cleaned = m.counter(
+            "gateway_connections_cleaned_total",
+            "sessions closed by disconnect cleanup",
+        )
+        m.gauge(
+            "gateway_store_sessions", "sessions in the LRU/TTL store"
+        ).set_function(lambda: float(self._sessions.stats()["sessions"]))
+        self._m_evictions = m.counter(
+            "gateway_store_evictions_total", "store evictions by reason", ("reason",)
+        )
+        self._metrics_http: Optional[MetricsHTTPExporter] = None
         self._tcp = _Server(
             (self.config.host, self.config.port), _Handler, bind_and_activate=True
         )
@@ -208,10 +268,23 @@ class Gateway:
         """The bound (host, port) — port is concrete even when 0 was asked."""
         return self._tcp.server_address[:2]
 
+    @property
+    def metrics_address(self) -> Optional[Tuple[str, int]]:
+        """Bound (host, port) of the Prometheus endpoint, if serving."""
+        if self._metrics_http is None:
+            return None
+        return self._metrics_http.address
+
     def start(self) -> "Gateway":
         """Serve connections in a background thread; replicas dispatch too."""
         if self._thread is None:
             self.replicas.start()
+            if self.config.metrics_port is not None and self._metrics_http is None:
+                self._metrics_http = MetricsHTTPExporter(
+                    self.metrics,
+                    host=self.config.host,
+                    port=self.config.metrics_port,
+                ).start()
             self._thread = threading.Thread(
                 target=self._tcp.serve_forever,
                 kwargs={"poll_interval": 0.05},
@@ -225,6 +298,9 @@ class Gateway:
         if self._closed:
             return
         self._closed = True
+        if self._metrics_http is not None:
+            self._metrics_http.close()
+            self._metrics_http = None
         self._tcp.shutdown()
         self._tcp.server_close()
         if self._thread is not None:
@@ -241,15 +317,52 @@ class Gateway:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def stats(self) -> Dict[str, Any]:
+    def stats(self, snapshot: Optional[Dict[str, dict]] = None) -> Dict[str, Any]:
+        """Legacy counter dict, derived from one registry snapshot.
+
+        Every layer — gateway counters, the session store, each
+        replica's server — publishes into the same registry, so a single
+        ``metrics.snapshot()`` captures all of them at one point in time
+        (the nested ``store``/``replicas`` sub-dicts used to be rebuilt
+        outside any common lock). Pass ``snapshot`` to derive from an
+        already-taken capture.
+        """
         self._reap()  # deferred cleanup is observable through stats
-        with self._lock:
-            snapshot = dict(self._stats)
-            snapshot["pending"] = self._pending
-            snapshot["quarantined"] = len(self._quarantine)
-        snapshot["store"] = self._sessions.stats()
-        snapshot["replicas"] = self.replicas.stats()
-        return snapshot
+        if snapshot is None:
+            snapshot = self.metrics.snapshot()
+        result = {
+            "requests": int(_sum_series(snapshot, "gateway_requests_total")),
+            "busy_rejections": int(
+                _sum_series(snapshot, "gateway_failures_total", code="BUSY")
+            ),
+            "deadline_timeouts": int(
+                _sum_series(snapshot, "gateway_failures_total", code="TIMEOUT")
+            ),
+            "session_errors": int(
+                _sum_series(snapshot, "gateway_failures_total", code="SESSION")
+            ),
+            "bad_requests": int(
+                _sum_series(snapshot, "gateway_failures_total", code="BAD_REQUEST")
+            ),
+            "connections_cleaned": int(
+                _sum_series(snapshot, "gateway_connections_cleaned_total")
+            ),
+            "pending": int(_sum_series(snapshot, "gateway_pending_requests")),
+            "quarantined": int(
+                _sum_series(snapshot, "gateway_quarantined_sessions")
+            ),
+        }
+        result["store"] = {
+            "sessions": int(_sum_series(snapshot, "gateway_store_sessions")),
+            "evicted_lru": int(
+                _sum_series(snapshot, "gateway_store_evictions_total", reason="lru")
+            ),
+            "evicted_ttl": int(
+                _sum_series(snapshot, "gateway_store_evictions_total", reason="ttl")
+            ),
+        }
+        result["replicas"] = self.replicas.stats(snapshot)
+        return result
 
     # ------------------------------------------------------------------
     # request dispatch (called from connection threads)
@@ -265,7 +378,14 @@ class Gateway:
             if op == "ping":
                 return {"ok": True, "op": "ping"}
             if op == "stats":
-                return {"ok": True, "stats": self.stats()}
+                # One registry snapshot backs both views: the legacy
+                # counter dict and the full metrics export.
+                snapshot = self.metrics.snapshot()
+                return {
+                    "ok": True,
+                    "stats": self.stats(snapshot),
+                    "metrics": snapshot,
+                }
             if op == "open":
                 return self._op_open(message, opened)
             if op == "act":
@@ -274,8 +394,7 @@ class Gateway:
                 return self._op_end(message, opened)
             return self._bad_request(f"unknown op {op!r}")
         except SessionError as error:
-            with self._lock:
-                self._stats["session_errors"] += 1
+            self._m_failures.labels("SESSION").inc()
             return {"ok": False, "error": "SESSION", "message": str(error)}
         except (TypeError, ValueError) as error:
             return self._bad_request(str(error))
@@ -291,8 +410,7 @@ class Gateway:
         )
         self._sessions.put(handle.id, handle)
         opened.append(handle.id)
-        with self._lock:
-            self._stats["requests"] += 1
+        self._m_requests.labels("open").inc()
         return {
             "ok": True,
             "session": handle.id,
@@ -315,29 +433,42 @@ class Gateway:
         )
         if not np.isfinite(deadline_ms) or deadline_ms <= 0:
             return self._bad_request(f"deadline_ms must be > 0, got {deadline_ms}")
+        # The trace id rides the wire: a client-sent id is kept, anything
+        # else gets a fresh one. It is carried into the microbatch queue
+        # (the server stamps queue-wait/compute spans under it) and
+        # returned in every act reply — success or typed failure.
+        trace = message.get("trace")
+        if not isinstance(trace, str) or not trace:
+            trace = self.tracer.new_trace_id()
+        started = arrival if arrival is not None else self._clock()
         handle = self._sessions.get(session_id)
         if handle is None:
-            with self._lock:
-                self._stats["session_errors"] += 1
+            self._m_failures.labels("SESSION").inc()
             return {
                 "ok": False,
                 "error": "SESSION",
                 "message": f"unknown session {session_id!r}",
+                "trace": trace,
             }
         # Admission control: shed load before touching the server.
         with self._lock:
             if self._pending >= self.config.max_pending:
-                self._stats["busy_rejections"] += 1
-                return {
-                    "ok": False,
-                    "error": "BUSY",
-                    "message": (
-                        f"{self._pending} requests in flight "
-                        f"(max_pending={self.config.max_pending}); retry later"
-                    ),
-                }
-            self._pending += 1
-            self._stats["requests"] += 1
+                pending = self._pending
+            else:
+                pending = None
+                self._pending += 1
+        if pending is not None:
+            self._m_failures.labels("BUSY").inc()
+            return {
+                "ok": False,
+                "error": "BUSY",
+                "message": (
+                    f"{pending} requests in flight "
+                    f"(max_pending={self.config.max_pending}); retry later"
+                ),
+                "trace": trace,
+            }
+        self._m_requests.labels("act").inc()
         try:
             # The deadline clock started at frame arrival: whatever
             # decode, dispatch and admission already spent comes out of
@@ -351,8 +482,7 @@ class Gateway:
                 # instead of quarantining it behind a ticket.
                 self._sessions.pop(session_id)
                 self._end_quietly(session_id, handle)
-                with self._lock:
-                    self._stats["deadline_timeouts"] += 1
+                self._m_failures.labels("TIMEOUT").inc()
                 return {
                     "ok": False,
                     "error": "TIMEOUT",
@@ -360,16 +490,18 @@ class Gateway:
                         f"deadline of {deadline_ms:g} ms expired before "
                         f"dispatch; session {session_id!r} is closed"
                     ),
+                    "trace": trace,
                 }
-            ticket = handle.submit(np.asarray(obs, dtype=np.float64))
+            ticket = handle.submit(
+                np.asarray(obs, dtype=np.float64), trace=trace
+            )
             if not handle.server.running:
                 handle.server.flush()
             try:
                 result = ticket.result(timeout=remaining_s)
             except TimeoutError:
                 self._quarantine_session(ticket, handle, session_id)
-                with self._lock:
-                    self._stats["deadline_timeouts"] += 1
+                self._m_failures.labels("TIMEOUT").inc()
                 return {
                     "ok": False,
                     "error": "TIMEOUT",
@@ -377,10 +509,22 @@ class Gateway:
                         f"deadline of {deadline_ms:g} ms expired; "
                         f"session {session_id!r} is closed"
                     ),
+                    "trace": trace,
                 }
         finally:
             with self._lock:
                 self._pending -= 1
+        elapsed_s = max(self._clock() - started, 0.0)
+        replica = handle.server.name
+        self._m_latency.labels(replica).observe(elapsed_s)
+        self.tracer.record(
+            "gateway.act",
+            trace,
+            started,
+            elapsed_s,
+            session=session_id,
+            replica=replica,
+        )
         return {
             "ok": True,
             "session": session_id,
@@ -389,6 +533,7 @@ class Gateway:
             "values": result.values,
             "version": result.version,
             "step": result.step,
+            "trace": trace,
         }
 
     def _op_end(self, message: Dict[str, Any], opened: List[str]) -> Dict[str, Any]:
@@ -397,8 +542,7 @@ class Gateway:
             return self._bad_request("end needs a 'session' id")
         handle = self._sessions.pop(session_id)
         if handle is None:
-            with self._lock:
-                self._stats["session_errors"] += 1
+            self._m_failures.labels("SESSION").inc()
             return {
                 "ok": False,
                 "error": "SESSION",
@@ -408,13 +552,11 @@ class Gateway:
         self.replicas.forget_session(session_id)
         if session_id in opened:
             opened.remove(session_id)
-        with self._lock:
-            self._stats["requests"] += 1
+        self._m_requests.labels("end").inc()
         return {"ok": True, "session": session_id}
 
     def _bad_request(self, message: str) -> Dict[str, Any]:
-        with self._lock:
-            self._stats["bad_requests"] += 1
+        self._m_failures.labels("BAD_REQUEST").inc()
         return {"ok": False, "error": "BAD_REQUEST", "message": message}
 
     # ------------------------------------------------------------------
@@ -449,6 +591,7 @@ class Gateway:
 
     def _evicted(self, session_id: str, handle: Session, reason: str) -> None:
         """SessionStore eviction: close the underlying server session."""
+        self._m_evictions.labels(reason).inc()
         self._end_quietly(session_id, handle)
 
     def _connection_closed(self, opened: List[str]) -> None:
@@ -460,8 +603,7 @@ class Gateway:
                 self._end_quietly(session_id, handle)
                 cleaned += 1
         if cleaned:
-            with self._lock:
-                self._stats["connections_cleaned"] += cleaned
+            self._m_cleaned.inc(cleaned)
 
     def _end_quietly(self, session_id: str, handle: Session) -> None:
         try:

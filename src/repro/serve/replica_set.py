@@ -26,6 +26,7 @@ import hashlib
 import threading
 from typing import Dict, List, Optional, Tuple
 
+from ..obs import MetricsRegistry, Tracer
 from ..rl.policies import ActorCriticBase
 from .server import PolicyServer, ServeConfig, Session, SessionError, snapshot_policy
 
@@ -50,10 +51,20 @@ class ReplicaSet:
     """
 
     def __init__(
-        self, config: Optional[ServeConfig] = None, seed: int = 0
+        self,
+        config: Optional[ServeConfig] = None,
+        seed: int = 0,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.config = config or ServeConfig()
         self.seed = seed
+        # One registry/tracer shared by every replica: each replica's
+        # series are children of the same families, keyed by its name,
+        # so a single snapshot captures the whole set coherently.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
         self._lock = threading.RLock()
         self._servers: Dict[str, PolicyServer] = {}
         self._weights: Dict[str, float] = {}
@@ -80,7 +91,13 @@ class ReplicaSet:
         with self._lock:
             if name in self._servers:
                 raise ValueError(f"replica {name!r} already registered")
-            server = PolicyServer(policy, config or self.config)
+            server = PolicyServer(
+                policy,
+                config or self.config,
+                metrics=self.metrics,
+                tracer=self.tracer,
+                name=name,
+            )
             self._servers[name] = server
             self._weights[name] = float(weight)
             self._order.append(name)
@@ -237,11 +254,17 @@ class ReplicaSet:
             servers = list(self._servers.values())
         return sum(server.flush() for server in servers)
 
-    def stats(self) -> Dict[str, object]:
+    def stats(self, snapshot: Optional[Dict[str, dict]] = None) -> Dict[str, object]:
+        """Per-replica counters plus routing state.
+
+        With a precomputed ``metrics.snapshot()``, every replica's
+        sub-dict is derived from that one capture (see
+        ``PolicyServer.stats``) instead of locking each server in turn.
+        """
         with self._lock:
             return {
                 "replicas": {
-                    name: self._servers[name].stats() for name in self._order
+                    name: self._servers[name].stats(snapshot) for name in self._order
                 },
                 "weights": dict(self._weights),
                 "sessions": len(self._session_replica),

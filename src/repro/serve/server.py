@@ -56,6 +56,7 @@ from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..nn.serialization import state_from_bytes, state_to_bytes
+from ..obs import BATCH_ROWS_BUCKETS, MetricsRegistry, Tracer
 from ..rl.policies import ActorCriticBase
 from ..rl.vec import BlockRNG
 from ..rl.workers import StaleReplicaError
@@ -259,13 +260,23 @@ class Session:
         """Whether the session is still registered with the server."""
         return self._server._is_registered(self._state)
 
-    def submit(self, obs: np.ndarray) -> Ticket:
-        """Queue one ``act`` request; see :meth:`PolicyServer.submit`."""
-        return self._server._submit(self._state, obs)
+    def submit(self, obs: np.ndarray, trace: Optional[str] = None) -> Ticket:
+        """Queue one ``act`` request; see :meth:`PolicyServer.submit`.
 
-    def act(self, obs: np.ndarray, timeout: Optional[float] = None) -> ActionResult:
+        ``trace`` attaches a trace id: the batch that serves this request
+        records its queue-wait and compute spans under that id on the
+        server's :class:`~repro.obs.Tracer`.
+        """
+        return self._server._submit(self._state, obs, trace=trace)
+
+    def act(
+        self,
+        obs: np.ndarray,
+        timeout: Optional[float] = None,
+        trace: Optional[str] = None,
+    ) -> ActionResult:
         """Submit and wait for the served result (single-call convenience)."""
-        ticket = self.submit(obs)
+        ticket = self.submit(obs, trace=trace)
         if not self._server._running:
             self._server.flush()
         return ticket.result(timeout)
@@ -282,13 +293,40 @@ class Session:
 
 
 class _Request:
-    __slots__ = ("session", "obs", "ticket", "arrived")
+    __slots__ = ("session", "obs", "ticket", "arrived", "trace")
 
-    def __init__(self, session: _Session, obs: np.ndarray, arrived: float) -> None:
+    def __init__(
+        self,
+        session: _Session,
+        obs: np.ndarray,
+        arrived: float,
+        trace: Optional[str] = None,
+    ) -> None:
         self.session = session
         self.obs = obs
         self.ticket = Ticket()
         self.arrived = arrived
+        self.trace = trace
+
+
+def _series_for_replica(snapshot: Dict[str, dict], replica: str) -> Dict[Any, float]:
+    """Flatten one replica's scalar series out of a registry snapshot.
+
+    Keys are metric names, except multi-label families (e.g.
+    ``serve_swaps_total``) which key by ``(name, outcome)``.
+    """
+    out: Dict[Any, float] = {}
+    for name, family in snapshot.items():
+        for series in family.get("series", []):
+            labels = series.get("labels", {})
+            if labels.get("replica") != replica:
+                continue
+            value = series.get("value")
+            if value is None:
+                continue  # histogram series; scalars come from their gauges
+            outcome = labels.get("outcome")
+            out[(name, outcome) if outcome is not None else name] = value
+    return out
 
 
 class PolicyServer:
@@ -311,9 +349,16 @@ class PolicyServer:
     """
 
     def __init__(
-        self, policy: ActorCriticBase, config: Optional[ServeConfig] = None
+        self,
+        policy: ActorCriticBase,
+        config: Optional[ServeConfig] = None,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        name: str = "default",
     ) -> None:
         self.config = config or ServeConfig()
+        self.name = str(name)
         self._policy = policy
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
@@ -328,13 +373,62 @@ class PolicyServer:
         self._thread: Optional[threading.Thread] = None
         self._running = False
         self._closed = False
-        self._stats = {
-            "requests": 0,
-            "batches": 0,
-            "max_batch_rows": 0,
-            "swaps_applied": 0,
-            "swaps_skipped": 0,
-        }
+        # Every server is instrumented (creating its own registry when
+        # none is shared in): the serve parity suites therefore run with
+        # metrics live, which is the standing proof that instrumentation
+        # is bit-neutral. A ReplicaSet passes one shared registry so all
+        # replicas' series land in one snapshot, keyed by this name.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        m, replica = self.metrics, self.name
+        self._m_requests = m.counter(
+            "serve_requests_total", "act requests accepted into the queue", ("replica",)
+        ).labels(replica)
+        self._m_batches = m.counter(
+            "serve_batches_total", "microbatched policy.act calls", ("replica",)
+        ).labels(replica)
+        self._m_batch_rows = m.histogram(
+            "serve_batch_rows",
+            "user-axis rows per microbatch window",
+            ("replica",),
+            buckets=BATCH_ROWS_BUCKETS,
+        ).labels(replica)
+        self._m_batch_rows_max = m.gauge(
+            "serve_batch_rows_max", "largest microbatch served (rows)", ("replica",)
+        ).labels(replica)
+        self._m_queue_wait = m.histogram(
+            "serve_request_queue_wait_seconds",
+            "submit-to-batch-start wait per request",
+            ("replica",),
+        ).labels(replica)
+        self._m_compute = m.histogram(
+            "serve_request_compute_seconds",
+            "batched policy.act compute time per request's window",
+            ("replica",),
+        ).labels(replica)
+        self._m_queue_depth = m.gauge(
+            "serve_queue_depth", "requests currently queued", ("replica",)
+        ).labels(replica)
+        self._m_queue_depth.set_function(lambda: float(len(self._queue)))
+        self._m_queue_peak = m.gauge(
+            "serve_queue_depth_peak", "high-water mark of the request queue", ("replica",)
+        ).labels(replica)
+        self._m_sessions = m.gauge(
+            "serve_sessions", "open sessions", ("replica",)
+        ).labels(replica)
+        self._m_sessions.set_function(lambda: float(len(self._sessions)))
+        swaps = m.counter(
+            "serve_swaps_total", "hot-swap attempts by outcome", ("replica", "outcome")
+        )
+        self._m_swaps_applied = swaps.labels(replica, "applied")
+        self._m_swaps_skipped = swaps.labels(replica, "skipped")
+        self._m_version = m.gauge(
+            "serve_policy_version", "serving policy version", ("replica",)
+        ).labels(replica)
+        self._m_version.set(self._version)
 
     # ------------------------------------------------------------------
     # session lifecycle
@@ -436,21 +530,50 @@ class PolicyServer:
         with self._lock:
             return self._version
 
-    def stats(self) -> Dict[str, Any]:
+    def stats(self, snapshot: Optional[Dict[str, dict]] = None) -> Dict[str, Any]:
+        """Legacy counter dict, now read off the metrics registry.
+
+        Pass a precomputed ``registry.snapshot()`` to derive the dict
+        from one coherent point-in-time capture (how ``Gateway.stats()``
+        snapshots every layer at once); without one the live registry is
+        read directly.
+        """
+        if snapshot is not None:
+            series = _series_for_replica(snapshot, self.name)
+            return {
+                "requests": int(series.get("serve_requests_total", 0)),
+                "batches": int(series.get("serve_batches_total", 0)),
+                "max_batch_rows": int(series.get("serve_batch_rows_max", 0)),
+                "swaps_applied": int(series.get(("serve_swaps_total", "applied"), 0)),
+                "swaps_skipped": int(series.get(("serve_swaps_total", "skipped"), 0)),
+                "sessions": int(series.get("serve_sessions", 0)),
+                "pending": int(series.get("serve_queue_depth", 0)),
+                "version": int(series.get("serve_policy_version", 0)),
+            }
         with self._lock:
-            snapshot = dict(self._stats)
-            snapshot["sessions"] = len(self._sessions)
-            snapshot["pending"] = len(self._queue)
-            snapshot["version"] = self._version
-            return snapshot
+            sessions = len(self._sessions)
+            pending = len(self._queue)
+            version = self._version
+        return {
+            "requests": int(self._m_requests.value),
+            "batches": int(self._m_batches.value),
+            "max_batch_rows": int(self._m_batch_rows_max.value),
+            "swaps_applied": int(self._m_swaps_applied.value),
+            "swaps_skipped": int(self._m_swaps_skipped.value),
+            "sessions": sessions,
+            "pending": pending,
+            "version": version,
+        }
 
     # ------------------------------------------------------------------
     # request path
     # ------------------------------------------------------------------
-    def submit(self, session_id: str, obs: np.ndarray) -> Ticket:
+    def submit(
+        self, session_id: str, obs: np.ndarray, trace: Optional[str] = None
+    ) -> Ticket:
         """Queue one ``act`` request by id (legacy wrapper over
         ``Session.submit``); returns a :class:`Ticket`."""
-        return self._submit(self._require(session_id), obs)
+        return self._submit(self._require(session_id), obs, trace=trace)
 
     def _require(self, session_id: str) -> _Session:
         with self._lock:
@@ -459,7 +582,9 @@ class PolicyServer:
                 raise SessionError(f"unknown session {session_id!r}")
             return session
 
-    def _submit(self, session: _Session, obs: np.ndarray) -> Ticket:
+    def _submit(
+        self, session: _Session, obs: np.ndarray, trace: Optional[str] = None
+    ) -> Ticket:
         """Queue one ``act`` request; returns a :class:`Ticket`.
 
         ``obs`` is the session's stacked observation block
@@ -485,10 +610,11 @@ class PolicyServer:
                     f"session {session.id!r} expects observations of shape "
                     f"{(session.num_users, self._policy.state_dim)}, got {obs.shape}"
                 )
-            request = _Request(session, obs, time.monotonic())
+            request = _Request(session, obs, time.monotonic(), trace=trace)
             session.pending = True
             self._queue.append(request)
-            self._stats["requests"] += 1
+            self._m_requests.inc()
+            self._m_queue_peak.set_max(len(self._queue))
             self._cond.notify_all()
             return request.ticket
 
@@ -543,6 +669,7 @@ class PolicyServer:
             start += session.num_users
         total = start
         policy = self._policy
+        batch_start = time.monotonic()
         try:
             obs = np.concatenate([request.obs for request in batch], axis=0)
             prev = np.concatenate(
@@ -585,8 +712,35 @@ class PolicyServer:
             raise
         finally:
             policy.set_rollout_groups(None)
-        self._stats["batches"] += 1
-        self._stats["max_batch_rows"] = max(self._stats["max_batch_rows"], total)
+        compute_s = time.monotonic() - batch_start
+        self._m_batches.inc()
+        self._m_batch_rows.observe(total)
+        self._m_batch_rows_max.set_max(total)
+        self._m_compute.observe(compute_s)
+        for request in batch:
+            # Queue wait is per-request (submit to batch start); compute
+            # is shared by the whole window — every rider pays the same
+            # forward pass.
+            queue_wait_s = max(batch_start - request.arrived, 0.0)
+            self._m_queue_wait.observe(queue_wait_s)
+            if request.trace is not None:
+                self.tracer.record(
+                    "serve.queue_wait",
+                    request.trace,
+                    request.arrived,
+                    queue_wait_s,
+                    replica=self.name,
+                    session=request.session.id,
+                )
+                self.tracer.record(
+                    "serve.compute",
+                    request.trace,
+                    batch_start,
+                    compute_s,
+                    replica=self.name,
+                    session=request.session.id,
+                    batch_rows=total,
+                )
         for request, session, block in zip(batch, sessions, slices):
             if new_state is not None:
                 if isinstance(new_state, tuple):
@@ -643,12 +797,13 @@ class PolicyServer:
                     "change the model architecture"
                 )
             if all(np.array_equal(value, self._cache[key]) for key, value in state.items()):
-                self._stats["swaps_skipped"] += 1
+                self._m_swaps_skipped.inc()
                 return self._version
             self._policy.load_replica_state(state)
             self._version = version if version is not None else self._version + 1
             self._cache = {key: np.array(value) for key, value in state.items()}
-            self._stats["swaps_applied"] += 1
+            self._m_swaps_applied.inc()
+            self._m_version.set(self._version)
             return self._version
 
     def publish(self, policy: ActorCriticBase, version: Optional[int] = None) -> int:

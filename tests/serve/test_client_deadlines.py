@@ -157,7 +157,7 @@ class TestDeadlineClockStartsAtArrival:
                 self.server = FakeServer()
                 self.alive = False
 
-            def submit(self, obs):
+            def submit(self, obs, trace=None):
                 return self.ticket
 
         now = [100.0]

@@ -360,6 +360,9 @@ def serve_payload(
     cpu_count=4,
     gateway_rps=1500.0,
     gateway_equivalent=True,
+    queue_wait_p99_ms=2.5,
+    compute_p99_ms=1.0,
+    max_queue_depth=8,
     soak_sessions=3000,
     soak_evictions=1700,
     rss_growth_mb=0.5,
@@ -384,6 +387,11 @@ def serve_payload(
             "throughput_rps": gateway_rps,
             "p50_ms": 2.0,
             "p99_ms": 4.0,
+            "queue_wait_p50_ms": 1.0,
+            "queue_wait_p99_ms": queue_wait_p99_ms,
+            "compute_p50_ms": 0.5,
+            "compute_p99_ms": compute_p99_ms,
+            "max_queue_depth": max_queue_depth,
             "equivalent": gateway_equivalent,
         },
         "soak": {
@@ -408,7 +416,12 @@ class TestServeFloors:
             "sessions_4": {"min_speedup": 1.2},
             "sessions_8": {"min_speedup": 1.5},
         },
-        "gateway": {"min_throughput_rps": 100.0},
+        "gateway": {
+            "min_throughput_rps": 100.0,
+            "min_max_queue_depth": 1,
+            "max_queue_wait_p99_ms": 100.0,
+            "max_compute_p99_ms": 50.0,
+        },
         "soak": {
             "min_sessions_opened": 3000,
             "min_evictions": 1000,
@@ -439,7 +452,11 @@ class TestServeFloors:
         assert "serve" in baselines
         for mode in ("smoke", "full"):
             assert baselines["serve"][mode]["scenarios"]
-            assert "min_throughput_rps" in baselines["serve"][mode]["gateway"]
+            gateway = baselines["serve"][mode]["gateway"]
+            assert "min_throughput_rps" in gateway
+            assert gateway["min_max_queue_depth"] >= 1
+            assert gateway["max_queue_wait_p99_ms"] > 0
+            assert gateway["max_compute_p99_ms"] > 0
             soak = baselines["serve"][mode]["soak"]
             assert soak["min_evictions"] > 0
             assert soak["max_rss_growth_mb"] > 0
@@ -457,6 +474,37 @@ class TestServeFloors:
             serve_payload(gateway_equivalent=False), self.BASELINE, 0.8, "serve"
         )
         assert any("gateway" in f and "equivalence" in f for f in failures)
+
+    def test_gateway_latency_ceilings(self, gate):
+        """max_* ceilings are loosened by the tolerance band upward:
+        ceiling 100 / tolerance 0.8 = 125, so 120 passes and 130 fails."""
+        assert gate.check_payload(
+            serve_payload(queue_wait_p99_ms=120.0), self.BASELINE, 0.8, "serve"
+        ) == []
+        failures = gate.check_payload(
+            serve_payload(queue_wait_p99_ms=130.0), self.BASELINE, 0.8, "serve"
+        )
+        assert any("queue_wait_p99_ms" in f and "ceiling" in f for f in failures)
+        failures = gate.check_payload(
+            serve_payload(compute_p99_ms=90.0), self.BASELINE, 0.8, "serve"
+        )
+        assert any("compute_p99_ms" in f and "ceiling" in f for f in failures)
+
+    def test_gateway_ceiling_fails_when_metric_missing(self, gate):
+        """An artifact predating the instrumentation must not pass a
+        committed ceiling by omission."""
+        payload = serve_payload()
+        del payload["gateway"]["queue_wait_p99_ms"]
+        failures = gate.check_payload(payload, self.BASELINE, 0.8, "serve")
+        assert any("queue_wait_p99_ms None" in f for f in failures)
+
+    def test_gateway_queue_depth_floor(self, gate):
+        """min_max_queue_depth proves the bench actually queued work:
+        a depth of 0 means the latency split measured nothing."""
+        failures = gate.check_payload(
+            serve_payload(max_queue_depth=0), self.BASELINE, 0.8, "serve"
+        )
+        assert any("max_queue_depth" in f for f in failures)
 
     def test_soak_floors(self, gate):
         # min_evictions 1000 x tolerance 0.8 = 800
